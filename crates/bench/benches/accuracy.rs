@@ -1,0 +1,24 @@
+//! Accuracy-table bench target (paper Table, Section V-B): full pipeline —
+//! inject, run all three tools, score.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use home_npb::{accuracy_row, Benchmark, Class};
+
+fn bench_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accuracy_table");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for bench in Benchmark::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| accuracy_row(bench, Class::S, 2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 7 bench target: the overhead computation across tools and
+//! benchmarks (wall-clock of the sweep machinery; the overhead-percentage
+//! series is printed by `report -- figure7`).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use home_bench::{figure_sweep, overhead_from_points};
+use home_npb::{Benchmark, Class};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_overhead");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("sweep_small", |b| {
+        b.iter(|| {
+            let mut points = Vec::new();
+            for bench in Benchmark::ALL {
+                points.extend(figure_sweep(bench, Class::S, &[2, 4]));
+            }
+            overhead_from_points(&points)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # home-core — the HOME checker
+//!
+//! The paper's tool, end to end:
+//!
+//! 1. **Static phase** ([`home_static::analyze`]) — CFG walk marking MPI
+//!    calls inside OpenMP parallel regions for wrapper instrumentation and
+//!    producing the monitored-variable checklist.
+//! 2. **Instrumented execution** ([`home_interp::run`]) — the program runs
+//!    on the simulated MPI/OpenMP substrates; selected call sites write the
+//!    monitored variables (`srctmp`, `tagtmp`, `commtmp`, `requesttmp`,
+//!    `collectivetmp`, `finalizetmp`) tagged with thread ids.
+//! 3. **Dynamic phase** ([`home_dynamic::detect`]) — lockset + happens-
+//!    before concurrency detection over the monitored variables.
+//! 4. **Rule matching** ([`match_violations`]) — concurrency results are
+//!    matched against the six thread-safety predicates of Section III-A,
+//!    yielding [`Violation`]s with source locations.
+//!
+//! Entry point: [`check`].
+
+mod pipeline;
+mod report;
+mod rules;
+
+pub use pipeline::{check, CheckOptions};
+pub use report::{HomeReport, Violation, ViolationKind};
+pub use rules::match_violations;

@@ -1,0 +1,395 @@
+//! The end-to-end HOME pipeline: static analysis → instrumented execution →
+//! dynamic concurrency detection → violation matching → merged report.
+
+use crate::report::HomeReport;
+use crate::rules::match_violations;
+use home_dynamic::{detect, DetectorConfig};
+use home_interp::{run, Instrumentation, RunConfig};
+use home_ir::Program;
+use home_static::analyze;
+use std::sync::Arc;
+
+/// Options for one HOME check.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// MPI processes to simulate.
+    pub nprocs: usize,
+    /// OpenMP threads per process (programs saying `num_threads(0)` or
+    /// nothing inherit this).
+    pub threads_per_proc: usize,
+    /// Scheduler seeds to explore. More seeds = more interleavings covered;
+    /// HOME's lockset+HB prediction usually needs only a few because races
+    /// need not manifest to be detected.
+    pub seeds: Vec<u64>,
+    /// Dynamic-detector configuration.
+    pub detector: DetectorConfig,
+    /// Instrumentation profile (defaults to HOME's own).
+    pub instrumentation: Instrumentation,
+    /// Scheduling policy for the explored interleavings. `Random` explores
+    /// broadly; `EarliestClockFirst` is time-faithful (what the accuracy
+    /// table uses, so manifest-dependent baselines behave realistically).
+    pub sched_policy: home_sched::SchedPolicy,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            nprocs: 2,
+            threads_per_proc: 2,
+            seeds: vec![1, 2, 3, 4],
+            detector: DetectorConfig::hybrid(),
+            instrumentation: Instrumentation::home(),
+            sched_policy: home_sched::SchedPolicy::Random,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Convenience constructor.
+    pub fn new(nprocs: usize, threads_per_proc: usize) -> Self {
+        CheckOptions {
+            nprocs,
+            threads_per_proc,
+            ..CheckOptions::default()
+        }
+    }
+
+    /// Replace the seed list.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+}
+
+/// Run the full HOME check on `program`.
+///
+/// ```
+/// use home_core::{check, CheckOptions, ViolationKind};
+///
+/// let program = home_ir::parse(r#"
+///     program demo {
+///         mpi_init_thread(multiple);
+///         omp parallel num_threads(2) {
+///             if (rank == 1) { mpi_recv(from: 0, tag: 0); }
+///             if (rank == 0) { mpi_send(to: 1, tag: 0, count: 1); }
+///         }
+///         mpi_finalize();
+///     }
+/// "#).unwrap();
+/// let report = check(&program, &CheckOptions::default());
+/// assert!(report.has(ViolationKind::ConcurrentRecv));
+/// ```
+pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
+    let static_report = analyze(program);
+    let checklist = Arc::new(static_report.checklist.clone());
+
+    let mut report = HomeReport {
+        static_stats: static_report.stats,
+        ..HomeReport::default()
+    };
+
+    for &seed in &options.seeds {
+        let mut cfg = RunConfig::test(options.nprocs, seed)
+            .with_instrumentation(options.instrumentation.clone())
+            .with_checklist(Arc::clone(&checklist));
+        cfg.threads_per_proc = options.threads_per_proc;
+        cfg.sched.policy = options.sched_policy;
+        let result = run(program, &cfg);
+
+        let races = detect(&result.trace, &options.detector);
+        let violations = match_violations(&result.trace, &races, &result.mpi_errors);
+
+        report.runs += 1;
+        report.total_events += result.events_recorded;
+        if let Some(d) = result.deadlock {
+            report.deadlocks.push((seed, d));
+        }
+        report.incidents.extend(result.mpi_errors);
+        report.races.extend(races);
+        report.violations.extend(violations);
+    }
+
+    // Merge: dedupe violations across seeds by (kind, rank, locations).
+    let mut seen = std::collections::BTreeSet::new();
+    report
+        .violations
+        .retain(|v| seen.insert((v.kind, v.rank, v.locations.clone())));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ViolationKind;
+    use home_ir::parse;
+
+    fn check_src(src: &str) -> HomeReport {
+        check(&parse(src).unwrap(), &CheckOptions::default())
+    }
+
+    #[test]
+    fn clean_hybrid_program_has_no_violations() {
+        let r = check_src(
+            r#"
+            program clean {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) {
+                    if (rank == 0) {
+                        mpi_send(to: 1, tag: tid, count: 1);
+                        mpi_recv(from: 1, tag: tid);
+                    }
+                    if (rank == 1) {
+                        mpi_recv(from: 0, tag: tid);
+                        mpi_send(to: 0, tag: tid, count: 1);
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(
+            r.violations.is_empty(),
+            "unexpected violations: {:?}",
+            r.violations
+        );
+        assert!(r.deadlocks.is_empty());
+    }
+
+    #[test]
+    fn case_study_1_init_violation() {
+        // Paper Figure 1: plain MPI_Init (single) + omp sections doing
+        // MPI calls.
+        let r = check_src(
+            r#"
+            program case1 {
+                mpi_init();
+                omp parallel num_threads(2) {
+                    omp sections {
+                        section { if (rank == 0) { mpi_send(to: 1, tag: 0, count: 1); } }
+                        section { if (rank == 1) { mpi_recv(from: 0, tag: 0); } }
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::Initialization), "{}", r.render());
+    }
+
+    #[test]
+    fn case_study_2_concurrent_recv_violation() {
+        // Paper Figure 2: same tag from both threads.
+        let r = check_src(
+            r#"
+            program case2 {
+                mpi_init_thread(multiple);
+                shared int tag = 0;
+                omp parallel num_threads(2) {
+                    if (rank == 0) {
+                        mpi_send(to: 1, tag: tag, count: 1);
+                        mpi_recv(from: 1, tag: tag);
+                    }
+                    if (rank == 1) {
+                        mpi_recv(from: 0, tag: tag);
+                        mpi_send(to: 0, tag: tag, count: 1);
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::ConcurrentRecv), "{}", r.render());
+        // The fix (thread-distinct tags) must not be flagged — covered by
+        // `clean_hybrid_program_has_no_violations`.
+    }
+
+    #[test]
+    fn serialized_level_with_concurrent_calls_is_init_violation() {
+        let r = check_src(
+            r#"
+            program ser {
+                mpi_init_thread(serialized);
+                omp parallel num_threads(2) {
+                    mpi_send(to: rank, tag: tid, count: 1);
+                    mpi_recv(from: rank, tag: tid);
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::Initialization), "{}", r.render());
+    }
+
+    #[test]
+    fn funneled_level_worker_calls_is_init_violation() {
+        let r = check_src(
+            r#"
+            program fun {
+                mpi_init_thread(funneled);
+                omp parallel num_threads(2) {
+                    mpi_send(to: rank, tag: tid, count: 1);
+                    mpi_recv(from: rank, tag: tid);
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::Initialization), "{}", r.render());
+    }
+
+    #[test]
+    fn concurrent_request_violation() {
+        let r = check_src(
+            r#"
+            program req {
+                mpi_init_thread(multiple);
+                if (rank == 0) {
+                    mpi_send(to: 1, tag: 0, count: 1);
+                }
+                if (rank == 1) {
+                    mpi_irecv(from: 0, tag: 0, req: shared_r);
+                    omp parallel num_threads(2) {
+                        mpi_wait(req: shared_r);
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::ConcurrentRequest), "{}", r.render());
+    }
+
+    #[test]
+    fn probe_violation() {
+        let r = check_src(
+            r#"
+            program probe {
+                mpi_init_thread(multiple);
+                if (rank == 0) {
+                    mpi_send(to: 1, tag: 3, count: 1);
+                    mpi_send(to: 1, tag: 3, count: 1);
+                }
+                if (rank == 1) {
+                    omp parallel num_threads(2) {
+                        mpi_probe(from: 0, tag: 3);
+                        mpi_recv(from: 0, tag: 3);
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::Probe), "{}", r.render());
+    }
+
+    #[test]
+    fn collective_violation() {
+        let r = check_src(
+            r#"
+            program coll {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) {
+                    mpi_barrier();
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::CollectiveCall), "{}", r.render());
+    }
+
+    #[test]
+    fn finalize_off_main_thread_is_violation() {
+        let r = check_src(
+            r#"
+            program fin {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) {
+                    if (tid == 1) { mpi_finalize(); }
+                }
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::Finalization), "{}", r.render());
+    }
+
+    #[test]
+    fn collective_on_master_only_is_clean() {
+        let r = check_src(
+            r#"
+            program ok {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) {
+                    omp master { mpi_barrier(); }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(
+            !r.has(ViolationKind::CollectiveCall),
+            "master-only collective is safe: {}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn lock_protected_sends_are_not_recv_violations() {
+        let r = check_src(
+            r#"
+            program locked {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) {
+                    if (rank == 0) {
+                        omp critical(mpi) { mpi_send(to: 1, tag: 0, count: 1); }
+                    }
+                }
+                if (rank == 1) {
+                    mpi_recv(from: 0, tag: 0);
+                    mpi_recv(from: 0, tag: 0);
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(
+            !r.has(ViolationKind::ConcurrentRecv),
+            "critical-section sends are serialized: {}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn static_stats_flow_into_report() {
+        let r = check_src(
+            r#"
+            program stats {
+                mpi_init_thread(multiple);
+                mpi_barrier();
+                omp parallel num_threads(2) { omp master { mpi_barrier(); } }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert_eq!(r.static_stats.total_mpi_calls, 4);
+        assert_eq!(r.static_stats.instrumented, 1);
+        assert_eq!(r.runs, 4);
+        assert!(r.total_events > 0);
+    }
+
+    #[test]
+    fn report_renders_violations() {
+        let r = check_src(
+            r#"
+            program render {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) { mpi_barrier(); }
+                mpi_finalize();
+            }
+            "#,
+        );
+        let text = r.render();
+        assert!(text.contains("isCollectiveCallViolation"));
+        assert!(text.contains("render.hmp"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Violation and report types.
+
+use home_dynamic::Race;
+use home_interp::MpiIncident;
+use home_sched::DeadlockInfo;
+use home_static::StaticStats;
+use home_trace::{Rank, SrcLoc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six thread-safety violation classes of the paper's Section III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// `isInitializationViolation` — MPI used from threads in a way the
+    /// initialized thread level forbids.
+    Initialization,
+    /// `isMPIFinalizationViolation` — finalize off the main thread, after
+    /// pending communication, or concurrently with other calls.
+    Finalization,
+    /// `isConcurrentRecvViolation` — concurrent receives on one process
+    /// whose source/tag/communicator do not differentiate the messages.
+    ConcurrentRecv,
+    /// `isConcurrentRequestViolation` — `MPI_Wait`/`MPI_Test` on the same
+    /// request from two threads.
+    ConcurrentRequest,
+    /// `isProbeViolation` — concurrent probe vs probe/receive with the same
+    /// envelope on one communicator.
+    Probe,
+    /// `isCollectiveCallViolation` — one communicator used concurrently by
+    /// collective calls from threads of the same process.
+    CollectiveCall,
+}
+
+impl ViolationKind {
+    /// All six, in the paper's order.
+    pub const ALL: [ViolationKind; 6] = [
+        ViolationKind::Initialization,
+        ViolationKind::Finalization,
+        ViolationKind::ConcurrentRecv,
+        ViolationKind::ConcurrentRequest,
+        ViolationKind::Probe,
+        ViolationKind::CollectiveCall,
+    ];
+
+    /// The paper's predicate name.
+    pub fn predicate(self) -> &'static str {
+        match self {
+            ViolationKind::Initialization => "isInitializationViolation",
+            ViolationKind::Finalization => "isMPIFinalizationViolation",
+            ViolationKind::ConcurrentRecv => "isConcurrentRecvViolation",
+            ViolationKind::ConcurrentRequest => "isConcurrentRequestViolation",
+            ViolationKind::Probe => "isProbeViolation",
+            ViolationKind::CollectiveCall => "isCollectiveCallViolation",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.predicate())
+    }
+}
+
+/// One detected thread-safety violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Violation class.
+    pub kind: ViolationKind,
+    /// The MPI process it occurred on.
+    pub rank: Rank,
+    /// Human-readable explanation.
+    pub description: String,
+    /// Source locations involved (deduplicated, sorted).
+    pub locations: Vec<SrcLoc>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}: {}", self.kind, self.rank, self.description)?;
+        if !self.locations.is_empty() {
+            write!(f, " [")?;
+            for (i, l) in self.locations.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Final output of a HOME check: merged violations plus supporting data.
+#[derive(Debug, Default)]
+pub struct HomeReport {
+    /// Deduplicated violations across all checked schedules.
+    pub violations: Vec<Violation>,
+    /// Raw concurrency results on monitored variables (the dynamic phase's
+    /// output before rule matching).
+    pub races: Vec<Race>,
+    /// Static-phase statistics.
+    pub static_stats: StaticStats,
+    /// Deadlocks observed, with the seed that produced them.
+    pub deadlocks: Vec<(u64, DeadlockInfo)>,
+    /// Non-fatal MPI misuse incidents across runs.
+    pub incidents: Vec<MpiIncident>,
+    /// Number of schedules executed.
+    pub runs: usize,
+    /// Total instrumentation events recorded across runs.
+    pub total_events: u64,
+}
+
+impl HomeReport {
+    /// Is a violation of `kind` present?
+    pub fn has(&self, kind: ViolationKind) -> bool {
+        self.violations.iter().any(|v| v.kind == kind)
+    }
+
+    /// Violations of one kind.
+    pub fn of_kind(&self, kind: ViolationKind) -> Vec<&Violation> {
+        self.violations.iter().filter(|v| v.kind == kind).collect()
+    }
+
+    /// Distinct violation kinds found.
+    pub fn kinds(&self) -> Vec<ViolationKind> {
+        let mut ks: Vec<ViolationKind> = self.violations.iter().map(|v| v.kind).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+
+    /// Render the final report as text (what the tool prints).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== HOME thread-safety report ===");
+        let _ = writeln!(
+            out,
+            "static: {} MPI call sites, {} instrumented, {} skipped ({} regions, {} error-free)",
+            self.static_stats.total_mpi_calls,
+            self.static_stats.instrumented,
+            self.static_stats.skipped,
+            self.static_stats.regions,
+            self.static_stats.error_free_regions,
+        );
+        let _ = writeln!(
+            out,
+            "dynamic: {} schedule(s), {} events, {} monitored-variable race(s)",
+            self.runs,
+            self.total_events,
+            self.races.len()
+        );
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "no thread-safety violations detected");
+        } else {
+            let _ = writeln!(out, "{} violation(s):", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+        }
+        for (seed, d) in &self.deadlocks {
+            let _ = writeln!(out, "deadlock under seed {seed}: {d}");
+        }
+        for i in &self.incidents {
+            let _ = writeln!(
+                out,
+                "runtime incident: rank {} line {} {}: {}",
+                i.rank, i.line, i.call, i.error
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates_match_paper() {
+        assert_eq!(
+            ViolationKind::ALL.map(|k| k.predicate()),
+            [
+                "isInitializationViolation",
+                "isMPIFinalizationViolation",
+                "isConcurrentRecvViolation",
+                "isConcurrentRequestViolation",
+                "isProbeViolation",
+                "isCollectiveCallViolation",
+            ]
+        );
+    }
+
+    #[test]
+    fn report_queries_and_render() {
+        let mut r = HomeReport::default();
+        r.violations.push(Violation {
+            kind: ViolationKind::ConcurrentRecv,
+            rank: Rank(1),
+            description: "two receives with tag 0".into(),
+            locations: vec![SrcLoc::new("x.hmp", 9)],
+        });
+        r.runs = 3;
+        assert!(r.has(ViolationKind::ConcurrentRecv));
+        assert!(!r.has(ViolationKind::Probe));
+        assert_eq!(r.kinds(), vec![ViolationKind::ConcurrentRecv]);
+        let text = r.render();
+        assert!(text.contains("isConcurrentRecvViolation"));
+        assert!(text.contains("x.hmp:9"));
+        assert!(text.contains("1 violation"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Matching concurrency results against the six thread-safety rules
+//! (paper Section III-A).
+//!
+//! Inputs: the recorded trace (for initialization levels, fork events, and
+//! per-call metadata), the monitored-variable races from the dynamic phase,
+//! and the simulator's runtime incidents (e.g. calls after finalize).
+//! Output: concrete [`Violation`]s with source locations.
+
+use crate::report::{Violation, ViolationKind};
+use home_dynamic::{Race, RaceAccess};
+use home_interp::MpiIncident;
+use home_trace::{
+    EventKind, MemLoc, MonitoredVar, MpiCallRecord, Rank, SrcLoc, ThreadLevel, Trace,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// Match rules over one run's evidence.
+pub fn match_violations(
+    trace: &Trace,
+    races: &[Race],
+    incidents: &[MpiIncident],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let ctx = RuleCtx::gather(trace);
+
+    initialization_rule(&ctx, races, &mut out);
+    finalization_rule(&ctx, races, incidents, &mut out);
+    concurrent_recv_rule(races, &mut out);
+    concurrent_request_rule(races, &mut out);
+    probe_rule(races, &mut out);
+    collective_rule(races, incidents, &mut out);
+
+    dedupe(out)
+}
+
+struct RuleCtx {
+    /// Thread level each rank initialized with.
+    init_levels: HashMap<Rank, ThreadLevel>,
+    /// Ranks that forked a multi-thread parallel region.
+    multi_threaded: BTreeSet<Rank>,
+    /// Instrumented MPI calls inside parallel regions, per rank.
+    region_calls: Vec<(Rank, MpiCallRecord, Option<SrcLoc>)>,
+    /// Finalize monitored writes (rank, record, loc, time).
+    finalizes: Vec<(Rank, MpiCallRecord, Option<SrcLoc>, u64)>,
+    /// Latest MPI-call event time per rank.
+    last_call_time: HashMap<Rank, u64>,
+}
+
+impl RuleCtx {
+    fn gather(trace: &Trace) -> RuleCtx {
+        let mut ctx = RuleCtx {
+            init_levels: HashMap::new(),
+            multi_threaded: BTreeSet::new(),
+            region_calls: Vec::new(),
+            finalizes: Vec::new(),
+            last_call_time: HashMap::new(),
+        };
+        for e in trace.events() {
+            match &e.kind {
+                EventKind::MpiInit { level, .. } => {
+                    ctx.init_levels.entry(e.rank).or_insert(*level);
+                }
+                EventKind::Fork { nthreads, .. } if *nthreads > 1 => {
+                    ctx.multi_threaded.insert(e.rank);
+                }
+                EventKind::MpiCall { call } => {
+                    if e.region.is_some() {
+                        ctx.region_calls.push((e.rank, call.clone(), e.loc.clone()));
+                    }
+                    let t = ctx.last_call_time.entry(e.rank).or_insert(0);
+                    *t = (*t).max(e.time_ns);
+                }
+                EventKind::MonitoredWrite { var, call } if *var == MonitoredVar::Finalize => {
+                    ctx.finalizes
+                        .push((e.rank, call.clone(), e.loc.clone(), e.time_ns));
+                }
+                _ => {}
+            }
+        }
+        ctx
+    }
+}
+
+fn locations(accesses: &[&RaceAccess]) -> Vec<SrcLoc> {
+    let mut locs: Vec<SrcLoc> = accesses.iter().filter_map(|a| a.loc.clone()).collect();
+    locs.sort();
+    locs.dedup();
+    locs
+}
+
+/// Envelope collision: the messages the two calls handle are not
+/// differentiated — tags equal or either side a wildcard, same for peers,
+/// and the same communicator.
+fn envelope_collides(a: &MpiCallRecord, b: &MpiCallRecord) -> bool {
+    let field = |x: Option<i32>, y: Option<i32>| match (x, y) {
+        (Some(x), Some(y)) => x == y || x < 0 || y < 0,
+        // Calls without the argument do not differentiate on it.
+        _ => true,
+    };
+    a.comm == b.comm && field(a.tag, b.tag) && field(a.peer, b.peer)
+}
+
+fn monitored_race_on(races: &[Race], var: MonitoredVar) -> impl Iterator<Item = &Race> {
+    races
+        .iter()
+        .filter(move |r| r.loc == MemLoc::Monitored(var) && r.is_monitored())
+}
+
+fn initialization_rule(ctx: &RuleCtx, races: &[Race], out: &mut Vec<Violation>) {
+    for (&rank, &level) in &ctx.init_levels {
+        match level {
+            ThreadLevel::Single => {
+                // MPI_THREAD_SINGLE but an OpenMP parallel region issues
+                // MPI calls.
+                let calls: Vec<&(Rank, MpiCallRecord, Option<SrcLoc>)> = ctx
+                    .region_calls
+                    .iter()
+                    .filter(|(r, _, _)| *r == rank)
+                    .collect();
+                if ctx.multi_threaded.contains(&rank) && !calls.is_empty() {
+                    let mut locs: Vec<SrcLoc> =
+                        calls.iter().filter_map(|(_, _, l)| l.clone()).collect();
+                    locs.sort();
+                    locs.dedup();
+                    out.push(Violation {
+                        kind: ViolationKind::Initialization,
+                        rank,
+                        description: format!(
+                            "process initialized with {level} but {} MPI call(s) execute inside an OpenMP parallel region",
+                            calls.len()
+                        ),
+                        locations: locs,
+                    });
+                }
+            }
+            ThreadLevel::Serialized => {
+                // Any concurrent monitored-variable race on this rank means
+                // two threads were inside MPI at the same time.
+                let racy: Vec<&Race> = races
+                    .iter()
+                    .filter(|r| r.rank == rank && r.is_monitored())
+                    .collect();
+                if let Some(first) = racy.first() {
+                    out.push(Violation {
+                        kind: ViolationKind::Initialization,
+                        rank,
+                        description: format!(
+                            "{level} allows only one thread in MPI at a time, but concurrent MPI calls were detected on {}",
+                            first.loc
+                        ),
+                        locations: locations(&[&first.first, &first.second]),
+                    });
+                }
+            }
+            ThreadLevel::Funneled => {
+                // Only the main thread may call MPI.
+                if let Some((_, call, loc)) = ctx
+                    .region_calls
+                    .iter()
+                    .find(|(r, c, _)| *r == rank && !c.is_main_thread)
+                {
+                    out.push(Violation {
+                        kind: ViolationKind::Initialization,
+                        rank,
+                        description: format!(
+                            "{level} restricts MPI to the main thread, but {} was issued by a worker thread",
+                            call.kind
+                        ),
+                        locations: loc.clone().into_iter().collect(),
+                    });
+                }
+            }
+            ThreadLevel::Multiple => {}
+        }
+    }
+}
+
+fn finalization_rule(
+    ctx: &RuleCtx,
+    races: &[Race],
+    incidents: &[MpiIncident],
+    out: &mut Vec<Violation>,
+) {
+    // (a) Finalize issued off the main thread.
+    for (rank, call, loc, _) in &ctx.finalizes {
+        if !call.is_main_thread {
+            out.push(Violation {
+                kind: ViolationKind::Finalization,
+                rank: *rank,
+                description: "MPI_Finalize must be called by the main thread".into(),
+                locations: loc.clone().into_iter().collect(),
+            });
+        }
+    }
+    // (b) MPI communication attempted after finalize (the simulator reports
+    // those calls as incidents).
+    for i in incidents {
+        if i.error.contains("after MPI_Finalize") {
+            out.push(Violation {
+                kind: ViolationKind::Finalization,
+                rank: Rank(i.rank),
+                description: format!("{} issued after MPI_Finalize", i.call),
+                locations: vec![SrcLoc::new("", i.line)],
+            });
+        }
+    }
+    // (c) Finalize concurrent with other MPI activity (race on finalizetmp).
+    for race in monitored_race_on(races, MonitoredVar::Finalize) {
+        out.push(Violation {
+            kind: ViolationKind::Finalization,
+            rank: race.rank,
+            description: "concurrent MPI_Finalize calls from multiple threads".into(),
+            locations: locations(&[&race.first, &race.second]),
+        });
+    }
+}
+
+fn concurrent_recv_rule(races: &[Race], out: &mut Vec<Violation>) {
+    for race in monitored_race_on(races, MonitoredVar::Tag) {
+        let (a, b) = (
+            race.first.mpi.as_ref().unwrap(),
+            race.second.mpi.as_ref().unwrap(),
+        );
+        if a.kind.is_recv() && b.kind.is_recv() && envelope_collides(a, b) {
+            out.push(Violation {
+                kind: ViolationKind::ConcurrentRecv,
+                rank: race.rank,
+                description: format!(
+                    "concurrent {} and {} with undistinguished envelope (tag {:?}, peer {:?}, {}) — message matching order is undefined",
+                    a.kind, b.kind, a.tag, a.peer, a.comm
+                ),
+                locations: locations(&[&race.first, &race.second]),
+            });
+        }
+    }
+}
+
+fn concurrent_request_rule(races: &[Race], out: &mut Vec<Violation>) {
+    for race in monitored_race_on(races, MonitoredVar::Request) {
+        let (a, b) = (
+            race.first.mpi.as_ref().unwrap(),
+            race.second.mpi.as_ref().unwrap(),
+        );
+        if let (true, true, Some(request)) =
+            (a.kind.is_completion(), b.kind.is_completion(), a.request)
+        {
+            if Some(request) != b.request {
+                continue;
+            }
+            out.push(Violation {
+                kind: ViolationKind::ConcurrentRequest,
+                rank: race.rank,
+                description: format!(
+                    "{} and {} concurrently completing the same request {request}",
+                    a.kind, b.kind
+                ),
+                locations: locations(&[&race.first, &race.second]),
+            });
+        }
+    }
+}
+
+fn probe_rule(races: &[Race], out: &mut Vec<Violation>) {
+    for race in monitored_race_on(races, MonitoredVar::Tag) {
+        let (a, b) = (
+            race.first.mpi.as_ref().unwrap(),
+            race.second.mpi.as_ref().unwrap(),
+        );
+        let probe_pair = (a.kind.is_probe() && (b.kind.is_probe() || b.kind.is_recv()))
+            || (b.kind.is_probe() && (a.kind.is_probe() || a.kind.is_recv()));
+        if probe_pair && envelope_collides(a, b) {
+            out.push(Violation {
+                kind: ViolationKind::Probe,
+                rank: race.rank,
+                description: format!(
+                    "concurrent {} and {} with the same source/tag on {} — the probed message may be stolen",
+                    a.kind, b.kind, a.comm
+                ),
+                locations: locations(&[&race.first, &race.second]),
+            });
+        }
+    }
+}
+
+fn collective_rule(races: &[Race], incidents: &[MpiIncident], out: &mut Vec<Violation>) {
+    for race in monitored_race_on(races, MonitoredVar::Collective) {
+        let (a, b) = (
+            race.first.mpi.as_ref().unwrap(),
+            race.second.mpi.as_ref().unwrap(),
+        );
+        if a.kind.is_collective() && b.kind.is_collective() && a.comm == b.comm {
+            out.push(Violation {
+                kind: ViolationKind::CollectiveCall,
+                rank: race.rank,
+                description: format!(
+                    "{} and {} concurrently on {} from threads of one process",
+                    a.kind, b.kind, a.comm
+                ),
+                locations: locations(&[&race.first, &race.second]),
+            });
+        }
+    }
+    // Supporting evidence: slot corruption the simulator actually observed.
+    for i in incidents {
+        if i.error.contains("collective mismatch") {
+            out.push(Violation {
+                kind: ViolationKind::CollectiveCall,
+                rank: Rank(i.rank),
+                description: format!("collective slot corruption observed: {}", i.error),
+                locations: vec![SrcLoc::new("", i.line)],
+            });
+        }
+    }
+}
+
+fn dedupe(violations: Vec<Violation>) -> Vec<Violation> {
+    let mut seen: BTreeSet<(ViolationKind, Rank, Vec<SrcLoc>)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for v in violations {
+        let key = (v.kind, v.rank, v.locations.clone());
+        if seen.insert(key) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use home_trace::{MpiCallKind, COMM_WORLD};
+
+    fn record(kind: MpiCallKind, tag: Option<i32>, main: bool) -> MpiCallRecord {
+        MpiCallRecord {
+            kind,
+            peer: Some(0),
+            tag,
+            comm: COMM_WORLD,
+            request: None,
+            is_main_thread: main,
+            thread_level: Some(ThreadLevel::Multiple),
+        }
+    }
+
+    #[test]
+    fn envelope_collision_logic() {
+        let a = record(MpiCallKind::Recv, Some(0), false);
+        let b = record(MpiCallKind::Recv, Some(0), false);
+        assert!(envelope_collides(&a, &b));
+        let c = record(MpiCallKind::Recv, Some(1), false);
+        assert!(!envelope_collides(&a, &c), "distinct tags differentiate");
+        let any = record(MpiCallKind::Recv, Some(-1), false);
+        assert!(envelope_collides(&a, &any), "wildcard collides with all");
+        let mut other_comm = record(MpiCallKind::Recv, Some(0), false);
+        other_comm.comm = home_trace::CommId(1);
+        assert!(!envelope_collides(&a, &other_comm));
+    }
+
+    #[test]
+    fn dedupe_removes_identical_violations() {
+        let v = Violation {
+            kind: ViolationKind::Probe,
+            rank: Rank(0),
+            description: "x".into(),
+            locations: vec![SrcLoc::new("a", 1)],
+        };
+        let out = dedupe(vec![v.clone(), v.clone()]);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,826 @@
+//! The dynamic concurrency detector: Eraser-style locksets combined with
+//! vector-clock happens-before, per the paper's Section IV-D.
+//!
+//! The detector runs offline over a recorded [`Trace`], per MPI process.
+//! It reconstructs the happens-before partial order from synchronization
+//! events (region fork/join, barriers with epochs, lock release→acquire)
+//! and simultaneously maintains per-thread locksets. Depending on
+//! [`DetectorMode`], a conflicting access pair (same location, different
+//! logical threads, at least one write) is reported when it is
+//! HB-concurrent, lockset-disjoint, or both (the paper's hybrid — fewer
+//! false positives than either alone).
+//!
+//! Correctness of the single-pass algorithm relies on two recording-order
+//! facts guaranteed by the runtime: (1) all pre-barrier events of every
+//! participant have smaller sequence numbers than every barrier event of
+//! that epoch, and (2) a region's fork event precedes all events of the
+//! region's threads, whose events in turn precede the join event.
+
+use crate::races::{Race, RaceAccess};
+use home_trace::{
+    AccessKind, BarrierId, Event, EventKind, LockId, LockSet, MemLoc, Rank, RegionId, Tid, Trace,
+    VectorClock,
+};
+use std::collections::HashMap;
+
+/// Which predicate flags a conflicting access pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorMode {
+    /// Lockset-disjoint **and** HB-concurrent (the paper's combination).
+    Hybrid,
+    /// Lockset-disjoint only (classic Eraser — over-reports across
+    /// fork/join and barriers).
+    LocksetOnly,
+    /// HB-concurrent only (pure happens-before — misses nothing it sees but
+    /// depends entirely on sync edges).
+    HappensBeforeOnly,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Flagging predicate.
+    pub mode: DetectorMode,
+    /// Per-location access-history cap (bounds the O(n²) pair check; the
+    /// earliest accesses are kept since later duplicates rarely add
+    /// distinct pairs).
+    pub history_cap: usize,
+    /// Ignore lock acquire/release events entirely (used to model the
+    /// Intel-Thread-Checker baseline's blindness to `omp critical`).
+    pub ignore_locks: bool,
+    /// Report at most one race per (location, thread-pair) — keeps reports
+    /// readable; disable for exhaustive counting.
+    pub dedupe_pairs: bool,
+}
+
+impl DetectorConfig {
+    /// The paper's hybrid configuration.
+    pub fn hybrid() -> Self {
+        DetectorConfig {
+            mode: DetectorMode::Hybrid,
+            history_cap: 512,
+            ignore_locks: false,
+            dedupe_pairs: true,
+        }
+    }
+
+    /// Lockset-only (ablation).
+    pub fn lockset_only() -> Self {
+        DetectorConfig {
+            mode: DetectorMode::LocksetOnly,
+            ..DetectorConfig::hybrid()
+        }
+    }
+
+    /// HB-only (ablation).
+    pub fn hb_only() -> Self {
+        DetectorConfig {
+            mode: DetectorMode::HappensBeforeOnly,
+            ..DetectorConfig::hybrid()
+        }
+    }
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig::hybrid()
+    }
+}
+
+/// A logical thread segment: the sequential master spine is
+/// `(None, Tid(0))`; each thread of a region instance is `(Some(r), t)`.
+type SegKey = (Option<RegionId>, Tid);
+
+struct AccessRecord {
+    seg: SegKey,
+    vc: VectorClock,
+    lockset: LockSet,
+    kind: AccessKind,
+    access: RaceAccess,
+}
+
+struct RankState {
+    slots: HashMap<SegKey, usize>,
+    vcs: HashMap<SegKey, VectorClock>,
+    locksets: HashMap<SegKey, LockSet>,
+    /// VC stored at the last release of each lock.
+    release_vc: HashMap<LockId, VectorClock>,
+    /// Master's VC at each region fork.
+    fork_vc: HashMap<RegionId, VectorClock>,
+    /// Join VC per barrier epoch, computed lazily on first arrival event.
+    barrier_join: HashMap<(RegionId, BarrierId, u64), VectorClock>,
+    history: HashMap<MemLoc, Vec<AccessRecord>>,
+    history_overflow: bool,
+}
+
+impl RankState {
+    fn new() -> Self {
+        RankState {
+            slots: HashMap::new(),
+            vcs: HashMap::new(),
+            locksets: HashMap::new(),
+            release_vc: HashMap::new(),
+            fork_vc: HashMap::new(),
+            barrier_join: HashMap::new(),
+            history: HashMap::new(),
+            history_overflow: false,
+        }
+    }
+
+    fn slot(&mut self, seg: SegKey) -> usize {
+        let next = self.slots.len();
+        *self.slots.entry(seg).or_insert(next)
+    }
+
+    /// Current VC of a segment, initializing region threads from the fork.
+    fn vc_mut(&mut self, seg: SegKey) -> &mut VectorClock {
+        if !self.vcs.contains_key(&seg) {
+            let mut vc = VectorClock::new();
+            if let Some(region) = seg.0 {
+                if let Some(fvc) = self.fork_vc.get(&region) {
+                    vc = fvc.clone();
+                }
+            }
+            let slot = self.slot(seg);
+            vc.tick(slot);
+            self.vcs.insert(seg, vc);
+        }
+        self.vcs.get_mut(&seg).unwrap()
+    }
+
+    fn lockset_mut(&mut self, seg: SegKey) -> &mut LockSet {
+        self.locksets.entry(seg).or_default()
+    }
+}
+
+/// Aggregate statistics from one detection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectStats {
+    /// True if some location's access history hit the configured cap —
+    /// pair coverage beyond the cap was dropped (raise
+    /// [`DetectorConfig::history_cap`] to widen it).
+    pub history_overflow: bool,
+    /// Locations tracked across all ranks.
+    pub locations: usize,
+    /// Access events analyzed.
+    pub accesses: usize,
+}
+
+/// Run the detector over a trace.
+///
+/// ```
+/// use home_dynamic::{detect, DetectorConfig};
+/// use home_trace::{AccessKind, Event, EventKind, MemLoc, Rank, RegionId, Tid, Trace, VarId};
+///
+/// // Two threads of one region write the same variable, unsynchronized.
+/// let write = |seq, tid| Event {
+///     seq,
+///     rank: Rank(0),
+///     tid: Tid(tid),
+///     region: Some(RegionId(0)),
+///     time_ns: seq,
+///     loc: None,
+///     kind: EventKind::Access { loc: MemLoc::Var(VarId(0)), kind: AccessKind::Write },
+/// };
+/// let trace = Trace::from_events(vec![write(0, 0), write(1, 1)]);
+/// let races = detect(&trace, &DetectorConfig::hybrid());
+/// assert_eq!(races.len(), 1);
+/// ```
+pub fn detect(trace: &Trace, config: &DetectorConfig) -> Vec<Race> {
+    detect_with_stats(trace, config).0
+}
+
+/// [`detect`], additionally returning coverage statistics (so harnesses can
+/// check that the history cap did not silently truncate pair coverage).
+pub fn detect_with_stats(trace: &Trace, config: &DetectorConfig) -> (Vec<Race>, DetectStats) {
+    let mut races = Vec::new();
+    let mut stats = DetectStats::default();
+    for rank in trace.ranks() {
+        detect_rank(trace, rank, config, &mut races, &mut stats);
+    }
+    (races, stats)
+}
+
+/// Participants of each barrier epoch and of each region, gathered in a
+/// pre-scan (needed to compute barrier joins on first arrival).
+struct PreScan {
+    barrier_participants: HashMap<(RegionId, BarrierId, u64), Vec<SegKey>>,
+    region_threads: HashMap<RegionId, Vec<SegKey>>,
+}
+
+fn pre_scan(trace: &Trace, rank: Rank) -> PreScan {
+    let mut barrier_participants: HashMap<(RegionId, BarrierId, u64), Vec<SegKey>> =
+        HashMap::new();
+    let mut region_threads: HashMap<RegionId, Vec<SegKey>> = HashMap::new();
+    for e in trace.by_rank(rank) {
+        let seg: SegKey = (e.region, e.tid);
+        if let Some(region) = e.region {
+            let v = region_threads.entry(region).or_default();
+            if !v.contains(&seg) {
+                v.push(seg);
+            }
+        }
+        if let (Some(region), EventKind::Barrier { barrier, epoch }) = (e.region, &e.kind) {
+            let v = barrier_participants
+                .entry((region, *barrier, *epoch))
+                .or_default();
+            if !v.contains(&seg) {
+                v.push(seg);
+            }
+        }
+    }
+    PreScan {
+        barrier_participants,
+        region_threads,
+    }
+}
+
+fn detect_rank(
+    trace: &Trace,
+    rank: Rank,
+    config: &DetectorConfig,
+    races: &mut Vec<Race>,
+    stats: &mut DetectStats,
+) {
+    let scan = pre_scan(trace, rank);
+    let mut st = RankState::new();
+    let mut reported: std::collections::HashSet<(MemLoc, SegKey, SegKey, u32, u32)> =
+        std::collections::HashSet::new();
+
+    for e in trace.by_rank(rank) {
+        let seg: SegKey = (e.region, e.tid);
+        match &e.kind {
+            EventKind::Fork { region, .. } => {
+                let vc = st.vc_mut(seg).clone();
+                st.fork_vc.insert(*region, vc);
+                let slot = st.slot(seg);
+                st.vc_mut(seg).tick(slot);
+            }
+            EventKind::JoinRegion { region } => {
+                // Join all region threads' final VCs into the spine.
+                let joined: Vec<VectorClock> = scan
+                    .region_threads
+                    .get(region)
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|s| st.vcs.get(s).cloned())
+                    .collect();
+                let vc = st.vc_mut(seg);
+                for j in &joined {
+                    vc.join(j);
+                }
+                let slot = st.slot(seg);
+                st.vc_mut(seg).tick(slot);
+            }
+            EventKind::Barrier { barrier, epoch } => {
+                if let Some(region) = e.region {
+                    let key = (region, *barrier, *epoch);
+                    if !st.barrier_join.contains_key(&key) {
+                        // First arrival processed: every participant's
+                        // pre-barrier events are already folded into its
+                        // current VC (recording-order guarantee), so the
+                        // epoch join is computable now.
+                        let mut join = VectorClock::new();
+                        let participants =
+                            scan.barrier_participants.get(&key).cloned().unwrap_or_default();
+                        for p in participants {
+                            let vc = st.vc_mut(p).clone();
+                            join.join(&vc);
+                        }
+                        st.barrier_join.insert(key, join);
+                    }
+                    let join = st.barrier_join[&key].clone();
+                    let vc = st.vc_mut(seg);
+                    vc.join(&join);
+                    let slot = st.slot(seg);
+                    st.vc_mut(seg).tick(slot);
+                }
+            }
+            EventKind::Acquire { lock } => {
+                if !config.ignore_locks {
+                    if let Some(rvc) = st.release_vc.get(lock).cloned() {
+                        st.vc_mut(seg).join(&rvc);
+                    }
+                    st.lockset_mut(seg).insert(*lock);
+                    let slot = st.slot(seg);
+                    st.vc_mut(seg).tick(slot);
+                }
+            }
+            EventKind::Release { lock } => {
+                if !config.ignore_locks {
+                    st.lockset_mut(seg).remove(*lock);
+                    let vc = st.vc_mut(seg).clone();
+                    st.release_vc.insert(*lock, vc);
+                    let slot = st.slot(seg);
+                    st.vc_mut(seg).tick(slot);
+                }
+            }
+            kind => {
+                if let Some((loc, akind)) = kind.access() {
+                    let slot = st.slot(seg);
+                    st.vc_mut(seg).tick(slot);
+                    let vc = st.vc_mut(seg).clone();
+                    let lockset = st.lockset_mut(seg).clone();
+                    let record = AccessRecord {
+                        seg,
+                        vc,
+                        lockset,
+                        kind: akind,
+                        access: race_access(e, akind),
+                    };
+                    check_and_insert(
+                        &mut st,
+                        rank,
+                        loc,
+                        record,
+                        config,
+                        &mut reported,
+                        races,
+                    );
+                } else {
+                    // MpiCall / MpiInit entries advance program order only.
+                    let slot = st.slot(seg);
+                    st.vc_mut(seg).tick(slot);
+                }
+            }
+        }
+    }
+    stats.history_overflow |= st.history_overflow;
+    stats.locations += st.history.len();
+    stats.accesses += st.history.values().map(Vec::len).sum::<usize>();
+}
+
+fn race_access(e: &Event, kind: AccessKind) -> RaceAccess {
+    RaceAccess {
+        seq: e.seq,
+        tid: e.tid,
+        region: e.region,
+        kind,
+        loc: e.loc.clone(),
+        mpi: e.kind.mpi_call().cloned(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_and_insert(
+    st: &mut RankState,
+    rank: Rank,
+    loc: MemLoc,
+    record: AccessRecord,
+    config: &DetectorConfig,
+    reported: &mut std::collections::HashSet<(MemLoc, SegKey, SegKey, u32, u32)>,
+    races: &mut Vec<Race>,
+) {
+    // Segments of the same physical thread: the spine (None, 0) and any
+    // region-master segment (Some(_), 0) share tid 0 of this process and
+    // are ordered by fork/join edges anyway; explicit exclusion guards the
+    // lockset-only mode.
+    let same_physical = |a: SegKey, b: SegKey| a.1 == b.1 && (a.1 == Tid(0) || a.0 == b.0);
+
+    let history = st.history.entry(loc).or_default();
+    for prev in history.iter() {
+        if prev.seg == record.seg || same_physical(prev.seg, record.seg) {
+            continue;
+        }
+        if prev.kind == AccessKind::Read && record.kind == AccessKind::Read {
+            continue;
+        }
+        let hb_concurrent = prev.vc.concurrent_with(&record.vc);
+        let lockset_disjoint = prev.lockset.disjoint(&record.lockset);
+        let is_race = match config.mode {
+            DetectorMode::Hybrid => hb_concurrent && lockset_disjoint,
+            DetectorMode::LocksetOnly => lockset_disjoint,
+            DetectorMode::HappensBeforeOnly => hb_concurrent,
+        };
+        if is_race {
+            // Dedupe per (location, segment pair, call-site pair): repeated
+            // executions of one racy pair report once, but distinct racy
+            // call sites each get their own report.
+            let line = |a: &RaceAccess| a.loc.as_ref().map(|l| l.line).unwrap_or(0);
+            let (la, lb) = (line(&prev.access), line(&record.access));
+            let key = (
+                loc,
+                prev.seg.min(record.seg),
+                prev.seg.max(record.seg),
+                la.min(lb),
+                la.max(lb),
+            );
+            if config.dedupe_pairs && !reported.insert(key) {
+                continue;
+            }
+            races.push(Race {
+                rank,
+                loc,
+                first: prev.access.clone(),
+                second: record.access.clone(),
+            });
+        }
+    }
+    if history.len() < config.history_cap {
+        history.push(record);
+    } else {
+        st.history_overflow = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use home_trace::{MonitoredVar, MpiCallKind, MpiCallRecord, SrcLoc, VarId};
+
+    /// Tiny trace builder for handcrafted scenarios.
+    struct TB {
+        events: Vec<Event>,
+        seq: u64,
+    }
+
+    impl TB {
+        fn new() -> TB {
+            TB {
+                events: Vec::new(),
+                seq: 0,
+            }
+        }
+
+        fn ev(&mut self, tid: u32, region: Option<u64>, kind: EventKind) -> &mut Self {
+            self.events.push(Event {
+                seq: self.seq,
+                rank: Rank(0),
+                tid: Tid(tid),
+                region: region.map(RegionId),
+                time_ns: self.seq,
+                loc: Some(SrcLoc::new("t.hmp", self.seq as u32 + 1)),
+                kind,
+            });
+            self.seq += 1;
+            self
+        }
+
+        fn write(&mut self, tid: u32, region: Option<u64>, var: u32) -> &mut Self {
+            self.ev(
+                tid,
+                region,
+                EventKind::Access {
+                    loc: MemLoc::Var(VarId(var)),
+                    kind: AccessKind::Write,
+                },
+            )
+        }
+
+        /// A write whose event carries a fixed source line (same call site
+        /// across repetitions).
+        fn write_at(&mut self, tid: u32, region: Option<u64>, var: u32, line: u32) -> &mut Self {
+            self.events.push(Event {
+                seq: self.seq,
+                rank: Rank(0),
+                tid: Tid(tid),
+                region: region.map(RegionId),
+                time_ns: self.seq,
+                loc: Some(SrcLoc::new("t.hmp", line)),
+                kind: EventKind::Access {
+                    loc: MemLoc::Var(VarId(var)),
+                    kind: AccessKind::Write,
+                },
+            });
+            self.seq += 1;
+            self
+        }
+
+        fn read(&mut self, tid: u32, region: Option<u64>, var: u32) -> &mut Self {
+            self.ev(
+                tid,
+                region,
+                EventKind::Access {
+                    loc: MemLoc::Var(VarId(var)),
+                    kind: AccessKind::Read,
+                },
+            )
+        }
+
+        fn fork(&mut self, region: u64, n: u32) -> &mut Self {
+            self.ev(
+                0,
+                None,
+                EventKind::Fork {
+                    region: RegionId(region),
+                    nthreads: n,
+                },
+            )
+        }
+
+        fn join(&mut self, region: u64) -> &mut Self {
+            self.ev(
+                0,
+                None,
+                EventKind::JoinRegion {
+                    region: RegionId(region),
+                },
+            )
+        }
+
+        fn acquire(&mut self, tid: u32, region: u64, lock: u32) -> &mut Self {
+            self.ev(tid, Some(region), EventKind::Acquire { lock: LockId(lock) })
+        }
+
+        fn release(&mut self, tid: u32, region: u64, lock: u32) -> &mut Self {
+            self.ev(tid, Some(region), EventKind::Release { lock: LockId(lock) })
+        }
+
+        fn barrier(&mut self, tid: u32, region: u64, epoch: u64) -> &mut Self {
+            self.ev(
+                tid,
+                Some(region),
+                EventKind::Barrier {
+                    barrier: BarrierId(region as u32),
+                    epoch,
+                },
+            )
+        }
+
+        fn trace(&self) -> Trace {
+            Trace::from_events(self.events.clone())
+        }
+    }
+
+    fn hybrid(trace: &Trace) -> Vec<Race> {
+        detect(trace, &DetectorConfig::hybrid())
+    }
+
+    #[test]
+    fn unsynchronized_concurrent_writes_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2).write(0, Some(0), 7).write(1, Some(0), 7).join(0);
+        let races = hybrid(&tb.trace());
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].loc, MemLoc::Var(VarId(7)));
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2).read(0, Some(0), 7).read(1, Some(0), 7).join(0);
+        assert!(hybrid(&tb.trace()).is_empty());
+    }
+
+    #[test]
+    fn write_read_is_a_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2).write(0, Some(0), 7).read(1, Some(0), 7).join(0);
+        assert_eq!(hybrid(&tb.trace()).len(), 1);
+    }
+
+    #[test]
+    fn different_locations_do_not_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2).write(0, Some(0), 7).write(1, Some(0), 8).join(0);
+        assert!(hybrid(&tb.trace()).is_empty());
+    }
+
+    #[test]
+    fn common_lock_prevents_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .acquire(0, 0, 1)
+            .write(0, Some(0), 7)
+            .release(0, 0, 1)
+            .acquire(1, 0, 1)
+            .write(1, Some(0), 7)
+            .release(1, 0, 1)
+            .join(0);
+        assert!(hybrid(&tb.trace()).is_empty());
+    }
+
+    #[test]
+    fn disjoint_locks_still_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .acquire(0, 0, 1)
+            .write(0, Some(0), 7)
+            .release(0, 0, 1)
+            .acquire(1, 0, 2)
+            .write(1, Some(0), 7)
+            .release(1, 0, 2)
+            .join(0);
+        assert_eq!(hybrid(&tb.trace()).len(), 1);
+    }
+
+    #[test]
+    fn fork_join_orders_spine_accesses() {
+        // Spine writes before fork and after join must not race with the
+        // region's writes.
+        let mut tb = TB::new();
+        tb.write(0, None, 7)
+            .fork(0, 2)
+            .write(1, Some(0), 7)
+            .join(0)
+            .write(0, None, 7);
+        assert!(hybrid(&tb.trace()).is_empty());
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // t0 writes before the barrier, t1 writes after: ordered.
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .write(0, Some(0), 7)
+            .barrier(0, 0, 0)
+            .barrier(1, 0, 0)
+            .write(1, Some(0), 7)
+            .join(0);
+        assert!(hybrid(&tb.trace()).is_empty());
+    }
+
+    #[test]
+    fn writes_within_same_barrier_phase_race() {
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .barrier(0, 0, 0)
+            .barrier(1, 0, 0)
+            .write(0, Some(0), 7)
+            .write(1, Some(0), 7)
+            .join(0);
+        assert_eq!(hybrid(&tb.trace()).len(), 1);
+    }
+
+    #[test]
+    fn lockset_only_overreports_across_barrier() {
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .write(0, Some(0), 7)
+            .barrier(0, 0, 0)
+            .barrier(1, 0, 0)
+            .write(1, Some(0), 7)
+            .join(0);
+        let t = tb.trace();
+        assert!(detect(&t, &DetectorConfig::hybrid()).is_empty());
+        assert_eq!(detect(&t, &DetectorConfig::lockset_only()).len(), 1);
+    }
+
+    #[test]
+    fn hb_only_flags_lock_protected_unordered_writes_the_same_as_lock_edges_allow() {
+        // With release→acquire edges, lock-protected writes are ordered, so
+        // HB-only agrees with hybrid here.
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .acquire(0, 0, 1)
+            .write(0, Some(0), 7)
+            .release(0, 0, 1)
+            .acquire(1, 0, 1)
+            .write(1, Some(0), 7)
+            .release(1, 0, 1)
+            .join(0);
+        let t = tb.trace();
+        assert!(detect(&t, &DetectorConfig::hb_only()).is_empty());
+    }
+
+    #[test]
+    fn ignore_locks_reintroduces_critical_race() {
+        // The ITC model: blind to omp critical → reports a false positive.
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .acquire(0, 0, 1)
+            .write(0, Some(0), 7)
+            .release(0, 0, 1)
+            .acquire(1, 0, 1)
+            .write(1, Some(0), 7)
+            .release(1, 0, 1)
+            .join(0);
+        let t = tb.trace();
+        let cfg = DetectorConfig {
+            ignore_locks: true,
+            ..DetectorConfig::hybrid()
+        };
+        assert_eq!(detect(&t, &cfg).len(), 1, "critical-blind detector flags it");
+    }
+
+    #[test]
+    fn monitored_writes_race_and_carry_mpi_records() {
+        let mut tb = TB::new();
+        let call = |tag: i32| MpiCallRecord {
+            kind: MpiCallKind::Recv,
+            peer: Some(0),
+            tag: Some(tag),
+            comm: home_trace::COMM_WORLD,
+            request: None,
+            is_main_thread: false,
+            thread_level: Some(home_trace::ThreadLevel::Multiple),
+        };
+        tb.fork(0, 2)
+            .ev(
+                0,
+                Some(0),
+                EventKind::MonitoredWrite {
+                    var: MonitoredVar::Tag,
+                    call: call(0),
+                },
+            )
+            .ev(
+                1,
+                Some(0),
+                EventKind::MonitoredWrite {
+                    var: MonitoredVar::Tag,
+                    call: call(0),
+                },
+            )
+            .join(0);
+        let races = hybrid(&tb.trace());
+        assert_eq!(races.len(), 1);
+        assert!(races[0].is_monitored());
+        assert_eq!(races[0].loc, MemLoc::Monitored(MonitoredVar::Tag));
+    }
+
+    #[test]
+    fn races_in_different_regions_are_separated_by_spine() {
+        let mut tb = TB::new();
+        tb.fork(0, 2)
+            .write(1, Some(0), 7)
+            .join(0)
+            .fork(1, 2)
+            .write(1, Some(1), 7)
+            .join(1);
+        assert!(hybrid(&tb.trace()).is_empty());
+    }
+
+    #[test]
+    fn dedupe_reports_one_race_per_call_site_pair() {
+        // The same two call sites (fixed lines) race repeatedly: one report.
+        let mut tb = TB::new();
+        tb.fork(0, 2);
+        for _ in 0..5 {
+            tb.write_at(0, Some(0), 7, 100).write_at(1, Some(0), 7, 200);
+        }
+        tb.join(0);
+        let t = tb.trace();
+        assert_eq!(hybrid(&t).len(), 1);
+        let cfg = DetectorConfig {
+            dedupe_pairs: false,
+            ..DetectorConfig::hybrid()
+        };
+        assert!(detect(&t, &cfg).len() > 1);
+    }
+
+    #[test]
+    fn distinct_call_sites_each_report() {
+        // Two independent racy pairs at different lines in one region must
+        // both be reported (regression: an earlier dedupe keyed only on the
+        // thread pair and shadowed the second site).
+        let mut tb = TB::new();
+        tb.fork(0, 2);
+        tb.write_at(0, Some(0), 7, 10).write_at(1, Some(0), 7, 10);
+        tb.write_at(0, Some(0), 7, 20).write_at(1, Some(0), 7, 20);
+        tb.join(0);
+        let races = hybrid(&tb.trace());
+        let mut lines: Vec<u32> = races
+            .iter()
+            .flat_map(|r| [&r.first, &r.second])
+            .filter_map(|a| a.loc.as_ref().map(|l| l.line))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        assert!(lines.contains(&10) && lines.contains(&20), "{races:?}");
+    }
+
+    #[test]
+    fn history_cap_overflow_is_reported_not_silent() {
+        let mut tb = TB::new();
+        tb.fork(0, 2);
+        for _ in 0..20 {
+            tb.write(0, Some(0), 7);
+        }
+        tb.join(0);
+        let t = tb.trace();
+        let tight = DetectorConfig {
+            history_cap: 4,
+            ..DetectorConfig::hybrid()
+        };
+        let (_, stats) = detect_with_stats(&t, &tight);
+        assert!(stats.history_overflow, "cap of 4 must overflow");
+        let (_, stats) = detect_with_stats(&t, &DetectorConfig::hybrid());
+        assert!(!stats.history_overflow);
+        assert!(stats.locations >= 1);
+        assert!(stats.accesses >= 4);
+    }
+
+    #[test]
+    fn ranks_are_analyzed_independently() {
+        // Same variable written by threads of *different ranks* — not a
+        // shared-memory race.
+        let mut events = Vec::new();
+        for (seq, rank) in [(0u64, 0u32), (1, 1)] {
+            events.push(Event {
+                seq,
+                rank: Rank(rank),
+                tid: Tid(0),
+                region: Some(RegionId(0)),
+                time_ns: 0,
+                loc: None,
+                kind: EventKind::Access {
+                    loc: MemLoc::Var(VarId(7)),
+                    kind: AccessKind::Write,
+                },
+            });
+        }
+        let t = Trace::from_events(events);
+        assert!(hybrid(&t).is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! # home-dynamic — the runtime phase of HOME
+//!
+//! Offline race detection over recorded traces, per the paper's Section
+//! IV-D: classic **Eraser locksets** and **vector-clock happens-before**
+//! are maintained simultaneously; the hybrid combination flags a
+//! conflicting access pair only when it is both HB-concurrent *and*
+//! lockset-disjoint, which keeps false positives low without requiring the
+//! race to actually manifest in the observed schedule.
+//!
+//! The same engine powers the ablation modes
+//! ([`DetectorMode::LocksetOnly`], [`DetectorMode::HappensBeforeOnly`]) and
+//! the Intel-Thread-Checker baseline's `omp critical` blindness
+//! ([`DetectorConfig::ignore_locks`]).
+
+mod detector;
+mod races;
+
+pub use detector::{detect, detect_with_stats, DetectStats, DetectorConfig, DetectorMode};
+pub use races::{Race, RaceAccess};

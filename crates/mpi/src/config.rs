@@ -1,0 +1,121 @@
+//! Simulator configuration and the virtual-time network model.
+
+use home_sched::SimTime;
+use home_trace::ThreadLevel;
+
+/// Virtual-time costs of communication, patterned on a small commodity
+/// cluster (the paper's EC2 C3 instances): a few microseconds of base
+/// latency plus a per-byte transfer cost.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Fixed per-message latency (network + stack traversal).
+    pub base_latency: SimTime,
+    /// Transfer cost per payload element (8-byte word).
+    pub per_word: SimTime,
+    /// CPU overhead charged to the sender per send call.
+    pub send_overhead: SimTime,
+    /// CPU overhead charged to the receiver per receive completion.
+    pub recv_overhead: SimTime,
+}
+
+impl LatencyModel {
+    /// Roughly 10 GbE-class numbers: 20 µs latency, ~1 ns/word on the wire,
+    /// 1 µs of CPU per call on each side.
+    pub fn ethernet() -> Self {
+        LatencyModel {
+            base_latency: SimTime::from_micros(20),
+            per_word: SimTime::from_nanos(1),
+            send_overhead: SimTime::from_micros(1),
+            recv_overhead: SimTime::from_micros(1),
+        }
+    }
+
+    /// Zero-cost model for pure-semantics tests.
+    pub fn zero() -> Self {
+        LatencyModel {
+            base_latency: SimTime::ZERO,
+            per_word: SimTime::ZERO,
+            send_overhead: SimTime::ZERO,
+            recv_overhead: SimTime::ZERO,
+        }
+    }
+
+    /// Total in-flight time for a message of `words` payload words.
+    pub fn transfer_time(&self, words: usize) -> SimTime {
+        self.base_latency + SimTime::from_nanos(self.per_word.as_nanos() * words as u64)
+    }
+}
+
+/// Configuration of an MPI [`crate::World`].
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Highest thread level `MPI_Init_thread` will provide (the *provided*
+    /// argument is `min(required, max_thread_level)`), mirroring
+    /// implementations built without full `MPI_THREAD_MULTIPLE` support.
+    pub max_thread_level: ThreadLevel,
+    /// Network cost model.
+    pub latency: LatencyModel,
+    /// Cost of one collective operation synchronization per participant
+    /// (on top of the implied wait time).
+    pub collective_overhead: SimTime,
+}
+
+impl MpiConfig {
+    /// Defaults used by the paper-reproduction harness.
+    pub fn cluster() -> Self {
+        MpiConfig {
+            max_thread_level: ThreadLevel::Multiple,
+            latency: LatencyModel::ethernet(),
+            collective_overhead: SimTime::from_micros(5),
+        }
+    }
+
+    /// Zero-cost semantics-only configuration for unit tests.
+    pub fn test() -> Self {
+        MpiConfig {
+            max_thread_level: ThreadLevel::Multiple,
+            latency: LatencyModel::zero(),
+            collective_overhead: SimTime::ZERO,
+        }
+    }
+
+    /// Cap the provided thread level.
+    pub fn with_max_thread_level(mut self, level: ThreadLevel) -> Self {
+        self.max_thread_level = level;
+        self
+    }
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig::cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = LatencyModel::ethernet();
+        let small = m.transfer_time(1);
+        let big = m.transfer_time(100_000);
+        assert!(big > small);
+        assert_eq!(
+            big.as_nanos() - small.as_nanos(),
+            m.per_word.as_nanos() * 99_999
+        );
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        assert_eq!(LatencyModel::zero().transfer_time(1_000_000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn thread_level_cap() {
+        let c = MpiConfig::test().with_max_thread_level(ThreadLevel::Funneled);
+        assert_eq!(c.max_thread_level, ThreadLevel::Funneled);
+    }
+}

@@ -1,0 +1,209 @@
+//! Messages, envelopes, and matching specifications.
+
+use home_trace::{CommId, Rank};
+use std::fmt;
+use std::sync::Arc;
+
+/// Wildcard source (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+
+/// Message payload: a shared vector of 64-bit words. Shared so that
+/// broadcast-style operations do not copy per receiver.
+pub type Payload = Arc<Vec<f64>>;
+
+/// Build a payload from values.
+pub fn payload(values: impl Into<Vec<f64>>) -> Payload {
+    Arc::new(values.into())
+}
+
+/// Source specification of a receive or probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SrcSpec {
+    /// Match a specific source rank (communicator-relative).
+    Rank(u32),
+    /// `MPI_ANY_SOURCE`.
+    Any,
+}
+
+impl SrcSpec {
+    /// Parse the C-style argument (−1 = any).
+    pub fn from_i32(v: i32) -> SrcSpec {
+        if v < 0 {
+            SrcSpec::Any
+        } else {
+            SrcSpec::Rank(v as u32)
+        }
+    }
+
+    /// Back to the C-style argument.
+    pub fn to_i32(self) -> i32 {
+        match self {
+            SrcSpec::Rank(r) => r as i32,
+            SrcSpec::Any => ANY_SOURCE,
+        }
+    }
+
+    /// Does a message from `src` satisfy this spec?
+    pub fn matches(self, src: u32) -> bool {
+        match self {
+            SrcSpec::Rank(r) => r == src,
+            SrcSpec::Any => true,
+        }
+    }
+}
+
+/// Tag specification of a receive or probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagSpec {
+    /// Match a specific tag.
+    Tag(i32),
+    /// `MPI_ANY_TAG`.
+    Any,
+}
+
+impl TagSpec {
+    /// Parse the C-style argument (−1 = any).
+    pub fn from_i32(v: i32) -> TagSpec {
+        if v < 0 {
+            TagSpec::Any
+        } else {
+            TagSpec::Tag(v)
+        }
+    }
+
+    /// Back to the C-style argument.
+    pub fn to_i32(self) -> i32 {
+        match self {
+            TagSpec::Tag(t) => t,
+            TagSpec::Any => ANY_TAG,
+        }
+    }
+
+    /// Does a message with `tag` satisfy this spec?
+    pub fn matches(self, tag: i32) -> bool {
+        match self {
+            TagSpec::Tag(t) => t == tag,
+            TagSpec::Any => true,
+        }
+    }
+}
+
+/// An in-flight or delivered message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Communicator-relative source rank.
+    pub src: u32,
+    /// World rank of the sender (for diagnostics).
+    pub src_world: Rank,
+    /// Tag.
+    pub tag: i32,
+    /// Communicator it was sent on.
+    pub comm: CommId,
+    /// Payload words.
+    pub data: Payload,
+    /// Virtual time at which the message is available at the receiver.
+    pub available_at_ns: u64,
+    /// Per-(src,dst,tag,comm) FIFO sequence, for the non-overtaking rule.
+    pub fifo_seq: u64,
+    /// Unique message id within the world (used for synchronous-send
+    /// rendezvous completion tracking).
+    pub uid: u64,
+}
+
+impl Message {
+    /// Payload length in words (`MPI_Get_count`).
+    pub fn count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Does this message match a `(src, tag, comm)` receive specification?
+    pub fn matches(&self, src: SrcSpec, tag: TagSpec, comm: CommId) -> bool {
+        self.comm == comm && src.matches(self.src) && tag.matches(self.tag)
+    }
+}
+
+/// The result of a completed receive or probe (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Actual source rank (communicator-relative).
+    pub source: u32,
+    /// Actual tag.
+    pub tag: i32,
+    /// Payload length in words.
+    pub count: usize,
+}
+
+impl Status {
+    /// The empty status returned by send-request completions.
+    pub const fn empty() -> Status {
+        Status {
+            source: 0,
+            tag: 0,
+            count: 0,
+        }
+    }
+
+    /// Build a status from a message.
+    pub fn of(msg: &Message) -> Status {
+        Status {
+            source: msg.src,
+            tag: msg.tag,
+            count: msg.count(),
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Status(src={}, tag={}, count={})", self.source, self.tag, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use home_trace::COMM_WORLD;
+
+    fn msg(src: u32, tag: i32) -> Message {
+        Message {
+            src,
+            src_world: Rank(src),
+            tag,
+            comm: COMM_WORLD,
+            data: payload(vec![1.0, 2.0]),
+            available_at_ns: 0,
+            fifo_seq: 0,
+            uid: 0,
+        }
+    }
+
+    #[test]
+    fn specs_parse_wildcards() {
+        assert_eq!(SrcSpec::from_i32(-1), SrcSpec::Any);
+        assert_eq!(SrcSpec::from_i32(3), SrcSpec::Rank(3));
+        assert_eq!(TagSpec::from_i32(ANY_TAG), TagSpec::Any);
+        assert_eq!(TagSpec::from_i32(0), TagSpec::Tag(0));
+        assert_eq!(SrcSpec::Any.to_i32(), ANY_SOURCE);
+        assert_eq!(TagSpec::Tag(9).to_i32(), 9);
+    }
+
+    #[test]
+    fn matching_rules() {
+        let m = msg(2, 7);
+        assert!(m.matches(SrcSpec::Any, TagSpec::Any, COMM_WORLD));
+        assert!(m.matches(SrcSpec::Rank(2), TagSpec::Tag(7), COMM_WORLD));
+        assert!(!m.matches(SrcSpec::Rank(1), TagSpec::Any, COMM_WORLD));
+        assert!(!m.matches(SrcSpec::Any, TagSpec::Tag(8), COMM_WORLD));
+        assert!(!m.matches(SrcSpec::Any, TagSpec::Any, CommId(1)));
+    }
+
+    #[test]
+    fn status_of_message() {
+        let m = msg(1, 3);
+        let s = Status::of(&m);
+        assert_eq!(s, Status { source: 1, tag: 3, count: 2 });
+        assert!(s.to_string().contains("src=1"));
+    }
+}

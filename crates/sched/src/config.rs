@@ -1,0 +1,112 @@
+//! Scheduler configuration.
+
+use crate::policy::SchedPolicy;
+
+/// How virtual threads are allowed to make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// No gating: virtual threads run with real OS concurrency. Virtual
+    /// clocks and deadlock *tokens* are still maintained, but whole-system
+    /// deadlock detection is unavailable (an idle system cannot be
+    /// distinguished from a blocked one without gating).
+    Free,
+    /// Exactly one virtual thread runs at a time; the interleaving is chosen
+    /// by the configured [`SchedPolicy`]. Fully reproducible for a fixed
+    /// seed, and able to detect whole-system deadlocks.
+    Deterministic,
+}
+
+/// Configuration for a [`crate::Runtime`].
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Execution mode.
+    pub mode: SchedMode,
+    /// Scheduling policy used at yield points (deterministic mode only).
+    pub policy: SchedPolicy,
+    /// Seed for the policy's RNG (deterministic mode, random policy).
+    pub seed: u64,
+    /// Upper bound on scheduling decisions before the run is aborted, as a
+    /// guard against livelock in buggy simulated programs. `None` = no bound.
+    pub max_steps: Option<u64>,
+}
+
+impl SchedConfig {
+    /// Deterministic mode with seeded random interleaving — the default for
+    /// tests and for the paper-reproduction harness.
+    pub fn deterministic(seed: u64) -> Self {
+        SchedConfig {
+            mode: SchedMode::Deterministic,
+            policy: SchedPolicy::Random,
+            seed,
+            max_steps: Some(50_000_000),
+        }
+    }
+
+    /// Deterministic mode that always runs the runnable thread with the
+    /// smallest virtual clock. This makes the interleaving *time-faithful*:
+    /// the simulated makespan approximates what a real parallel execution of
+    /// the same costs would produce. Used by the figure-regeneration benches.
+    pub fn time_faithful(seed: u64) -> Self {
+        SchedConfig {
+            policy: SchedPolicy::EarliestClockFirst,
+            ..SchedConfig::deterministic(seed)
+        }
+    }
+
+    /// Free mode: real OS concurrency.
+    pub fn free() -> Self {
+        SchedConfig {
+            mode: SchedMode::Free,
+            policy: SchedPolicy::RoundRobin,
+            seed: 0,
+            max_steps: None,
+        }
+    }
+
+    /// Replace the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the step bound.
+    pub fn with_max_steps(mut self, max_steps: Option<u64>) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig::deterministic(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let d = SchedConfig::deterministic(9);
+        assert_eq!(d.mode, SchedMode::Deterministic);
+        assert_eq!(d.seed, 9);
+        assert_eq!(d.policy, SchedPolicy::Random);
+
+        let t = SchedConfig::time_faithful(1);
+        assert_eq!(t.policy, SchedPolicy::EarliestClockFirst);
+
+        let f = SchedConfig::free();
+        assert_eq!(f.mode, SchedMode::Free);
+        assert_eq!(f.max_steps, None);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SchedConfig::deterministic(0)
+            .with_policy(SchedPolicy::RoundRobin)
+            .with_max_steps(Some(10));
+        assert_eq!(c.policy, SchedPolicy::RoundRobin);
+        assert_eq!(c.max_steps, Some(10));
+    }
+}

@@ -1,0 +1,138 @@
+//! Join handles for virtual threads.
+
+use crate::runtime::Runtime;
+use crate::vtid::Vtid;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Error returned by [`JoinHandle::join`].
+#[derive(Debug)]
+pub enum JoinError {
+    /// The virtual thread panicked; the payload is its panic message when
+    /// it was a string.
+    Panicked(String),
+    /// The scheduler was poisoned (deadlock/shutdown) and the thread's
+    /// result never materialized.
+    Sched(crate::SchedError),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked(msg) => write!(f, "virtual thread panicked: {msg}"),
+            JoinError::Sched(e) => write!(f, "scheduler error during join: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned virtual thread.
+///
+/// `join` is cooperative when called from another virtual thread (it blocks
+/// through the scheduler, participating in deadlock detection) and a plain
+/// condition wait when called from the driver.
+pub struct JoinHandle<T> {
+    rt: Runtime,
+    vtid: Vtid,
+    cell: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+    name: String,
+}
+
+impl<T: Send + 'static> JoinHandle<T> {
+    pub(crate) fn new(
+        rt: Runtime,
+        vtid: Vtid,
+        cell: Arc<Mutex<Option<std::thread::Result<T>>>>,
+        os: std::thread::JoinHandle<()>,
+        name: String,
+    ) -> Self {
+        JoinHandle {
+            rt,
+            vtid,
+            cell,
+            os: Some(os),
+            name,
+        }
+    }
+
+    /// The virtual thread id of the spawned thread.
+    pub fn vtid(&self) -> Vtid {
+        self.vtid
+    }
+
+    /// The name given at spawn.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if the thread's closure has returned (or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.rt.is_finished(self.vtid)
+    }
+
+    /// Wait for the thread to finish and return its result.
+    pub fn join(mut self) -> Result<T, JoinError> {
+        if let Err(e) = self.rt.join_wait(self.vtid) {
+            // Poisoned run: the thread may still produce a result while
+            // unwinding; give the OS thread a chance to exit, then check.
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            if self.cell.lock().is_none() {
+                return Err(JoinError::Sched(e));
+            }
+        } else if crate::runtime::current_vtid().is_none() {
+            // Driver-side join: also reap the OS thread.
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+        }
+        let result = self
+            .cell
+            .lock()
+            .take()
+            .expect("finished virtual thread must have stored its result");
+        result.map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            JoinError::Panicked(msg)
+        })
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("vtid", &self.vtid)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedConfig;
+
+    #[test]
+    fn handle_reports_metadata() {
+        let rt = Runtime::new(SchedConfig::deterministic(0));
+        let h = rt.spawn("meta", || ());
+        assert_eq!(h.name(), "meta");
+        assert_eq!(h.vtid().index(), 0);
+        rt.run().unwrap();
+        assert!(h.is_finished());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn join_error_display() {
+        let e = JoinError::Panicked("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

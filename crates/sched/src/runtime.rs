@@ -1,0 +1,882 @@
+//! The virtual-thread runtime.
+
+use crate::clock::SimTime;
+use crate::config::{SchedConfig, SchedMode};
+use crate::deadlock::{BlockedThread, DeadlockInfo};
+use crate::handle::JoinHandle;
+use crate::state::{BlockReason, Inner, ThreadSlot, ThreadStatus};
+use crate::vtid::Vtid;
+use crate::{SchedError, SchedResult};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    rt: Runtime,
+    vtid: Vtid,
+    clock: Arc<AtomicU64>,
+}
+
+/// The virtual thread the calling OS thread is executing, if any.
+pub fn current_vtid() -> Option<Vtid> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.vtid))
+}
+
+/// The runtime owning the calling virtual thread, if any.
+pub fn current_runtime() -> Option<Runtime> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.rt.clone()))
+}
+
+struct RtShared {
+    config: SchedConfig,
+    mu: Mutex<Inner>,
+    /// RNG for the random policy. Only ever locked while `mu` is held.
+    rng: Mutex<ChaCha8Rng>,
+    /// Signalled on every thread finish (drives `run` and driver-side joins).
+    driver_cv: Condvar,
+    /// Global maximum over all per-thread virtual clocks, ever.
+    makespan: AtomicU64,
+    /// Fast-path flag mirroring `Inner::poison.is_some()`.
+    poisoned: AtomicBool,
+    /// Set by `run()`; allows kicks from driver-side unblocks.
+    started: AtomicBool,
+}
+
+/// A handle to the scheduler. Cheap to clone (`Arc` inside).
+///
+/// See the crate-level docs for the execution model. All methods are safe to
+/// call from any thread; methods documented as requiring a *virtual thread*
+/// panic when called from an unmanaged thread.
+#[derive(Clone)]
+pub struct Runtime {
+    shared: Arc<RtShared>,
+}
+
+impl Runtime {
+    /// Create a runtime with the given configuration.
+    pub fn new(config: SchedConfig) -> Runtime {
+        let seed = config.seed;
+        Runtime {
+            shared: Arc::new(RtShared {
+                config,
+                mu: Mutex::new(Inner::new()),
+                rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+                driver_cv: Condvar::new(),
+                makespan: AtomicU64::new(0),
+                poisoned: AtomicBool::new(false),
+                started: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The configuration this runtime was created with.
+    pub fn config(&self) -> &SchedConfig {
+        &self.shared.config
+    }
+
+    fn deterministic(&self) -> bool {
+        self.shared.config.mode == SchedMode::Deterministic
+    }
+
+    /// Spawn a virtual thread. In deterministic mode it does not start
+    /// running until [`Runtime::run`] (or a scheduling decision) grants it.
+    pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let name = name.into();
+        let vtid;
+        let clock;
+        {
+            let mut inner = self.shared.mu.lock();
+            vtid = Vtid::from_index(inner.slots.len());
+            let mut slot = ThreadSlot::new(name.clone());
+            if !self.deterministic() {
+                slot.status = ThreadStatus::Running;
+            }
+            clock = Arc::clone(&slot.clock);
+            inner.slots.push(slot);
+            inner.live += 1;
+        }
+
+        let cell: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let cell2 = Arc::clone(&cell);
+        let rt = self.clone();
+        let deterministic = self.deterministic();
+
+        let os = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                CURRENT.with(|c| {
+                    *c.borrow_mut() = Some(Ctx {
+                        rt: rt.clone(),
+                        vtid,
+                        clock,
+                    })
+                });
+                if deterministic {
+                    rt.wait_for_first_grant(vtid);
+                }
+                let result = catch_unwind(AssertUnwindSafe(f));
+                *cell2.lock() = Some(result);
+                rt.finish_current(vtid);
+            })
+            .expect("failed to spawn OS thread for virtual thread");
+
+        JoinHandle::new(self.clone(), vtid, cell, os, name)
+    }
+
+    fn wait_for_first_grant(&self, me: Vtid) {
+        let mut inner = self.shared.mu.lock();
+        loop {
+            if inner.poison.is_some() || inner.slot(me).granted {
+                break;
+            }
+            let cv = Arc::clone(&inner.slot(me).cv);
+            cv.wait(&mut inner);
+        }
+        let slot = inner.slot_mut(me);
+        slot.granted = false;
+        slot.status = ThreadStatus::Running;
+    }
+
+    /// Start scheduling (deterministic mode) and wait until every virtual
+    /// thread has finished. Returns the poison error if the run deadlocked
+    /// or was aborted.
+    pub fn run(&self) -> SchedResult<()> {
+        self.shared.started.store(true, Ordering::SeqCst);
+        let mut inner = self.shared.mu.lock();
+        if self.deterministic() {
+            self.kick(&mut inner);
+        }
+        while inner.live > 0 {
+            self.shared.driver_cv.wait(&mut inner);
+        }
+        match &inner.poison {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// The poison error, if the run deadlocked or was shut down.
+    pub fn error(&self) -> Option<SchedError> {
+        self.shared.mu.lock().poison.clone()
+    }
+
+    /// Number of virtual threads that have not yet finished.
+    pub fn live_threads(&self) -> usize {
+        self.shared.mu.lock().live
+    }
+
+    /// Total virtual threads ever spawned.
+    pub fn total_threads(&self) -> usize {
+        self.shared.mu.lock().slots.len()
+    }
+
+    /// Name given to `vtid` at spawn.
+    pub fn thread_name(&self, vtid: Vtid) -> String {
+        self.shared.mu.lock().slot(vtid).name.clone()
+    }
+
+    /// Scheduling decisions taken so far.
+    pub fn steps(&self) -> u64 {
+        self.shared.mu.lock().steps
+    }
+
+    // ---- scheduling primitives -------------------------------------------
+
+    /// A voluntary yield point. In deterministic mode this is where the
+    /// scheduler may switch to another virtual thread; in free mode it is a
+    /// no-op (modulo poison checking). Must be called from a virtual thread.
+    pub fn yield_now(&self) -> SchedResult<()> {
+        if self.shared.poisoned.load(Ordering::Relaxed) {
+            return Err(self.error().unwrap_or(SchedError::Shutdown));
+        }
+        if !self.deterministic() {
+            return Ok(());
+        }
+        let me = current_vtid().expect("yield_now called outside a virtual thread");
+        let mut inner = self.shared.mu.lock();
+        if let Some(p) = &inner.poison {
+            return Err(p.clone());
+        }
+        inner.slot_mut(me).status = ThreadStatus::Runnable;
+        let chosen = self.choose(&inner);
+        self.count_step(&mut inner)?;
+        if chosen == Some(me) {
+            let slot = inner.slot_mut(me);
+            slot.status = ThreadStatus::Running;
+            inner.last_granted = Some(me);
+            return Ok(());
+        }
+        if let Some(next) = chosen {
+            self.grant(&mut inner, next);
+        }
+        self.wait_for_grant(inner, me)
+    }
+
+    /// Block the calling virtual thread until another thread calls
+    /// [`Runtime::unblock`] on it. If an unblock was already delivered
+    /// (wake token), returns immediately after a reschedule. Returns an
+    /// error if the whole system deadlocks while this thread is blocked.
+    pub fn block_current(&self, reason: BlockReason) -> SchedResult<()> {
+        let me = current_vtid().expect("block_current called outside a virtual thread");
+        let mut inner = self.shared.mu.lock();
+        if let Some(p) = &inner.poison {
+            return Err(p.clone());
+        }
+        if inner.slot(me).wake_tokens > 0 {
+            inner.slot_mut(me).wake_tokens -= 1;
+            drop(inner);
+            return self.yield_now();
+        }
+        inner.slot_mut(me).status = ThreadStatus::Blocked(reason);
+        if self.deterministic() {
+            match self.choose(&inner) {
+                Some(next) => {
+                    self.count_step(&mut inner)?;
+                    self.grant(&mut inner, next);
+                }
+                None => {
+                    if inner.live > 0 && inner.running_count() == 0 {
+                        self.declare_deadlock(&mut inner);
+                        return Err(inner.poison.clone().expect("poison just set"));
+                    }
+                }
+            }
+            self.wait_for_grant(inner, me)
+        } else {
+            // Free mode: park on our condvar until a wake token arrives.
+            loop {
+                if let Some(p) = &inner.poison {
+                    return Err(p.clone());
+                }
+                if inner.slot(me).wake_tokens > 0 {
+                    inner.slot_mut(me).wake_tokens -= 1;
+                    inner.slot_mut(me).status = ThreadStatus::Running;
+                    return Ok(());
+                }
+                let cv = Arc::clone(&inner.slot(me).cv);
+                cv.wait(&mut inner);
+            }
+        }
+    }
+
+    /// Make a blocked virtual thread runnable again (or credit it a wake
+    /// token if it is not currently blocked). Safe to call from any thread.
+    pub fn unblock(&self, vtid: Vtid) {
+        let mut inner = self.shared.mu.lock();
+        self.unblock_locked(&mut inner, vtid);
+        // If nothing is running (e.g. unblock from the driver), kick.
+        if self.deterministic()
+            && self.shared.started.load(Ordering::SeqCst)
+            && inner.running_count() == 0
+        {
+            self.kick(&mut inner);
+        }
+    }
+
+    fn unblock_locked(&self, inner: &mut Inner, vtid: Vtid) {
+        let deterministic = self.deterministic();
+        let slot = inner.slot_mut(vtid);
+        match &slot.status {
+            ThreadStatus::Blocked(_) if deterministic => {
+                slot.status = ThreadStatus::Runnable;
+            }
+            ThreadStatus::Finished => {}
+            _ => {
+                slot.wake_tokens += 1;
+                if !deterministic {
+                    slot.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    fn finish_current(&self, me: Vtid) {
+        let mut inner = self.shared.mu.lock();
+        // Fold our final clock into the makespan.
+        let final_clock = inner.slot(me).clock.load(Ordering::Relaxed);
+        self.shared.makespan.fetch_max(final_clock, Ordering::Relaxed);
+        inner.slot_mut(me).status = ThreadStatus::Finished;
+        inner.live -= 1;
+        let waiters = std::mem::take(&mut inner.slot_mut(me).join_waiters);
+        for w in waiters {
+            self.unblock_locked(&mut inner, w);
+        }
+        self.shared.driver_cv.notify_all();
+        if self.deterministic() && inner.live > 0 {
+            match self.choose(&inner) {
+                Some(next) => {
+                    if self.count_step(&mut inner).is_ok() {
+                        self.grant(&mut inner, next);
+                    }
+                }
+                None => {
+                    if inner.running_count() == 0 {
+                        self.declare_deadlock(&mut inner);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cooperatively wait for `target` to finish. Used by [`JoinHandle`].
+    pub(crate) fn join_wait(&self, target: Vtid) -> SchedResult<()> {
+        if let Some(me) = current_vtid() {
+            loop {
+                let mut inner = self.shared.mu.lock();
+                if inner.slot(target).status == ThreadStatus::Finished {
+                    return Ok(());
+                }
+                if let Some(p) = &inner.poison {
+                    return Err(p.clone());
+                }
+                let name = inner.slot(target).name.clone();
+                inner.slot_mut(target).join_waiters.push(me);
+                drop(inner);
+                self.block_current(BlockReason::Join(name))?;
+            }
+        } else {
+            let mut inner = self.shared.mu.lock();
+            loop {
+                if inner.slot(target).status == ThreadStatus::Finished {
+                    return Ok(());
+                }
+                if inner.poison.is_some() && inner.live == 0 {
+                    return Err(inner.poison.clone().unwrap());
+                }
+                self.shared.driver_cv.wait(&mut inner);
+            }
+        }
+    }
+
+    pub(crate) fn is_finished(&self, target: Vtid) -> bool {
+        self.shared.mu.lock().slot(target).status == ThreadStatus::Finished
+    }
+
+    // ---- internal scheduling helpers -------------------------------------
+
+    fn choose(&self, inner: &Inner) -> Option<Vtid> {
+        let runnable = inner.runnable();
+        if runnable.is_empty() {
+            return None;
+        }
+        let mut rng = self.shared.rng.lock();
+        Some(self.shared.config.policy.choose(
+            &runnable,
+            |v| inner.slot(v).clock_now(),
+            inner.last_granted,
+            &mut rng,
+        ))
+    }
+
+    fn grant(&self, inner: &mut Inner, next: Vtid) {
+        inner.last_granted = Some(next);
+        let slot = inner.slot_mut(next);
+        slot.granted = true;
+        slot.status = ThreadStatus::Running;
+        slot.cv.notify_all();
+    }
+
+    fn kick(&self, inner: &mut Inner) {
+        if inner.running_count() > 0 {
+            return;
+        }
+        if let Some(next) = self.choose(inner) {
+            if self.count_step(inner).is_ok() {
+                self.grant(inner, next);
+            }
+        } else if inner.live > 0 && !inner.blocked().is_empty() {
+            self.declare_deadlock(inner);
+        }
+    }
+
+    fn count_step(&self, inner: &mut Inner) -> SchedResult<()> {
+        inner.steps += 1;
+        if let Some(max) = self.shared.config.max_steps {
+            if inner.steps > max {
+                self.poison_all(inner, SchedError::Shutdown);
+                return Err(SchedError::Shutdown);
+            }
+        }
+        Ok(())
+    }
+
+    fn wait_for_grant(&self, mut inner: MutexGuard<'_, Inner>, me: Vtid) -> SchedResult<()> {
+        loop {
+            if let Some(p) = &inner.poison {
+                return Err(p.clone());
+            }
+            if inner.slot(me).granted {
+                let slot = inner.slot_mut(me);
+                slot.granted = false;
+                slot.status = ThreadStatus::Running;
+                return Ok(());
+            }
+            let cv = Arc::clone(&inner.slot(me).cv);
+            cv.wait(&mut inner);
+        }
+    }
+
+    fn declare_deadlock(&self, inner: &mut Inner) {
+        let blocked = inner
+            .blocked()
+            .into_iter()
+            .map(|v| {
+                let slot = inner.slot(v);
+                let reason = match &slot.status {
+                    ThreadStatus::Blocked(r) => r.clone(),
+                    _ => BlockReason::Other("unknown".into()),
+                };
+                BlockedThread {
+                    vtid: v,
+                    name: slot.name.clone(),
+                    reason,
+                }
+            })
+            .collect();
+        let info = DeadlockInfo {
+            blocked,
+            step: inner.steps,
+        };
+        self.poison_all(inner, SchedError::Deadlock(info));
+    }
+
+    /// Set the poison, ungate everything, and wake every parked thread so
+    /// the whole system can unwind.
+    fn poison_all(&self, inner: &mut Inner, err: SchedError) {
+        if inner.poison.is_none() {
+            inner.poison = Some(err);
+        }
+        self.shared.poisoned.store(true, Ordering::SeqCst);
+        for slot in &mut inner.slots {
+            slot.cv.notify_all();
+        }
+        self.shared.driver_cv.notify_all();
+    }
+
+    /// Abort the run: every blocked or parked thread wakes with
+    /// [`SchedError::Shutdown`]. Intended for harness-level timeouts.
+    pub fn shutdown(&self) {
+        let mut inner = self.shared.mu.lock();
+        self.poison_all(&mut inner, SchedError::Shutdown);
+    }
+
+    // ---- virtual time ------------------------------------------------------
+
+    /// Advance the calling virtual thread's clock by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.advance(SimTime::from_nanos(ns));
+    }
+
+    /// Advance the calling virtual thread's clock by `dt`.
+    pub fn advance(&self, dt: SimTime) {
+        CURRENT.with(|c| {
+            let b = c.borrow();
+            let ctx = b.as_ref().expect("advance called outside a virtual thread");
+            let new = ctx.clock.fetch_add(dt.as_nanos(), Ordering::Relaxed) + dt.as_nanos();
+            self.shared.makespan.fetch_max(new, Ordering::Relaxed);
+        });
+    }
+
+    /// The calling virtual thread's clock.
+    pub fn clock(&self) -> SimTime {
+        CURRENT.with(|c| {
+            let b = c.borrow();
+            let ctx = b.as_ref().expect("clock called outside a virtual thread");
+            SimTime::from_nanos(ctx.clock.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Raise the calling virtual thread's clock to at least `t` (message
+    /// delivery: receiver time = max(receiver, sender + latency)).
+    pub fn merge_clock(&self, t: SimTime) {
+        CURRENT.with(|c| {
+            let b = c.borrow();
+            let ctx = b.as_ref().expect("merge_clock called outside a virtual thread");
+            ctx.clock.fetch_max(t.as_nanos(), Ordering::Relaxed);
+            self.shared.makespan.fetch_max(t.as_nanos(), Ordering::Relaxed);
+        });
+    }
+
+    /// `vtid`'s current clock.
+    pub fn clock_of(&self, vtid: Vtid) -> SimTime {
+        self.shared.mu.lock().slot(vtid).clock_now()
+    }
+
+    /// Maximum virtual clock observed across all threads, ever — the
+    /// simulated makespan of the run.
+    pub fn makespan(&self) -> SimTime {
+        SimTime::from_nanos(self.shared.makespan.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.shared.mu.lock();
+        f.debug_struct("Runtime")
+            .field("mode", &self.shared.config.mode)
+            .field("threads", &inner.slots.len())
+            .field("live", &inner.live)
+            .field("steps", &inner.steps)
+            .field("poison", &inner.poison)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedPolicy;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let rt = Runtime::new(SchedConfig::deterministic(1));
+        let h = rt.spawn("solo", || 42);
+        rt.run().unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+        assert_eq!(rt.live_threads(), 0);
+    }
+
+    #[test]
+    fn free_mode_runs_without_run_call_gating() {
+        let rt = Runtime::new(SchedConfig::free());
+        let h = rt.spawn("free", || "done");
+        assert_eq!(h.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn deterministic_interleaving_is_reproducible() {
+        let order_for_seed = |seed: u64| {
+            let rt = Runtime::new(SchedConfig::deterministic(seed));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let rt2 = rt.clone();
+                let log2 = Arc::clone(&log);
+                handles.push(rt.spawn(format!("t{i}"), move || {
+                    for _ in 0..5 {
+                        log2.lock().push(i);
+                        rt2.yield_now().unwrap();
+                    }
+                }));
+            }
+            rt.run().unwrap();
+            for h in handles {
+                h.join().unwrap();
+            }
+            Arc::try_unwrap(log).unwrap().into_inner()
+        };
+        assert_eq!(order_for_seed(11), order_for_seed(11));
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let order_for_seed = |seed: u64| {
+            let rt = Runtime::new(SchedConfig::deterministic(seed));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..3 {
+                let rt2 = rt.clone();
+                let log2 = Arc::clone(&log);
+                rt.spawn(format!("t{i}"), move || {
+                    for _ in 0..8 {
+                        log2.lock().push(i);
+                        rt2.yield_now().unwrap();
+                    }
+                });
+            }
+            rt.run().unwrap();
+            Arc::try_unwrap(log).unwrap().into_inner()
+        };
+        // Not guaranteed in principle, but over 24 scheduling points the
+        // probability of identical random schedules is negligible.
+        assert_ne!(order_for_seed(1), order_for_seed(2));
+    }
+
+    #[test]
+    fn block_unblock_pingpong() {
+        let rt = Runtime::new(SchedConfig::deterministic(3));
+        let flag = Arc::new(AtomicBool::new(false));
+        let rt_a = rt.clone();
+        let flag_a = Arc::clone(&flag);
+        let a = rt.spawn("blocker", move || {
+            while !flag_a.load(Ordering::SeqCst) {
+                rt_a.block_current(BlockReason::Other("wait flag".into()))
+                    .unwrap();
+            }
+            true
+        });
+        let rt_b = rt.clone();
+        let flag_b = Arc::clone(&flag);
+        let target = a.vtid();
+        rt.spawn("waker", move || {
+            rt_b.yield_now().unwrap();
+            flag_b.store(true, Ordering::SeqCst);
+            rt_b.unblock(target);
+        });
+        rt.run().unwrap();
+        assert!(a.join().unwrap());
+    }
+
+    #[test]
+    fn wake_token_before_block_is_not_lost() {
+        let rt = Runtime::new(SchedConfig::deterministic(5));
+        let rt_a = rt.clone();
+        let a = rt.spawn("late-blocker", move || {
+            // Burn some yields so the waker very likely unblocks first.
+            for _ in 0..10 {
+                rt_a.yield_now().unwrap();
+            }
+            rt_a.block_current(BlockReason::Other("token".into())).unwrap();
+            7
+        });
+        let rt_b = rt.clone();
+        let target = a.vtid();
+        rt.spawn("early-waker", move || {
+            rt_b.unblock(target);
+        });
+        rt.run().unwrap();
+        assert_eq!(a.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn whole_system_deadlock_is_detected() {
+        let rt = Runtime::new(SchedConfig::deterministic(7));
+        for i in 0..2 {
+            let rt2 = rt.clone();
+            rt.spawn(format!("stuck{i}"), move || {
+                let e = rt2
+                    .block_current(BlockReason::Message(format!("recv{i}")))
+                    .unwrap_err();
+                assert!(matches!(e, SchedError::Deadlock(_)));
+            });
+        }
+        let err = rt.run().unwrap_err();
+        match err {
+            SchedError::Deadlock(info) => {
+                assert_eq!(info.blocked.len(), 2);
+                assert!(info.involves("recv0"));
+                assert!(info.involves("recv1"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_from_vthread_is_cooperative() {
+        let rt = Runtime::new(SchedConfig::deterministic(9));
+        let rt_a = rt.clone();
+        let child = rt.spawn("child", move || {
+            rt_a.yield_now().unwrap();
+            21
+        });
+        let rt_b = rt.clone();
+        let parent = rt.spawn("parent", move || {
+            let _ = rt_b.yield_now();
+            2 * child.join().unwrap()
+        });
+        rt.run().unwrap();
+        assert_eq!(parent.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn virtual_clocks_and_makespan() {
+        let rt = Runtime::new(SchedConfig::time_faithful(0));
+        let rt_a = rt.clone();
+        rt.spawn("fast", move || rt_a.advance_ns(10));
+        let rt_b = rt.clone();
+        rt.spawn("slow", move || {
+            rt_b.advance_ns(100);
+            assert_eq!(rt_b.clock().as_nanos(), 100);
+            rt_b.merge_clock(SimTime::from_nanos(500));
+            assert_eq!(rt_b.clock().as_nanos(), 500);
+        });
+        rt.run().unwrap();
+        assert_eq!(rt.makespan().as_nanos(), 500);
+    }
+
+    #[test]
+    fn earliest_clock_first_serializes_by_time() {
+        let rt = Runtime::new(
+            SchedConfig::deterministic(0).with_policy(SchedPolicy::EarliestClockFirst),
+        );
+        let log: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        for (i, cost) in [30u64, 10, 20].into_iter().enumerate() {
+            let rt2 = rt.clone();
+            let log2 = Arc::clone(&log);
+            rt.spawn(format!("w{i}"), move || {
+                for _ in 0..3 {
+                    log2.lock().push((rt2.clock().as_nanos(), i));
+                    rt2.advance_ns(cost);
+                    rt2.yield_now().unwrap();
+                }
+            });
+        }
+        rt.run().unwrap();
+        let log = Arc::try_unwrap(log).unwrap().into_inner();
+        // Step *start* times must be nondecreasing: the policy always runs
+        // the least-advanced runnable thread next.
+        for w in log.windows(2) {
+            assert!(w[0].0 <= w[1].0, "out of order: {log:?}");
+        }
+    }
+
+    #[test]
+    fn panicking_thread_does_not_hang_the_runtime() {
+        let rt = Runtime::new(SchedConfig::deterministic(4));
+        let bad = rt.spawn("bad", || panic!("boom"));
+        let rt2 = rt.clone();
+        let good = rt.spawn("good", move || {
+            rt2.yield_now().unwrap();
+            1
+        });
+        rt.run().unwrap();
+        assert!(bad.join().is_err());
+        assert_eq!(good.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn max_steps_aborts_livelock() {
+        let rt = Runtime::new(SchedConfig::deterministic(0).with_max_steps(Some(100)));
+        let rt2 = rt.clone();
+        rt.spawn("spinner", move || {
+            loop {
+                if rt2.yield_now().is_err() {
+                    break;
+                }
+            }
+        });
+        let err = rt.run().unwrap_err();
+        assert_eq!(err, SchedError::Shutdown);
+    }
+
+    #[test]
+    fn dynamic_spawn_from_vthread() {
+        let rt = Runtime::new(SchedConfig::deterministic(6));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let rt2 = rt.clone();
+        let c2 = Arc::clone(&counter);
+        rt.spawn("forker", move || {
+            let mut hs = Vec::new();
+            for i in 0..3 {
+                let c3 = Arc::clone(&c2);
+                let rt3 = rt2.clone();
+                hs.push(rt2.spawn(format!("kid{i}"), move || {
+                    rt3.yield_now().unwrap();
+                    c3.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            for h in hs {
+                h.join().unwrap();
+            }
+        });
+        rt.run().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn steps_are_counted() {
+        let rt = Runtime::new(SchedConfig::deterministic(0));
+        let rt2 = rt.clone();
+        rt.spawn("y", move || {
+            for _ in 0..5 {
+                rt2.yield_now().unwrap();
+            }
+        });
+        rt.run().unwrap();
+        assert!(rt.steps() >= 5);
+    }
+}
+
+#[cfg(test)]
+mod free_mode_tests {
+    use super::*;
+    use crate::{SchedConfig, SimTime};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn free_mode_runs_threads_concurrently() {
+        let rt = Runtime::new(SchedConfig::free());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let c = Arc::clone(&counter);
+            let rt2 = rt.clone();
+            handles.push(rt.spawn(format!("w{i}"), move || {
+                for _ in 0..100 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    rt2.yield_now().unwrap();
+                }
+            }));
+        }
+        rt.run().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn free_mode_block_unblock() {
+        let rt = Runtime::new(SchedConfig::free());
+        let blocker = rt.spawn("blocker", {
+            let rt = rt.clone();
+            move || {
+                rt.block_current(crate::BlockReason::Other("free wait".into()))
+                    .unwrap();
+                5
+            }
+        });
+        let target = blocker.vtid();
+        let rt2 = rt.clone();
+        rt.spawn("waker", move || {
+            // Give the blocker a moment to actually park, then wake it.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            rt2.unblock(target);
+        });
+        rt.run().unwrap();
+        assert_eq!(blocker.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn free_mode_wake_token_before_block() {
+        let rt = Runtime::new(SchedConfig::free());
+        let h = rt.spawn("late", {
+            let rt = rt.clone();
+            move || {
+                // Token arrives (possibly) before we block; must not hang.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                rt.block_current(crate::BlockReason::Other("token".into()))
+                    .unwrap();
+                1
+            }
+        });
+        rt.unblock(h.vtid());
+        rt.run().unwrap();
+        assert_eq!(h.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn free_mode_virtual_clocks_still_tracked() {
+        let rt = Runtime::new(SchedConfig::free());
+        let rt2 = rt.clone();
+        rt.spawn("t", move || {
+            rt2.advance(SimTime::from_micros(5));
+        });
+        rt.run().unwrap();
+        assert_eq!(rt.makespan(), SimTime::from_micros(5));
+    }
+}

@@ -1,0 +1,176 @@
+//! Internal scheduler state.
+
+use crate::clock::SimTime;
+use crate::vtid::Vtid;
+use crate::SchedError;
+use parking_lot::Condvar;
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Why a virtual thread is blocked. Carried into deadlock reports so the
+/// HOME pipeline can explain *what* each participant was waiting for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting for a message (MPI receive/wait/probe). The payload is a
+    /// human-readable description such as `"MPI_Recv(src=1, tag=0)"`.
+    Message(String),
+    /// Waiting to acquire a lock (OpenMP critical section or runtime lock).
+    Lock(String),
+    /// Waiting at a barrier (OpenMP barrier or MPI collective).
+    Barrier(String),
+    /// Waiting for another virtual thread to finish.
+    Join(String),
+    /// Waiting on a semaphore.
+    Semaphore(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::Message(s) => write!(f, "message: {s}"),
+            BlockReason::Lock(s) => write!(f, "lock: {s}"),
+            BlockReason::Barrier(s) => write!(f, "barrier: {s}"),
+            BlockReason::Join(s) => write!(f, "join: {s}"),
+            BlockReason::Semaphore(s) => write!(f, "semaphore: {s}"),
+            BlockReason::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Lifecycle state of one virtual thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ThreadStatus {
+    /// Wants to run; waiting for a grant.
+    Runnable,
+    /// Currently holds the execution token (deterministic mode) or is simply
+    /// live (free mode).
+    Running,
+    /// Blocked on a scheduler primitive.
+    Blocked(BlockReason),
+    /// The closure returned or panicked.
+    Finished,
+}
+
+/// Per-thread bookkeeping slot.
+pub(crate) struct ThreadSlot {
+    pub(crate) name: String,
+    pub(crate) status: ThreadStatus,
+    /// Pending wake tokens (park/unpark protocol): an `unblock` delivered
+    /// before the target actually blocks must not be lost.
+    pub(crate) wake_tokens: u32,
+    /// True once a grant has been issued and not yet consumed.
+    pub(crate) granted: bool,
+    /// Condvar this thread parks on (paired with the runtime's global mutex).
+    pub(crate) cv: Arc<Condvar>,
+    /// Virtual clock, shared with the thread-local fast path.
+    pub(crate) clock: Arc<AtomicU64>,
+    /// Threads blocked in `join` on this thread.
+    pub(crate) join_waiters: Vec<Vtid>,
+}
+
+impl ThreadSlot {
+    pub(crate) fn new(name: String) -> Self {
+        ThreadSlot {
+            name,
+            status: ThreadStatus::Runnable,
+            wake_tokens: 0,
+            granted: false,
+            cv: Arc::new(Condvar::new()),
+            clock: Arc::new(AtomicU64::new(0)),
+            join_waiters: Vec::new(),
+        }
+    }
+
+    pub(crate) fn clock_now(&self) -> SimTime {
+        SimTime::from_nanos(self.clock.load(std::sync::atomic::Ordering::Relaxed))
+    }
+}
+
+/// Shared mutable scheduler state, protected by the runtime's global mutex.
+pub(crate) struct Inner {
+    pub(crate) slots: Vec<ThreadSlot>,
+    /// Threads not yet `Finished`.
+    pub(crate) live: usize,
+    /// Scheduling decisions taken so far (deterministic mode).
+    pub(crate) steps: u64,
+    /// Last thread granted (for round-robin).
+    pub(crate) last_granted: Option<Vtid>,
+    /// Once set, every scheduler primitive returns this error and gating is
+    /// disabled so that all threads can unwind.
+    pub(crate) poison: Option<SchedError>,
+}
+
+impl Inner {
+    pub(crate) fn new() -> Self {
+        Inner {
+            slots: Vec::new(),
+            live: 0,
+            steps: 0,
+            last_granted: None,
+            poison: None,
+        }
+    }
+
+    pub(crate) fn runnable(&self) -> Vec<Vtid> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status == ThreadStatus::Runnable)
+            .map(|(i, _)| Vtid::from_index(i))
+            .collect()
+    }
+
+    pub(crate) fn blocked(&self) -> Vec<Vtid> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.status, ThreadStatus::Blocked(_)))
+            .map(|(i, _)| Vtid::from_index(i))
+            .collect()
+    }
+
+    pub(crate) fn running_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.status == ThreadStatus::Running)
+            .count()
+    }
+
+    pub(crate) fn slot(&self, v: Vtid) -> &ThreadSlot {
+        &self.slots[v.index()]
+    }
+
+    pub(crate) fn slot_mut(&mut self, v: Vtid) -> &mut ThreadSlot {
+        &mut self.slots[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_reason_display() {
+        assert_eq!(
+            BlockReason::Message("MPI_Recv(src=1)".into()).to_string(),
+            "message: MPI_Recv(src=1)"
+        );
+        assert_eq!(BlockReason::Lock("cs".into()).to_string(), "lock: cs");
+        assert_eq!(BlockReason::Other("x".into()).to_string(), "x");
+    }
+
+    #[test]
+    fn inner_queries() {
+        let mut inner = Inner::new();
+        inner.slots.push(ThreadSlot::new("a".into()));
+        inner.slots.push(ThreadSlot::new("b".into()));
+        inner.live = 2;
+        inner.slots[1].status = ThreadStatus::Blocked(BlockReason::Other("x".into()));
+        assert_eq!(inner.runnable(), vec![Vtid::from_index(0)]);
+        assert_eq!(inner.blocked(), vec![Vtid::from_index(1)]);
+        assert_eq!(inner.running_count(), 0);
+    }
+}

@@ -1,0 +1,542 @@
+//! The static analysis procedure (paper Algorithm 1 plus precision hints).
+//!
+//! Walks the linearized CFG; between an `ompParallelBegin` and its matching
+//! `ompParallelEnd`, every reachable MPI call node is marked for replacement
+//! with an instrumented HMPI wrapper. Calls outside parallel regions are
+//! *skipped* during instrumentation — the paper's central overhead
+//! reduction, since thread-safety violations can only arise where multiple
+//! threads exist.
+
+use crate::abstract_eval::AbsEnv;
+use crate::cfg::{Cfg, CfgNode, OmpRegionKind};
+use crate::checklist::{Checklist, StaticCallSite, ALL_MONITORED};
+use home_ir::{MpiStmt, NodeId, Program, StmtKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Classification of one parallel region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionClass {
+    /// No MPI calls inside — guaranteed free of *hybrid* violations, so the
+    /// dynamic phase does not monitor it.
+    ErrorFree,
+    /// Contains MPI calls: candidate for runtime checking.
+    PotentiallyErroneous,
+}
+
+/// Summary of one `omp parallel` region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionInfo {
+    /// IR node of the `omp parallel` statement.
+    pub node: NodeId,
+    /// Source line.
+    pub line: u32,
+    /// MPI calls syntactically inside.
+    pub mpi_calls: usize,
+    /// Classification.
+    pub class: RegionClass,
+}
+
+/// Aggregate statistics (reported by the tool and the benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticStats {
+    /// All MPI call sites in the program.
+    pub total_mpi_calls: usize,
+    /// Sites selected for instrumentation.
+    pub instrumented: usize,
+    /// Sites skipped (outside hybrid regions or unreachable).
+    pub skipped: usize,
+    /// Sites in unreachable code.
+    pub unreachable: usize,
+    /// Parallel regions found.
+    pub regions: usize,
+    /// Regions classified error-free.
+    pub error_free_regions: usize,
+}
+
+/// Full output of the static phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticReport {
+    /// The instrumentation checklist.
+    pub checklist: Checklist,
+    /// Per-region summaries.
+    pub regions: Vec<RegionInfo>,
+    /// Aggregate statistics.
+    pub stats: StaticStats,
+}
+
+/// Run the static phase on `program`.
+///
+/// ```
+/// let program = home_ir::parse(
+///     "program p {
+///          mpi_barrier();
+///          omp parallel num_threads(2) { mpi_barrier(); }
+///      }",
+/// )
+/// .unwrap();
+/// let report = home_static::analyze(&program);
+/// assert_eq!(report.stats.total_mpi_calls, 2);
+/// assert_eq!(report.stats.instrumented, 1, "only the in-region call");
+/// ```
+pub fn analyze(program: &Program) -> StaticReport {
+    let env = AbsEnv::of_program(program);
+
+    // Map statement ids to their Stmt for argument inspection.
+    let mut stmt_of: HashMap<NodeId, &home_ir::Stmt> = HashMap::new();
+    program.visit(&mut |s| {
+        stmt_of.insert(s.id, s);
+    });
+
+    // Interprocedural context: which functions can execute inside an
+    // OpenMP parallel region (called from one, directly or transitively),
+    // and which functions are called at all.
+    let hybrid_fns = hybrid_context_functions(program);
+    let called_fns = called_functions(program);
+
+    let mut sites = Vec::new();
+    // Main body: Algorithm 1 over the linearized CFG.
+    collect_sites(
+        &Cfg::build_block(&program.body),
+        &stmt_of,
+        &env,
+        false,
+        true,
+        &mut sites,
+    );
+    // Each function body, with its interprocedural context as the base.
+    for func in &program.functions {
+        collect_sites(
+            &Cfg::build_block(&func.body),
+            &stmt_of,
+            &env,
+            hybrid_fns.contains(func.name.as_str()),
+            called_fns.contains(func.name.as_str()),
+            &mut sites,
+        );
+    }
+
+    // Which monitored variables does the instrumented call mix need?
+    let monitored_vars = needed_monitored(&sites);
+
+    // Region summaries from the AST (function bodies included via visit).
+    // `call`s to (transitively) MPI-bearing functions count as MPI calls for
+    // classification.
+    let mpi_bearing = mpi_bearing_functions(program);
+    let mut regions = Vec::new();
+    program.visit(&mut |s| {
+        if let StmtKind::OmpParallel { body, .. } = &s.kind {
+            let mut mpi_calls = 0;
+            fn count(stmts: &[home_ir::Stmt], bearing: &BTreeSet<&str>, n: &mut usize) {
+                for s in stmts {
+                    match &s.kind {
+                        StmtKind::Mpi(_) => *n += 1,
+                        StmtKind::Call { name } if bearing.contains(name.as_str()) => *n += 1,
+                        _ => {}
+                    }
+                    for b in s.kind.blocks() {
+                        count(b, bearing, n);
+                    }
+                }
+            }
+            count(body, &mpi_bearing, &mut mpi_calls);
+            regions.push(RegionInfo {
+                node: s.id,
+                line: s.line,
+                mpi_calls,
+                class: if mpi_calls == 0 {
+                    RegionClass::ErrorFree
+                } else {
+                    RegionClass::PotentiallyErroneous
+                },
+            });
+        }
+    });
+
+    let stats = StaticStats {
+        total_mpi_calls: sites.len(),
+        instrumented: sites.iter().filter(|s| s.instrument).count(),
+        skipped: sites.iter().filter(|s| !s.instrument).count(),
+        unreachable: sites.iter().filter(|s| !s.reachable).count(),
+        regions: regions.len(),
+        error_free_regions: regions
+            .iter()
+            .filter(|r| r.class == RegionClass::ErrorFree)
+            .count(),
+    };
+
+    StaticReport {
+        checklist: Checklist {
+            sites,
+            monitored_vars,
+        },
+        regions,
+        stats,
+    }
+}
+
+/// Algorithm 1's linear CFG walk over one body. `base_hybrid` marks code
+/// that is already in a parallel context when the body is entered (a
+/// function called from a region); `body_reachable` is false for functions
+/// never called.
+fn collect_sites(
+    cfg: &Cfg,
+    stmt_of: &HashMap<NodeId, &home_ir::Stmt>,
+    env: &AbsEnv,
+    base_hybrid: bool,
+    body_reachable: bool,
+    sites: &mut Vec<StaticCallSite>,
+) {
+    let reachable = cfg.reachable();
+    let mut depth: u32 = 0;
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    for (ix, node) in cfg.linearized() {
+        match node {
+            CfgNode::OmpBegin(_, OmpRegionKind::Parallel) => depth += 1,
+            CfgNode::OmpEnd(_, OmpRegionKind::Parallel) => depth -= 1,
+            CfgNode::Stmt(id) => {
+                if seen.contains(id) {
+                    continue; // if-join duplicates
+                }
+                let stmt = stmt_of[id];
+                if let StmtKind::Mpi(call) = &stmt.kind {
+                    seen.insert(*id);
+                    let is_reachable = reachable[ix] && body_reachable;
+                    let in_hybrid = depth > 0 || base_hybrid;
+                    let (tag, peer) = call_args(call);
+                    sites.push(StaticCallSite {
+                        node: *id,
+                        line: stmt.line,
+                        name: call.name().to_string(),
+                        in_hybrid_region: in_hybrid,
+                        reachable: is_reachable,
+                        instrument: in_hybrid && is_reachable,
+                        is_collective: call.is_collective(),
+                        tag_thread_distinct: tag.map(|e| env.is_thread_distinct(e)),
+                        peer_thread_distinct: peer.map(|e| env.is_thread_distinct(e)),
+                        init_level: match call {
+                            MpiStmt::Init => Some(home_ir::IrThreadLevel::Single),
+                            MpiStmt::InitThread { required } => Some(*required),
+                            _ => None,
+                        },
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    debug_assert_eq!(depth, 0, "unbalanced parallel markers");
+}
+
+/// Collect `(in_parallel, callee)` pairs from a block, for the call graph.
+fn collect_calls(stmts: &[home_ir::Stmt], depth: u32, out: &mut Vec<(bool, String)>) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Call { name } => out.push((depth > 0, name.clone())),
+            StmtKind::OmpParallel { body, .. } => collect_calls(body, depth + 1, out),
+            other => {
+                for b in other.blocks() {
+                    collect_calls(b, depth, out);
+                }
+            }
+        }
+    }
+}
+
+/// Functions that can execute in a parallel context: called from inside a
+/// region (anywhere), or called (anywhere) by such a function — a standard
+/// call-graph fixpoint.
+fn hybrid_context_functions(program: &Program) -> BTreeSet<&str> {
+    let mut hybrid: BTreeSet<&str> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        // Main body.
+        let mut calls = Vec::new();
+        collect_calls(&program.body, 0, &mut calls);
+        for (in_par, callee) in &calls {
+            if *in_par {
+                if let Some(f) = program.function(callee) {
+                    changed |= hybrid.insert(f.name.as_str());
+                }
+            }
+        }
+        // Function bodies.
+        for func in &program.functions {
+            let base = hybrid.contains(func.name.as_str());
+            let mut calls = Vec::new();
+            collect_calls(&func.body, 0, &mut calls);
+            for (in_par, callee) in calls {
+                if (in_par || base) && program.function(&callee).is_some() {
+                    let callee_ref = program.function(&callee).unwrap();
+                    changed |= hybrid.insert(callee_ref.name.as_str());
+                }
+            }
+        }
+        if !changed {
+            return hybrid;
+        }
+    }
+}
+
+/// Functions whose bodies (transitively) contain MPI calls.
+fn mpi_bearing_functions(program: &Program) -> BTreeSet<&str> {
+    fn has_direct_mpi(stmts: &[home_ir::Stmt]) -> bool {
+        stmts.iter().any(|s| {
+            matches!(s.kind, StmtKind::Mpi(_)) || s.kind.blocks().iter().any(|b| has_direct_mpi(b))
+        })
+    }
+    fn calls_in(stmts: &[home_ir::Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            if let StmtKind::Call { name } = &s.kind {
+                out.push(name.clone());
+            }
+            for b in s.kind.blocks() {
+                calls_in(b, out);
+            }
+        }
+    }
+    let mut bearing: BTreeSet<&str> = program
+        .functions
+        .iter()
+        .filter(|f| has_direct_mpi(&f.body))
+        .map(|f| f.name.as_str())
+        .collect();
+    loop {
+        let mut changed = false;
+        for func in &program.functions {
+            if bearing.contains(func.name.as_str()) {
+                continue;
+            }
+            let mut calls = Vec::new();
+            calls_in(&func.body, &mut calls);
+            if calls.iter().any(|c| bearing.contains(c.as_str())) {
+                bearing.insert(func.name.as_str());
+                changed = true;
+            }
+        }
+        if !changed {
+            return bearing;
+        }
+    }
+}
+
+/// Functions reachable through `call` statements from the main body.
+fn called_functions(program: &Program) -> BTreeSet<&str> {
+    let mut called: BTreeSet<&str> = BTreeSet::new();
+    let mut work: Vec<&[home_ir::Stmt]> = vec![&program.body];
+    while let Some(stmts) = work.pop() {
+        let mut calls = Vec::new();
+        collect_calls(stmts, 0, &mut calls);
+        for (_, callee) in calls {
+            if let Some(f) = program.function(&callee) {
+                if called.insert(f.name.as_str()) {
+                    work.push(&f.body);
+                }
+            }
+        }
+    }
+    called
+}
+
+/// (tag expr, peer expr) of a call, when present.
+fn call_args(call: &MpiStmt) -> (Option<&home_ir::Expr>, Option<&home_ir::Expr>) {
+    match call {
+        MpiStmt::Send { dest, tag, .. }
+        | MpiStmt::Ssend { dest, tag, .. }
+        | MpiStmt::Isend { dest, tag, .. } => (Some(tag), Some(dest)),
+        MpiStmt::Recv { src, tag, .. }
+        | MpiStmt::Irecv { src, tag, .. }
+        | MpiStmt::Probe { src, tag, .. }
+        | MpiStmt::Iprobe { src, tag, .. } => (Some(tag), Some(src)),
+        _ => (None, None),
+    }
+}
+
+fn needed_monitored(sites: &[StaticCallSite]) -> Vec<String> {
+    let instrumented: Vec<&StaticCallSite> = sites.iter().filter(|s| s.instrument).collect();
+    let mut vars = BTreeSet::new();
+    for s in &instrumented {
+        match s.name.as_str() {
+            "mpi_send" | "mpi_ssend" | "mpi_recv" | "mpi_isend" | "mpi_irecv" | "mpi_probe"
+            | "mpi_iprobe" => {
+                vars.insert("srctmp");
+                vars.insert("tagtmp");
+                vars.insert("commtmp");
+            }
+            "mpi_wait" | "mpi_test" | "mpi_waitall" => {
+                vars.insert("requesttmp");
+            }
+            "mpi_finalize" => {
+                vars.insert("finalizetmp");
+            }
+            _ if s.is_collective => {
+                vars.insert("collectivetmp");
+                vars.insert("commtmp");
+            }
+            _ => {}
+        }
+    }
+    // Keep the paper's canonical order.
+    ALL_MONITORED
+        .iter()
+        .filter(|v| vars.contains(*v))
+        .map(|v| v.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use home_ir::parse;
+
+    #[test]
+    fn calls_outside_regions_are_skipped() {
+        let p = parse(
+            r#"
+            program filter {
+                mpi_init_thread(multiple);
+                mpi_barrier();
+                omp parallel num_threads(2) {
+                    mpi_send(to: 1, tag: 0, count: 1);
+                }
+                mpi_finalize();
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze(&p);
+        assert_eq!(r.stats.total_mpi_calls, 4);
+        assert_eq!(r.stats.instrumented, 1);
+        assert_eq!(r.stats.skipped, 3);
+        let send = r
+            .checklist
+            .sites
+            .iter()
+            .find(|s| s.name == "mpi_send")
+            .unwrap();
+        assert!(send.instrument);
+        assert!(send.in_hybrid_region);
+        let bar = r
+            .checklist
+            .sites
+            .iter()
+            .find(|s| s.name == "mpi_barrier")
+            .unwrap();
+        assert!(!bar.instrument);
+    }
+
+    #[test]
+    fn nested_constructs_inside_parallel_still_count() {
+        let p = parse(
+            r#"
+            program nest {
+                omp parallel {
+                    if (rank == 0) {
+                        omp critical(c) { mpi_recv(from: any, tag: any); }
+                    }
+                    omp sections {
+                        section { mpi_send(to: 1, tag: 0, count: 1); }
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze(&p);
+        assert_eq!(r.stats.instrumented, 2);
+    }
+
+    #[test]
+    fn region_classification() {
+        let p = parse(
+            r#"
+            program regions {
+                omp parallel { compute(100); }
+                omp parallel { mpi_barrier(); }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze(&p);
+        assert_eq!(r.stats.regions, 2);
+        assert_eq!(r.stats.error_free_regions, 1);
+        assert_eq!(r.regions[0].class, RegionClass::ErrorFree);
+        assert_eq!(r.regions[1].class, RegionClass::PotentiallyErroneous);
+        assert_eq!(r.regions[1].mpi_calls, 1);
+    }
+
+    #[test]
+    fn thread_distinct_tags_are_flagged() {
+        let p = parse(
+            r#"
+            program tags {
+                omp parallel {
+                    mpi_send(to: 1, tag: tid, count: 1);
+                    mpi_send(to: 1, tag: 7, count: 1);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze(&p);
+        let tags: Vec<Option<bool>> = r
+            .checklist
+            .sites
+            .iter()
+            .map(|s| s.tag_thread_distinct)
+            .collect();
+        assert_eq!(tags, vec![Some(true), Some(false)]);
+    }
+
+    #[test]
+    fn monitored_vars_follow_call_mix() {
+        let p = parse(
+            r#"
+            program mix {
+                omp parallel {
+                    mpi_recv(from: any, tag: any);
+                    mpi_wait(req: r);
+                    mpi_barrier();
+                    mpi_finalize();
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze(&p);
+        assert_eq!(
+            r.checklist.monitored_vars,
+            vec!["srctmp", "tagtmp", "commtmp", "requesttmp", "collectivetmp", "finalizetmp"]
+        );
+    }
+
+    #[test]
+    fn p2p_only_program_needs_only_envelope_vars() {
+        let p = parse(
+            "program p { omp parallel { mpi_send(to: 1, tag: 0, count: 1); } }",
+        )
+        .unwrap();
+        let r = analyze(&p);
+        assert_eq!(r.checklist.monitored_vars, vec!["srctmp", "tagtmp", "commtmp"]);
+    }
+
+    #[test]
+    fn init_levels_are_recorded() {
+        let p = parse(
+            "program i { mpi_init(); omp parallel { mpi_send(to: 1, tag: 0, count: 1); } }",
+        )
+        .unwrap();
+        let r = analyze(&p);
+        let init = r.checklist.sites.iter().find(|s| s.name == "mpi_init").unwrap();
+        assert_eq!(init.init_level, Some(home_ir::IrThreadLevel::Single));
+    }
+
+    #[test]
+    fn empty_program_is_clean() {
+        let p = parse("program e { }").unwrap();
+        let r = analyze(&p);
+        assert_eq!(r.stats.total_mpi_calls, 0);
+        assert!(r.checklist.monitored_vars.is_empty());
+        assert_eq!(r.stats.regions, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Thread-safe string interners for lock and variable names.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe string ↔ dense-id interner.
+///
+/// The trace layer stores interned `u32` ids in events; reports resolve them
+/// back to names through the interner held by the [`crate::Collector`].
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    inner: Arc<RwLock<InternerInner>>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its stable dense id.
+    pub fn intern(&self, name: &str) -> u32 {
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return id;
+        }
+        let mut w = self.inner.write();
+        if let Some(&id) = w.by_name.get(name) {
+            return id;
+        }
+        let id = w.names.len() as u32;
+        w.names.push(name.to_string());
+        w.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve an id back to its name (panics on unknown id).
+    pub fn resolve(&self, id: u32) -> String {
+        self.inner.read().names[id as usize].clone()
+    }
+
+    /// Resolve without panicking.
+    pub fn try_resolve(&self, id: u32) -> Option<String> {
+        self.inner.read().names.get(id as usize).cloned()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn try_resolve_unknown() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(5), None);
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let i = Interner::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let i = i.clone();
+                std::thread::spawn(move || (0..100).map(|k| i.intern(&format!("v{k}"))).collect::<Vec<_>>())
+            })
+            .collect();
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "all threads must agree on ids");
+        }
+        assert_eq!(i.len(), 100);
+    }
+}

@@ -1,0 +1,34 @@
+//! # home-trace — runtime event model for the HOME checker
+//!
+//! Defines what the simulated MPI/OpenMP substrates *record* and what the
+//! dynamic analyses *consume*:
+//!
+//! * [`Event`]/[`EventKind`] — memory accesses, lock operations, OpenMP
+//!   region fork/join, barriers, MPI calls, and the HOME wrappers'
+//!   [`MonitoredVar`] writes;
+//! * [`VectorClock`] — the happens-before machinery;
+//! * [`LockSet`] — the Eraser machinery;
+//! * [`Collector`]/[`TraceSink`] — how events get out of the runtime, with
+//!   an [`EventFilter`] implementing each tool's instrumentation scope
+//!   (the paper's selective-monitoring idea);
+//! * [`Trace`] — a finished recording with query helpers and JSON dumps.
+
+mod event;
+mod ids;
+mod intern;
+mod lockset;
+mod sink;
+mod trace;
+mod vc;
+
+pub use event::{
+    AccessKind, Event, EventKind, MemLoc, MonitoredVar, MpiCallKind, MpiCallRecord, ThreadLevel,
+};
+pub use ids::{
+    BarrierId, CommId, LockId, Rank, RegionId, ReqId, SrcLoc, Tid, VarId, COMM_WORLD,
+};
+pub use intern::Interner;
+pub use lockset::LockSet;
+pub use sink::{Collector, CountingSink, EventFilter, MemorySink, NullSink, TraceSink};
+pub use trace::Trace;
+pub use vc::VectorClock;

@@ -1,0 +1,163 @@
+//! Lock sets for the Eraser-style analysis.
+
+use crate::ids::LockId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of locks, kept as a small sorted vector (lock sets are tiny in
+/// practice — a handful of critical sections at most).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LockSet {
+    locks: Vec<LockId>,
+}
+
+impl LockSet {
+    /// The empty lock set.
+    pub fn new() -> Self {
+        LockSet::default()
+    }
+
+
+    /// Insert a lock; returns true if newly added.
+    pub fn insert(&mut self, lock: LockId) -> bool {
+        match self.locks.binary_search(&lock) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.locks.insert(pos, lock);
+                true
+            }
+        }
+    }
+
+    /// Remove a lock; returns true if it was present.
+    pub fn remove(&mut self, lock: LockId) -> bool {
+        match self.locks.binary_search(&lock) {
+            Ok(pos) => {
+                self.locks.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, lock: LockId) -> bool {
+        self.locks.binary_search(&lock).is_ok()
+    }
+
+    /// Set intersection (the candidate-lockset refinement step of Eraser).
+    pub fn intersect(&self, other: &LockSet) -> LockSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.locks.len() && j < other.locks.len() {
+            match self.locks[i].cmp(&other.locks[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.locks[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        LockSet { locks: out }
+    }
+
+    /// True if the intersection with `other` is empty — the Eraser race
+    /// condition on two conflicting accesses.
+    pub fn disjoint(&self, other: &LockSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.locks.len() && j < other.locks.len() {
+            match self.locks[i].cmp(&other.locks[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Number of locks held.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True if no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+
+    /// Iterate the locks in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.locks.iter().copied()
+    }
+}
+
+impl FromIterator<LockId> for LockSet {
+    fn from_iter<I: IntoIterator<Item = LockId>>(iter: I) -> Self {
+        let mut ls = LockSet::new();
+        for l in iter {
+            ls.insert(l);
+        }
+        ls
+    }
+}
+
+impl fmt::Display for LockSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.locks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LockId {
+        LockId(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut ls = LockSet::new();
+        assert!(ls.insert(l(2)));
+        assert!(ls.insert(l(1)));
+        assert!(!ls.insert(l(2)), "duplicate insert is a no-op");
+        assert!(ls.contains(l(1)));
+        assert_eq!(ls.len(), 2);
+        assert!(ls.remove(l(1)));
+        assert!(!ls.remove(l(1)));
+        assert!(!ls.contains(l(1)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = LockSet::from_iter([l(1), l(2), l(3)]);
+        let b = LockSet::from_iter([l(2), l(3), l(4)]);
+        let i = a.intersect(&b);
+        assert_eq!(i, LockSet::from_iter([l(2), l(3)]));
+        assert!(!a.disjoint(&b));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = LockSet::from_iter([l(1), l(3)]);
+        let b = LockSet::from_iter([l(2), l(4)]);
+        assert!(a.disjoint(&b));
+        assert!(a.intersect(&b).is_empty());
+        assert!(LockSet::new().disjoint(&a), "empty set is disjoint from all");
+    }
+
+    #[test]
+    fn display() {
+        let a = LockSet::from_iter([l(2), l(0)]);
+        assert_eq!(a.to_string(), "{lock0, lock2}");
+    }
+}

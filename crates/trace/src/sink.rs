@@ -1,0 +1,383 @@
+//! Trace sinks and the collector handle used by the simulators.
+
+use crate::event::{Event, EventKind};
+use crate::ids::{LockId, Rank, RegionId, SrcLoc, Tid, VarId};
+use crate::intern::Interner;
+use crate::trace::Trace;
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where recorded events go.
+pub trait TraceSink: Send + Sync {
+    /// Record one event. Must be cheap and safe to call from any thread.
+    fn record(&self, event: Event);
+}
+
+/// Discards everything (baseline runs without any tool attached).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: Event) {}
+}
+
+/// Keeps every event in a lock-free queue; drained into a [`Trace`] at the
+/// end of the run.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    queue: SegQueue<Event>,
+}
+
+impl MemorySink {
+    /// Create an empty in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Drain all recorded events into a [`Trace`] (sorted by sequence).
+    pub fn drain(&self) -> Trace {
+        let mut events = Vec::with_capacity(self.queue.len());
+        while let Some(e) = self.queue.pop() {
+            events.push(e);
+        }
+        events.sort_by_key(|e| e.seq);
+        Trace::from_events(events)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: Event) {
+        self.queue.push(event);
+    }
+}
+
+/// Counts events per class without storing them — used by the overhead
+/// benchmarks, where event *volume* matters but content does not.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Plain shared-variable accesses.
+    pub accesses: AtomicU64,
+    /// Monitored-variable writes from MPI wrappers.
+    pub monitored: AtomicU64,
+    /// Lock/fork/join/barrier events.
+    pub sync: AtomicU64,
+    /// MPI call entries.
+    pub mpi: AtomicU64,
+}
+
+impl CountingSink {
+    /// Create a zeroed counting sink.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+            + self.monitored.load(Ordering::Relaxed)
+            + self.sync.load(Ordering::Relaxed)
+            + self.mpi.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&self, event: Event) {
+        let ctr = match &event.kind {
+            EventKind::Access { .. } => &self.accesses,
+            EventKind::MonitoredWrite { .. } => &self.monitored,
+            EventKind::Acquire { .. }
+            | EventKind::Release { .. }
+            | EventKind::Fork { .. }
+            | EventKind::JoinRegion { .. }
+            | EventKind::Barrier { .. } => &self.sync,
+            EventKind::MpiCall { .. } | EventKind::MpiInit { .. } => &self.mpi,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Which event classes a tool wants recorded.
+///
+/// This is the knob that distinguishes the tools in the paper:
+/// * **base** records nothing,
+/// * **HOME** records monitored writes + sync + MPI calls, but only from
+///   call sites the static analysis selected (site filtering happens in the
+///   interpreter; class filtering here),
+/// * **ITC** records *every* shared access as well,
+/// * **Marmot** records MPI calls and monitored writes only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventFilter {
+    /// Record plain shared-variable accesses.
+    pub accesses: bool,
+    /// Record monitored-variable writes.
+    pub monitored: bool,
+    /// Record synchronization events (locks, fork/join, barriers).
+    pub sync: bool,
+    /// Record MPI call entries.
+    pub mpi_calls: bool,
+}
+
+impl EventFilter {
+    /// Record everything.
+    pub const ALL: EventFilter = EventFilter {
+        accesses: true,
+        monitored: true,
+        sync: true,
+        mpi_calls: true,
+    };
+
+    /// Record nothing.
+    pub const NONE: EventFilter = EventFilter {
+        accesses: false,
+        monitored: false,
+        sync: false,
+        mpi_calls: false,
+    };
+
+    /// HOME's selection: monitored variables, synchronization, MPI calls —
+    /// but not plain data accesses.
+    pub const MONITORED_AND_SYNC: EventFilter = EventFilter {
+        accesses: false,
+        monitored: true,
+        sync: true,
+        mpi_calls: true,
+    };
+
+    /// Does this filter admit `kind`?
+    pub fn admits(&self, kind: &EventKind) -> bool {
+        match kind {
+            EventKind::Access { .. } => self.accesses,
+            EventKind::MonitoredWrite { .. } => self.monitored,
+            EventKind::Acquire { .. }
+            | EventKind::Release { .. }
+            | EventKind::Fork { .. }
+            | EventKind::JoinRegion { .. }
+            | EventKind::Barrier { .. } => self.sync,
+            EventKind::MpiCall { .. } | EventKind::MpiInit { .. } => self.mpi_calls,
+        }
+    }
+}
+
+/// The handle the simulators use to emit events.
+///
+/// Cheap to clone; all clones share the sequence counter, interners, filter,
+/// and sink. Also counts recorded events so the overhead model can charge
+/// per-event instrumentation cost.
+#[derive(Clone)]
+pub struct Collector {
+    sink: Arc<dyn TraceSink>,
+    seq: Arc<AtomicU64>,
+    recorded: Arc<AtomicU64>,
+    filter: EventFilter,
+    locks: Interner,
+    vars: Interner,
+}
+
+impl Collector {
+    /// Create a collector feeding `sink`, admitting events per `filter`.
+    pub fn new(sink: Arc<dyn TraceSink>, filter: EventFilter) -> Self {
+        Collector {
+            sink,
+            seq: Arc::new(AtomicU64::new(0)),
+            recorded: Arc::new(AtomicU64::new(0)),
+            filter,
+            locks: Interner::new(),
+            vars: Interner::new(),
+        }
+    }
+
+    /// A collector that records everything into a fresh [`MemorySink`];
+    /// returns both.
+    pub fn in_memory() -> (Collector, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (
+            Collector::new(sink.clone() as Arc<dyn TraceSink>, EventFilter::ALL),
+            sink,
+        )
+    }
+
+    /// A collector that drops everything.
+    pub fn null() -> Collector {
+        Collector::new(Arc::new(NullSink), EventFilter::NONE)
+    }
+
+    /// The active event-class filter.
+    pub fn filter(&self) -> EventFilter {
+        self.filter
+    }
+
+    /// Replace the filter (returns a new handle sharing all state).
+    pub fn with_filter(&self, filter: EventFilter) -> Collector {
+        Collector {
+            filter,
+            ..self.clone()
+        }
+    }
+
+    /// Emit one event (if the filter admits it). Returns true if recorded.
+    pub fn emit(
+        &self,
+        rank: Rank,
+        tid: Tid,
+        region: Option<RegionId>,
+        time_ns: u64,
+        loc: Option<SrcLoc>,
+        kind: EventKind,
+    ) -> bool {
+        if !self.filter.admits(&kind) {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.sink.record(Event {
+            seq,
+            rank,
+            tid,
+            region,
+            time_ns,
+            loc,
+            kind,
+        });
+        true
+    }
+
+    /// Number of events actually recorded (post-filter).
+    pub fn events_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Intern a lock name.
+    pub fn intern_lock(&self, name: &str) -> LockId {
+        LockId(self.locks.intern(name))
+    }
+
+    /// Intern a shared-variable name.
+    pub fn intern_var(&self, name: &str) -> VarId {
+        VarId(self.vars.intern(name))
+    }
+
+    /// Resolve a lock id back to its name.
+    pub fn resolve_lock(&self, id: LockId) -> Option<String> {
+        self.locks.try_resolve(id.0)
+    }
+
+    /// Resolve a variable id back to its name.
+    pub fn resolve_var(&self, id: VarId) -> Option<String> {
+        self.vars.try_resolve(id.0)
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("filter", &self.filter)
+            .field("recorded", &self.events_recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, MemLoc};
+
+    fn access_event_kind(c: &Collector) -> EventKind {
+        EventKind::Access {
+            loc: MemLoc::Var(c.intern_var("x")),
+            kind: AccessKind::Write,
+        }
+    }
+
+    #[test]
+    fn memory_sink_roundtrip() {
+        let (c, sink) = Collector::in_memory();
+        let k = access_event_kind(&c);
+        assert!(c.emit(Rank(0), Tid(0), None, 10, None, k.clone()));
+        assert!(c.emit(Rank(0), Tid(1), None, 20, None, k));
+        let trace = sink.drain();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.events()[0].seq, 0);
+        assert_eq!(trace.events()[1].tid, Tid(1));
+        assert_eq!(c.events_recorded(), 2);
+    }
+
+    #[test]
+    fn filter_suppresses_classes() {
+        let sink = Arc::new(MemorySink::new());
+        let c = Collector::new(sink.clone(), EventFilter::MONITORED_AND_SYNC);
+        let k = access_event_kind(&c);
+        assert!(!c.emit(Rank(0), Tid(0), None, 0, None, k), "accesses filtered");
+        assert!(c.emit(
+            Rank(0),
+            Tid(0),
+            None,
+            0,
+            None,
+            EventKind::Acquire {
+                lock: c.intern_lock("cs")
+            }
+        ));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(c.events_recorded(), 1);
+    }
+
+    #[test]
+    fn counting_sink_classifies() {
+        let sink = Arc::new(CountingSink::new());
+        let c = Collector::new(sink.clone(), EventFilter::ALL);
+        c.emit(Rank(0), Tid(0), None, 0, None, access_event_kind(&c));
+        c.emit(
+            Rank(0),
+            Tid(0),
+            None,
+            0,
+            None,
+            EventKind::Release {
+                lock: c.intern_lock("l"),
+            },
+        );
+        use crate::event::{MpiCallKind, MpiCallRecord};
+        c.emit(
+            Rank(0),
+            Tid(0),
+            None,
+            0,
+            None,
+            EventKind::MpiCall {
+                call: MpiCallRecord::of_kind(MpiCallKind::Barrier),
+            },
+        );
+        assert_eq!(sink.accesses.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.sync.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.mpi.load(Ordering::Relaxed), 1);
+        assert_eq!(sink.total(), 3);
+    }
+
+    #[test]
+    fn interner_roundtrip_through_collector() {
+        let c = Collector::null();
+        let l = c.intern_lock("omp_critical_update");
+        assert_eq!(c.resolve_lock(l).as_deref(), Some("omp_critical_update"));
+        assert_eq!(c.resolve_lock(LockId(99)), None);
+        let v = c.intern_var("rsd");
+        assert_eq!(c.resolve_var(v).as_deref(), Some("rsd"));
+    }
+
+    #[test]
+    fn null_collector_records_nothing() {
+        let c = Collector::null();
+        assert!(!c.emit(Rank(0), Tid(0), None, 0, None, access_event_kind(&c)));
+        assert_eq!(c.events_recorded(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Vector clocks for happens-before analysis.
+//!
+//! Slots are dense thread-segment indices assigned by the analysis (one per
+//! `(region, tid)` segment plus one per rank's sequential master segment).
+//! The representation auto-grows; missing entries are zero.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock: a map from thread-segment slot to logical time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// A clock with one nonzero component (`slot` ↦ `value`).
+    pub fn singleton(slot: usize, value: u64) -> Self {
+        let mut vc = VectorClock::new();
+        vc.set(slot, value);
+        vc
+    }
+
+    /// Component for `slot` (zero if absent).
+    #[inline]
+    pub fn get(&self, slot: usize) -> u64 {
+        self.entries.get(slot).copied().unwrap_or(0)
+    }
+
+    /// Set the component for `slot`.
+    pub fn set(&mut self, slot: usize, value: u64) {
+        if self.entries.len() <= slot {
+            self.entries.resize(slot + 1, 0);
+        }
+        self.entries[slot] = value;
+    }
+
+    /// Increment the component for `slot` by one, returning the new value.
+    pub fn tick(&mut self, slot: usize) -> u64 {
+        let v = self.get(slot) + 1;
+        self.set(slot, v);
+        v
+    }
+
+    /// Pointwise maximum with `other` (the classic VC join).
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (i, &v) in other.entries.iter().enumerate() {
+            if v > self.entries[i] {
+                self.entries[i] = v;
+            }
+        }
+    }
+
+    /// `self ≤ other` in the pointwise partial order: every component of
+    /// `self` is ≤ the corresponding component of `other`.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// Happens-before: `self ≤ other` and `self ≠ other`.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Neither clock happens-before the other — the events are concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Partial-order comparison (`None` for concurrent clocks).
+    pub fn partial_cmp_vc(&self, other: &VectorClock) -> Option<Ordering> {
+        match (self.leq(other), other.leq(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// Number of allocated components (trailing zeros excluded is not
+    /// guaranteed; this is the raw storage width).
+    pub fn width(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate over `(slot, value)` pairs with nonzero value.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, &v)| (i, v))
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (slot, v)) in self.iter_nonzero().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{slot}:{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_leq_everything() {
+        let z = VectorClock::new();
+        let mut a = VectorClock::new();
+        a.tick(3);
+        assert!(z.leq(&a));
+        assert!(z.happens_before(&a));
+        assert!(!a.leq(&z));
+    }
+
+    #[test]
+    fn concurrent_clocks() {
+        let a = VectorClock::singleton(0, 1);
+        let b = VectorClock::singleton(1, 1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+        assert_eq!(a.partial_cmp_vc(&b), None);
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let a = VectorClock::singleton(0, 3);
+        let b = VectorClock::singleton(1, 5);
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 3);
+        assert_eq!(j.get(1), 5);
+    }
+
+    #[test]
+    fn tick_monotone() {
+        let mut a = VectorClock::new();
+        let before = a.clone();
+        a.tick(2);
+        assert!(before.happens_before(&a));
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.tick(2), 2);
+    }
+
+    #[test]
+    fn partial_cmp_cases() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = a.clone();
+        b.set(1, 4);
+        assert_eq!(a.partial_cmp_vc(&b), Some(Ordering::Less));
+        assert_eq!(b.partial_cmp_vc(&a), Some(Ordering::Greater));
+        assert_eq!(a.partial_cmp_vc(&a.clone()), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn growth_treats_missing_as_zero() {
+        let short = VectorClock::singleton(0, 1);
+        let mut long = VectorClock::singleton(5, 1);
+        long.set(0, 1);
+        assert!(short.leq(&long));
+    }
+
+    #[test]
+    fn display_nonzero_only() {
+        let mut a = VectorClock::new();
+        a.set(1, 2);
+        a.set(4, 7);
+        assert_eq!(a.to_string(), "⟨1:2, 4:7⟩");
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's Figure 1 case study: `MPI_Init` (no thread support) followed
+//! by MPI calls inside `omp sections` — an initialization violation that
+//! "is difficult to check because there is no compilation error or warning
+//! before running".
+//!
+//! ```text
+//! cargo run --example case_study_1
+//! ```
+
+use home::prelude::*;
+
+const FIGURE_1: &str = r#"
+program case_study_1 {
+    mpi_init();
+    omp parallel num_threads(2) {
+        omp sections {
+            section {
+                if (rank == 0) { mpi_send(to: 1, tag: 0, count: 1); }
+            }
+            section {
+                if (rank == 1) { mpi_recv(from: 0, tag: 0); }
+            }
+        }
+    }
+    mpi_finalize();
+}
+"#;
+
+fn main() {
+    let program = parse(FIGURE_1).expect("valid DSL");
+    let report = check(&program, &CheckOptions::default());
+    print!("{}", report.render());
+
+    assert!(
+        report.has(ViolationKind::Initialization),
+        "HOME must flag the MPI_THREAD_SINGLE / omp-parallel conflict"
+    );
+    println!(
+        "\nFigure 1 verdict: initialization violation detected \
+         (plain MPI_Init provides MPI_THREAD_SINGLE; worker threads still call MPI)."
+    );
+
+    // The fix the paper implies: request real thread support. (FUNNELED
+    // would only be safe if the sections happened to run on the master —
+    // a schedule-dependent property, which is exactly why the level matters.)
+    let fully_fixed = FIGURE_1.replace("mpi_init();", "mpi_init_thread(multiple);");
+    let report_fixed = check(&parse(&fully_fixed).unwrap(), &CheckOptions::default());
+    assert!(
+        !report_fixed.has(ViolationKind::Initialization),
+        "MPI_THREAD_MULTIPLE resolves it: {}",
+        report_fixed.render()
+    );
+    println!("After requesting MPI_THREAD_MULTIPLE: no initialization violation.");
+}

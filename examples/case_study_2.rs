@@ -1,0 +1,76 @@
+//! The paper's Figure 2 case study: two processes × two threads exchanging
+//! messages with one shared tag under `MPI_THREAD_MULTIPLE`. Arrival
+//! messages are not differentiated per thread, violating the thread-safety
+//! specification; the paper's fix is "to use thread ID as tag".
+//!
+//! ```text
+//! cargo run --example case_study_2
+//! ```
+
+use home::prelude::*;
+
+const FIGURE_2: &str = r#"
+program case_study_2 {
+    mpi_init_thread(multiple);
+    shared int tag = 0;
+    omp parallel num_threads(2) {
+        if (rank == 0) {
+            mpi_send(to: 1, tag: tag, count: 1);
+            mpi_recv(from: 1, tag: tag);
+        }
+        if (rank == 1) {
+            mpi_recv(from: 0, tag: tag);
+            mpi_send(to: 0, tag: tag, count: 1);
+        }
+    }
+    mpi_finalize();
+}
+"#;
+
+const FIGURE_2_FIXED: &str = r#"
+program case_study_2_fixed {
+    mpi_init_thread(multiple);
+    omp parallel num_threads(2) {
+        if (rank == 0) {
+            mpi_send(to: 1, tag: tid, count: 1);
+            mpi_recv(from: 1, tag: tid);
+        }
+        if (rank == 1) {
+            mpi_recv(from: 0, tag: tid);
+            mpi_send(to: 0, tag: tid, count: 1);
+        }
+    }
+    mpi_finalize();
+}
+"#;
+
+fn main() {
+    let program = parse(FIGURE_2).expect("valid DSL");
+    let report = check(&program, &CheckOptions::default());
+    print!("{}", report.render());
+    assert!(
+        report.has(ViolationKind::ConcurrentRecv),
+        "HOME must flag the shared-tag concurrent receives"
+    );
+    println!("\nFigure 2 verdict: concurrent-receive violation detected (shared tag 0).");
+
+    // The static phase already hints at the precision story: the shared-tag
+    // receives are not thread-distinct; the fixed version's are.
+    let sr = analyze(&program);
+    let broken_tags = sr
+        .checklist
+        .sites
+        .iter()
+        .filter(|s| s.instrument && s.tag_thread_distinct == Some(false))
+        .count();
+    println!("static hint: {broken_tags} instrumented call(s) with non-thread-distinct tags");
+
+    let fixed = parse(FIGURE_2_FIXED).expect("valid DSL");
+    let report_fixed = check(&fixed, &CheckOptions::default());
+    assert!(
+        report_fixed.violations.is_empty(),
+        "thread-id tags fix it: {}",
+        report_fixed.render()
+    );
+    println!("With `tag: tid` (the paper's fix): no violations, no deadlocks.");
+}

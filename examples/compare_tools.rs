@@ -1,0 +1,107 @@
+//! Side-by-side run of HOME, Marmot, and ITC on one program exhibiting all
+//! three of the paper's differentiators: a real violation, a latent race
+//! only predictive analysis finds, and a benign critical-section pattern
+//! only a critical-blind tool flags.
+//!
+//! ```text
+//! cargo run --example compare_tools
+//! ```
+
+use home::prelude::*;
+
+const PROGRAM: &str = r#"
+program compare {
+    mpi_init_thread(multiple);
+
+    // (a) Manifest violation: both threads of rank 1 receive with tag 5.
+    if (rank == 0) {
+        mpi_send(to: 1, tag: 5, count: 1);
+        mpi_send(to: 1, tag: 5, count: 1);
+    }
+    if (rank == 1) {
+        omp parallel num_threads(2) {
+            mpi_recv(from: 0, tag: 5);
+        }
+    }
+
+    // (b) Latent race: thread 1's receive comes long after thread 0's in
+    // every realistic schedule, but nothing synchronizes them.
+    if (rank == 0) {
+        mpi_send(to: 1, tag: 6, count: 1);
+        mpi_send(to: 1, tag: 6, count: 1);
+    }
+    if (rank == 1) {
+        omp parallel num_threads(2) {
+            if (tid == 0) {
+                mpi_recv(from: 0, tag: 6);
+                mpi_send(to: 0, tag: 60, count: 1);
+            }
+            if (tid == 1) {
+                compute(500000000);
+                mpi_recv(from: 0, tag: 6);
+            }
+        }
+    }
+    if (rank == 0) { mpi_recv(from: 1, tag: 60); }
+
+    // (c) Benign: receives serialized under omp critical — safe.
+    if (rank == 0) {
+        mpi_send(to: 1, tag: 7, count: 1);
+        mpi_send(to: 1, tag: 7, count: 1);
+    }
+    if (rank == 1) {
+        omp parallel num_threads(2) {
+            omp critical(safe_recv) {
+                mpi_recv(from: 0, tag: 7);
+            }
+        }
+    }
+
+    mpi_finalize();
+}
+"#;
+
+fn main() {
+    let program = parse(PROGRAM).expect("valid DSL");
+    let options = CheckOptions {
+        sched_policy: SchedPolicy::EarliestClockFirst,
+        ..CheckOptions::default()
+    };
+
+    println!("{:<8} {:>17} {:>14} {:>16}", "tool", "recv violations", "latent found", "benign flagged");
+    for tool in [Tool::Home, Tool::Marmot, Tool::Itc] {
+        let report = run_tool(tool, &program, &options);
+        let recvs = report.of_kind(ViolationKind::ConcurrentRecv);
+        let has_line = |line: u32| {
+            recvs
+                .iter()
+                .any(|v| v.locations.iter().any(|l| l.line == line))
+        };
+        // Lines of the three receive groups in the source above.
+        let manifest = has_line(12);
+        let latent = has_line(25) || has_line(30);
+        let benign = has_line(44) || has_line(45);
+        println!(
+            "{:<8} {:>17} {:>14} {:>16}",
+            tool.label(),
+            manifest,
+            latent,
+            benign
+        );
+
+        match tool {
+            Tool::Home => {
+                assert!(manifest && latent && !benign, "HOME: predictive, lock-aware");
+            }
+            Tool::Marmot => {
+                assert!(manifest && !latent && !benign, "Marmot: manifest-only");
+            }
+            Tool::Itc => {
+                assert!(manifest && latent && benign, "ITC: predictive but critical-blind");
+            }
+            Tool::Base => unreachable!(),
+        }
+    }
+    println!("\nExactly the paper's comparison: HOME = predictive + lock-aware;");
+    println!("Marmot misses latent races; ITC adds a false positive on critical sections.");
+}

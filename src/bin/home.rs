@@ -1,0 +1,211 @@
+//! `home` — the command-line front end of the checker.
+//!
+//! ```text
+//! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
+//! home static  <file.hmp>
+//! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
+//!                          [--trace-out trace.json]
+//! home analyze <trace.json>
+//! home fmt     <file.hmp>
+//! ```
+//!
+//! * `check`   — the full HOME pipeline; exits nonzero if violations found.
+//! * `static`  — compile-time phase only: per-site instrumentation decisions.
+//! * `run`     — execute once on the simulators and report timing/events;
+//!   `--trace-out` dumps the recorded event trace as JSON.
+//! * `analyze` — offline mode: run the dynamic phase + rule matching over a
+//!   previously dumped trace (the paper's offline analysis).
+//! * `fmt`     — parse and reprint in canonical form.
+
+use home::baselines::Tool;
+use home::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) if !f.starts_with("--") => (c.as_str(), f.as_str()),
+        _ => {
+            eprintln!("usage: home <check|static|run|fmt> <file.hmp> [options]");
+            eprintln!("run `home help` for details");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("home: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cmd == "analyze" {
+        return cmd_analyze(&source);
+    }
+    let program = match parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("home: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd {
+        "check" => cmd_check(&program, &args),
+        "static" => cmd_static(&program),
+        "run" => cmd_run(&program, &args),
+        "fmt" => {
+            print!("{}", print_program(&program));
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("home: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
+    flag_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
+    let mut options = CheckOptions::new(
+        usize_flag(args, "--procs", 2),
+        usize_flag(args, "--threads", 2),
+    );
+    if let Some(seeds) = flag_value(args, "--seeds") {
+        options.seeds = seeds
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        if options.seeds.is_empty() {
+            eprintln!("home: --seeds needs a comma-separated list of integers");
+            return ExitCode::from(2);
+        }
+    }
+    if args.iter().any(|a| a == "--faithful") {
+        options.sched_policy = SchedPolicy::EarliestClockFirst;
+    }
+    let report = check(program, &options);
+    print!("{}", report.render());
+    if report.violations.is_empty() && report.deadlocks.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_static(program: &Program) -> ExitCode {
+    let report = analyze(program);
+    println!(
+        "{} MPI call sites, {} instrumented, {} skipped, {} unreachable",
+        report.stats.total_mpi_calls,
+        report.stats.instrumented,
+        report.stats.skipped,
+        report.stats.unreachable
+    );
+    println!(
+        "{} parallel region(s), {} error-free",
+        report.stats.regions, report.stats.error_free_regions
+    );
+    for site in &report.checklist.sites {
+        let marks = [
+            site.instrument.then_some("instrument"),
+            site.in_hybrid_region.then_some("hybrid"),
+            (!site.reachable).then_some("unreachable"),
+            (site.tag_thread_distinct == Some(true)).then_some("tag=f(tid)"),
+            site.is_collective.then_some("collective"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>()
+        .join(", ");
+        println!("  line {:>3}  {:<16} [{marks}]", site.line, site.name);
+    }
+    if !report.checklist.monitored_vars.is_empty() {
+        println!("monitored variables: {}", report.checklist.monitored_vars.join(", "));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(trace_json: &str) -> ExitCode {
+    let trace = match home::trace::Trace::from_json(trace_json) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("home: invalid trace JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let races = home::dynamic::detect(&trace, &home::dynamic::DetectorConfig::hybrid());
+    let violations = home::core::match_violations(&trace, &races, &[]);
+    println!(
+        "offline analysis: {} events, {} monitored race(s), {} violation(s)",
+        trace.len(),
+        races.len(),
+        violations.len()
+    );
+    for v in &violations {
+        println!("  - {v}");
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_run(program: &Program, args: &[String]) -> ExitCode {
+    let nprocs = usize_flag(args, "--procs", 2);
+    let tool = match flag_value(args, "--tool").unwrap_or("base") {
+        "base" => Tool::Base,
+        "home" => Tool::Home,
+        "marmot" => Tool::Marmot,
+        "itc" => Tool::Itc,
+        other => {
+            eprintln!("home: unknown tool `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let checklist = std::sync::Arc::new(analyze(program).checklist.clone());
+    let mut cfg = RunConfig::cluster(nprocs, usize_flag(args, "--seed", 7) as u64)
+        .with_instrumentation(tool.instrumentation_scaled(nprocs))
+        .with_checklist(checklist);
+    cfg.threads_per_proc = usize_flag(args, "--threads", 2);
+    let result = run(program, &cfg);
+    println!(
+        "tool={} procs={nprocs} threads={} simulated time {}  events {}",
+        result.tool, cfg.threads_per_proc, result.makespan, result.events_recorded
+    );
+    for i in &result.mpi_errors {
+        println!("incident: rank {} line {} {}: {}", i.rank, i.line, i.call, i.error);
+    }
+    for (r, e) in &result.runtime_errors {
+        println!("runtime error: rank {r}: {e}");
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        match std::fs::write(path, result.trace.to_json()) {
+            Ok(()) => println!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("home: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match &result.deadlock {
+        Some(d) => {
+            println!("DEADLOCK: {d}");
+            ExitCode::FAILURE
+        }
+        None => ExitCode::SUCCESS,
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration tests of the `home` CLI binary against the bundled sample
+//! programs.
+
+use std::process::Command;
+
+fn home_cli(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_home"))
+        .args(args)
+        .output()
+        .expect("failed to launch home binary");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn check_flags_figure2_and_exits_nonzero() {
+    let (stdout, _, code) = home_cli(&["check", "programs/figure2.hmp"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("isConcurrentRecvViolation"), "{stdout}");
+    assert!(stdout.contains("figure2.hmp"));
+}
+
+#[test]
+fn check_passes_fixed_figure2() {
+    let (stdout, _, code) = home_cli(&["check", "programs/figure2_fixed.hmp"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("no thread-safety violations"), "{stdout}");
+}
+
+#[test]
+fn check_flags_figure1_initialization() {
+    let (stdout, _, code) = home_cli(&["check", "programs/figure1.hmp"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("isInitializationViolation"), "{stdout}");
+}
+
+#[test]
+fn check_accepts_seed_and_thread_flags() {
+    let (stdout, _, code) = home_cli(&[
+        "check",
+        "programs/pipeline.hmp",
+        "--procs",
+        "4",
+        "--threads",
+        "2",
+        "--seeds",
+        "5,6",
+        "--faithful",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("2 schedule(s)"));
+}
+
+#[test]
+fn static_lists_sites_and_monitored_vars() {
+    let (stdout, _, code) = home_cli(&["static", "programs/pipeline.hmp"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("mpi_allreduce"));
+    assert!(stdout.contains("instrument, hybrid"));
+    assert!(stdout.contains("monitored variables: srctmp, tagtmp, commtmp"));
+}
+
+#[test]
+fn run_reports_time_and_events() {
+    let (stdout, _, code) = home_cli(&[
+        "run",
+        "programs/pipeline.hmp",
+        "--tool",
+        "home",
+        "--procs",
+        "4",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("simulated time"));
+    assert!(stdout.contains("events"));
+}
+
+#[test]
+fn fmt_roundtrips() {
+    let (stdout, _, code) = home_cli(&["fmt", "programs/figure1.hmp"]);
+    assert_eq!(code, Some(0));
+    // Canonically formatted output reparses to the same statement count.
+    let original = home::ir::parse(&std::fs::read_to_string("programs/figure1.hmp").unwrap())
+        .unwrap();
+    let reparsed = home::ir::parse(&stdout).unwrap();
+    assert_eq!(original.stmt_count(), reparsed.stmt_count());
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let (_, stderr, code) = home_cli(&["check"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"));
+    let (_, stderr, code) = home_cli(&["check", "no-such-file.hmp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("cannot read"));
+    let (_, stderr, code) = home_cli(&["bogus", "programs/figure1.hmp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_line() {
+    let dir = std::env::temp_dir().join("home_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.hmp");
+    std::fs::write(&bad, "program bad {\n  int x = ;\n}").unwrap();
+    let (_, stderr, code) = home_cli(&["check", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn run_dumps_trace_and_analyze_reads_it_back() {
+    let dir = std::env::temp_dir().join("home_cli_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("fig2.json");
+    let (stdout, _, code) = home_cli(&[
+        "run",
+        "programs/figure2.hmp",
+        "--tool",
+        "home",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("trace written"));
+
+    let (stdout, _, code) = home_cli(&["analyze", trace_path.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "offline analysis finds the violation");
+    assert!(stdout.contains("isConcurrentRecvViolation"), "{stdout}");
+
+    // Clean trace → exit 0.
+    let clean_path = dir.join("fixed.json");
+    home_cli(&[
+        "run",
+        "programs/figure2_fixed.hmp",
+        "--tool",
+        "home",
+        "--trace-out",
+        clean_path.to_str().unwrap(),
+    ]);
+    let (_, _, code) = home_cli(&["analyze", clean_path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+}
+
+#[test]
+fn analyze_rejects_garbage() {
+    let dir = std::env::temp_dir().join("home_cli_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("garbage.json");
+    std::fs::write(&bad, "not json").unwrap();
+    let (_, stderr, code) = home_cli(&["analyze", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("invalid trace"));
+}

@@ -1,0 +1,188 @@
+//! Communicator semantics through the DSL: `mpi_comm_dup`/`mpi_comm_split`
+//! and the `comm:` argument — exercising the *other* differentiation axis
+//! of the thread-safety rules (the paper: "we can prevent such data races
+//! using distinct communicators or tags for each thread").
+
+use home::prelude::*;
+
+#[test]
+fn comm_dup_and_split_work_through_the_dsl() {
+    // Split world by rank parity, exchange within each half, reduce on the
+    // duplicated world communicator.
+    let src = r#"
+        program comms {
+            mpi_init_thread(multiple);
+            mpi_comm_dup(into: world2);
+            mpi_comm_split(color: rank % 2, key: rank, into: half);
+            // Each half has 2 members (world size 4); exchange inside it.
+            mpi_send(to: 1 - (rank / 2), tag: 3, count: 1, comm: half);
+            mpi_recv(from: 1 - (rank / 2), tag: 3, comm: half);
+            mpi_allreduce(sum, count: 1, comm: world2);
+            mpi_barrier(comm: half);
+            mpi_finalize();
+        }
+    "#;
+    let report = check(
+        &parse(src).unwrap(),
+        &CheckOptions::new(4, 2).with_seeds(vec![1, 2]),
+    );
+    assert!(report.violations.is_empty(), "{}", report.render());
+    assert!(report.deadlocks.is_empty());
+    assert!(report.incidents.is_empty(), "{:?}", report.incidents);
+}
+
+#[test]
+fn distinct_communicators_fix_concurrent_recv() {
+    // The same-tag concurrent receives from Figure 2's family — but each
+    // thread uses its own duplicated communicator, which differentiates the
+    // messages. The paper's alternative fix. Must be clean.
+    let src = r#"
+        program comm_fix {
+            mpi_init_thread(multiple);
+            mpi_comm_dup(into: ca);
+            mpi_comm_dup(into: cb);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 5, count: 1, comm: ca);
+                mpi_send(to: 1, tag: 5, count: 1, comm: cb);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) {
+                    if (tid == 0) { mpi_recv(from: 0, tag: 5, comm: ca); }
+                    if (tid == 1) { mpi_recv(from: 0, tag: 5, comm: cb); }
+                }
+            }
+            mpi_finalize();
+        }
+    "#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    assert!(
+        !report.has(ViolationKind::ConcurrentRecv),
+        "distinct communicators differentiate the envelopes: {}",
+        report.render()
+    );
+    assert!(report.deadlocks.is_empty());
+}
+
+#[test]
+fn same_communicator_still_violates() {
+    // Control for the test above: same structure, single communicator.
+    let src = r#"
+        program comm_bad {
+            mpi_init_thread(multiple);
+            mpi_comm_dup(into: ca);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 5, count: 1, comm: ca);
+                mpi_send(to: 1, tag: 5, count: 1, comm: ca);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) {
+                    mpi_recv(from: 0, tag: 5, comm: ca);
+                }
+            }
+            mpi_finalize();
+        }
+    "#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    assert!(report.has(ViolationKind::ConcurrentRecv), "{}", report.render());
+}
+
+#[test]
+fn concurrent_collectives_on_distinct_comms_are_legal() {
+    // The MPI rule forbids concurrent collectives on ONE communicator;
+    // per-thread communicators make it legal.
+    let src = r#"
+        program coll_ok {
+            mpi_init_thread(multiple);
+            mpi_comm_dup(into: ca);
+            mpi_comm_dup(into: cb);
+            omp parallel num_threads(2) {
+                if (tid == 0) { mpi_barrier(comm: ca); }
+                if (tid == 1) { mpi_barrier(comm: cb); }
+            }
+            mpi_finalize();
+        }
+    "#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    assert!(
+        !report.has(ViolationKind::CollectiveCall),
+        "distinct communicators make concurrent collectives legal: {}",
+        report.render()
+    );
+    assert!(report.deadlocks.is_empty(), "{:?}", report.deadlocks);
+}
+
+#[test]
+fn concurrent_collectives_on_one_dup_comm_still_violate() {
+    let src = r#"
+        program coll_bad {
+            mpi_init_thread(multiple);
+            mpi_comm_dup(into: ca);
+            omp parallel num_threads(2) {
+                mpi_barrier(comm: ca);
+            }
+            mpi_finalize();
+        }
+    "#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    assert!(report.has(ViolationKind::CollectiveCall), "{}", report.render());
+}
+
+#[test]
+fn unknown_communicator_is_an_incident_not_a_crash() {
+    let src = r#"
+        program unknown_comm {
+            mpi_init_thread(multiple);
+            mpi_barrier(comm: nosuch);
+            mpi_finalize();
+        }
+    "#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    assert!(report
+        .incidents
+        .iter()
+        .any(|i| i.error.contains("unknown communicator")));
+    assert!(report.deadlocks.is_empty());
+}
+
+#[test]
+fn split_subgroup_collective_does_not_block_world() {
+    // Only the even half barriers on its sub-communicator; the odd half
+    // proceeds — no deadlock, no violation.
+    let src = r#"
+        program split_coll {
+            mpi_init_thread(multiple);
+            mpi_comm_split(color: rank % 2, key: rank, into: half);
+            if (rank % 2 == 0) {
+                mpi_allreduce(max, count: 2, comm: half);
+            }
+            mpi_finalize();
+        }
+    "#;
+    let report = check(
+        &parse(src).unwrap(),
+        &CheckOptions::new(4, 2).with_seeds(vec![3]),
+    );
+    assert!(report.violations.is_empty(), "{}", report.render());
+    assert!(report.deadlocks.is_empty());
+}
+
+#[test]
+fn comm_calls_print_and_reparse() {
+    let src = r#"
+        program roundtrip {
+            mpi_init_thread(multiple);
+            mpi_comm_dup(into: c);
+            mpi_comm_split(color: rank % 2, key: rank, into: h);
+            mpi_send(to: 0, tag: 1, count: 2, comm: c);
+            mpi_recv(from: any, tag: any, comm: h);
+            mpi_probe(from: 0, tag: 1, comm: c);
+            mpi_allreduce(sum, count: 1, comm: h);
+            mpi_finalize();
+        }
+    "#;
+    let p1 = parse(src).unwrap();
+    let printed = print_program(&p1);
+    let p2 = parse(&printed).unwrap();
+    assert_eq!(p1.stmt_count(), p2.stmt_count());
+    assert_eq!(printed, print_program(&p2), "canonical print is a fixpoint");
+}

@@ -1,0 +1,219 @@
+//! Inter-procedural analysis (the paper's future-work item): functions in
+//! the DSL, and a context-sensitive Algorithm 1 — an MPI call inside a
+//! function is instrumented exactly when the function can execute in a
+//! parallel context.
+
+use home::prelude::*;
+
+#[test]
+fn function_called_from_region_is_instrumented() {
+    let src = r#"
+        program interproc {
+            fn exchange() {
+                mpi_recv(from: 0, tag: 9);
+            }
+            mpi_init_thread(multiple);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 9, count: 1);
+                mpi_send(to: 1, tag: 9, count: 1);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) {
+                    call exchange();
+                }
+            }
+            mpi_finalize();
+        }
+    "#;
+    let p = parse(src).unwrap();
+    let sr = analyze(&p);
+    let recv = sr
+        .checklist
+        .sites
+        .iter()
+        .find(|s| s.name == "mpi_recv")
+        .expect("recv site found inside the function");
+    assert!(recv.in_hybrid_region, "hybrid context propagates into callee");
+    assert!(recv.instrument);
+
+    // And the violation is detected end to end through the call.
+    let report = check(&p, &CheckOptions::default());
+    assert!(report.has(ViolationKind::ConcurrentRecv), "{}", report.render());
+}
+
+#[test]
+fn function_called_only_sequentially_is_skipped() {
+    let src = r#"
+        program seqfn {
+            fn reduce_all() {
+                mpi_allreduce(sum, count: 1);
+            }
+            mpi_init_thread(multiple);
+            call reduce_all();
+            omp parallel num_threads(2) { compute(10); }
+            mpi_finalize();
+        }
+    "#;
+    let p = parse(src).unwrap();
+    let sr = analyze(&p);
+    let site = sr
+        .checklist
+        .sites
+        .iter()
+        .find(|s| s.name == "mpi_allreduce")
+        .unwrap();
+    assert!(!site.in_hybrid_region);
+    assert!(!site.instrument, "sequential-only callee is never wrapped");
+    let report = check(&p, &CheckOptions::default());
+    assert!(report.violations.is_empty(), "{}", report.render());
+}
+
+#[test]
+fn transitive_hybrid_context_propagates() {
+    // region → f → g: g's MPI call must be instrumented.
+    let src = r#"
+        program transitive {
+            fn g() {
+                mpi_barrier();
+            }
+            fn f() {
+                call g();
+            }
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) {
+                call f();
+            }
+            mpi_finalize();
+        }
+    "#;
+    let p = parse(src).unwrap();
+    let sr = analyze(&p);
+    let barrier = sr
+        .checklist
+        .sites
+        .iter()
+        .find(|s| s.name == "mpi_barrier")
+        .unwrap();
+    assert!(barrier.in_hybrid_region, "two-level call chain");
+    assert!(barrier.instrument);
+    // Both threads execute g's barrier concurrently → collective violation,
+    // reported with the *function's* source line.
+    let report = check(&p, &CheckOptions::default());
+    assert!(report.has(ViolationKind::CollectiveCall), "{}", report.render());
+}
+
+#[test]
+fn uncalled_function_sites_are_unreachable() {
+    let src = r#"
+        program dead {
+            fn never_called() {
+                mpi_barrier();
+            }
+            mpi_init_thread(multiple);
+            mpi_finalize();
+        }
+    "#;
+    let sr = analyze(&parse(src).unwrap());
+    let site = sr
+        .checklist
+        .sites
+        .iter()
+        .find(|s| s.name == "mpi_barrier")
+        .unwrap();
+    assert!(!site.reachable);
+    assert!(!site.instrument);
+}
+
+#[test]
+fn functions_share_caller_environment() {
+    // Inlined semantics: the callee reads and writes the caller's
+    // variables (including loop indices used as tags).
+    let src = r#"
+        program envshare {
+            fn send_tagged() {
+                mpi_send(to: 1, tag: t, count: 1);
+            }
+            mpi_init_thread(multiple);
+            if (rank == 0) {
+                for t in 10..13 {
+                    call send_tagged();
+                }
+            }
+            if (rank == 1) {
+                for t in 10..13 {
+                    mpi_recv(from: 0, tag: t);
+                }
+            }
+            mpi_finalize();
+        }
+    "#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    assert!(report.violations.is_empty(), "{}", report.render());
+    assert!(report.deadlocks.is_empty());
+    assert!(report.incidents.is_empty(), "{:?}", report.incidents);
+}
+
+#[test]
+fn unknown_function_is_a_runtime_error_and_recursion_is_bounded() {
+    let report = check(
+        &parse("program u { call nosuch(); }").unwrap(),
+        &CheckOptions::default().with_seeds(vec![1]),
+    );
+    // Rank-level runtime errors do not crash the checker; nothing detected.
+    assert!(report.violations.is_empty());
+
+    let rec = r#"
+        program r {
+            fn loopy() { call loopy(); }
+            mpi_init_thread(multiple);
+            call loopy();
+            mpi_finalize();
+        }
+    "#;
+    // Must terminate (depth guard), not overflow the stack.
+    let report = check(&parse(rec).unwrap(), &CheckOptions::default().with_seeds(vec![1]));
+    assert!(report.violations.is_empty());
+}
+
+#[test]
+fn functions_print_and_reparse() {
+    let src = r#"
+        program fmtfn {
+            fn helper() {
+                compute(10, reads: u, writes: v);
+                mpi_barrier();
+            }
+            mpi_init_thread(multiple);
+            call helper();
+            mpi_finalize();
+        }
+    "#;
+    let p1 = parse(src).unwrap();
+    assert_eq!(p1.functions.len(), 1);
+    let printed = print_program(&p1);
+    assert!(printed.contains("fn helper() {"), "{printed}");
+    assert!(printed.contains("call helper();"));
+    let p2 = parse(&printed).unwrap();
+    assert_eq!(p1.stmt_count(), p2.stmt_count());
+    assert_eq!(printed, print_program(&p2));
+}
+
+#[test]
+fn region_classification_sees_through_calls() {
+    let src = r#"
+        program regionclass {
+            fn quiet() { compute(5); }
+            fn chatty() { mpi_barrier(); }
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) { call quiet(); }
+            omp parallel num_threads(2) { omp master { call chatty(); } }
+            mpi_finalize();
+        }
+    "#;
+    let sr = analyze(&parse(src).unwrap());
+    assert_eq!(sr.stats.regions, 2);
+    assert_eq!(
+        sr.stats.error_free_regions, 1,
+        "only the compute-only region is error-free"
+    );
+}

@@ -1,0 +1,208 @@
+//! Metamorphic properties of the race detector: adding synchronization can
+//! only remove races, never create them, and the hybrid detector is the
+//! conjunction of its two parts.
+
+use home::trace::{
+    AccessKind, BarrierId, Event, EventKind, LockId, MemLoc, Rank, RegionId, Tid, Trace, VarId,
+};
+use home::dynamic::{detect, DetectorConfig};
+use proptest::prelude::*;
+
+/// A tiny op language for two threads inside one region.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(u32),
+    Read(u32),
+    Locked(u32, u32), // (lock, var): acquire; write var; release
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, Op)>> {
+    // (thread, op) pairs; the pair order is the global interleaving.
+    proptest::collection::vec(
+        (
+            0u8..2,
+            prop_oneof![
+                (0u32..4).prop_map(Op::Write),
+                (0u32..4).prop_map(Op::Read),
+                ((0u32..2), (0u32..4)).prop_map(|(l, v)| Op::Locked(l, v)),
+            ],
+        ),
+        1..12,
+    )
+}
+
+/// Build a trace from the op sequence; `barrier_at` optionally inserts a
+/// team barrier after the i-th op.
+fn build_trace(ops: &[(u8, Op)], barrier_at: Option<usize>) -> Trace {
+    fn push(events: &mut Vec<Event>, tid: u32, kind: EventKind, seq: &mut u64) {
+        events.push(Event {
+            seq: *seq,
+            rank: Rank(0),
+            tid: Tid(tid),
+            region: Some(RegionId(0)),
+            time_ns: *seq,
+            loc: Some(home::trace::SrcLoc::new("m.hmp", *seq as u32 + 1)),
+            kind,
+        });
+        *seq += 1;
+    }
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    // Fork from the spine.
+    events.push(Event {
+        seq,
+        rank: Rank(0),
+        tid: Tid(0),
+        region: None,
+        time_ns: 0,
+        loc: None,
+        kind: EventKind::Fork {
+            region: RegionId(0),
+            nthreads: 2,
+        },
+    });
+    seq += 1;
+    let mut epoch = 0u64;
+    for (i, &(t, op)) in ops.iter().enumerate() {
+        let tid = t as u32;
+        match op {
+            Op::Write(v) => push(
+                &mut events,
+                tid,
+                EventKind::Access {
+                    loc: MemLoc::Var(VarId(v)),
+                    kind: AccessKind::Write,
+                },
+                &mut seq,
+            ),
+            Op::Read(v) => push(
+                &mut events,
+                tid,
+                EventKind::Access {
+                    loc: MemLoc::Var(VarId(v)),
+                    kind: AccessKind::Read,
+                },
+                &mut seq,
+            ),
+            Op::Locked(l, v) => {
+                push(&mut events, tid, EventKind::Acquire { lock: LockId(l) }, &mut seq);
+                push(
+                    &mut events,
+                    tid,
+                    EventKind::Access {
+                        loc: MemLoc::Var(VarId(v)),
+                        kind: AccessKind::Write,
+                    },
+                    &mut seq,
+                );
+                push(&mut events, tid, EventKind::Release { lock: LockId(l) }, &mut seq);
+            }
+        }
+        if barrier_at == Some(i) {
+            // Both threads pass the barrier (recording order: all arrivals
+            // precede all departures, which emitting both events here
+            // satisfies).
+            for bt in 0..2 {
+                push(
+                    &mut events,
+                    bt,
+                    EventKind::Barrier {
+                        barrier: BarrierId(0),
+                        epoch,
+                    },
+                    &mut seq,
+                );
+            }
+            epoch += 1;
+        }
+    }
+    events.push(Event {
+        seq,
+        rank: Rank(0),
+        tid: Tid(0),
+        region: None,
+        time_ns: seq,
+        loc: None,
+        kind: EventKind::JoinRegion {
+            region: RegionId(0),
+        },
+    });
+    Trace::from_events(events)
+}
+
+fn race_count(trace: &Trace, cfg: &DetectorConfig) -> usize {
+    detect(trace, cfg).len()
+}
+
+fn pair_set(trace: &Trace, cfg: &DetectorConfig) -> std::collections::BTreeSet<(String, u64, u64)> {
+    detect(trace, cfg)
+        .into_iter()
+        .map(|r| (r.loc.to_string(), r.first.seq, r.second.seq))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The hybrid detector reports a subset of each single-analysis mode
+    /// (it is their conjunction).
+    #[test]
+    fn hybrid_is_conjunction_of_modes(ops in arb_ops()) {
+        let trace = build_trace(&ops, None);
+        let hybrid = pair_set(&trace, &DetectorConfig::hybrid());
+        let lockset = pair_set(&trace, &DetectorConfig::lockset_only());
+        let hb = pair_set(&trace, &DetectorConfig::hb_only());
+        prop_assert!(hybrid.is_subset(&lockset), "hybrid ⊄ lockset");
+        prop_assert!(hybrid.is_subset(&hb), "hybrid ⊄ hb");
+    }
+
+    /// Inserting a barrier anywhere never increases the hybrid race count.
+    #[test]
+    fn adding_a_barrier_never_adds_races(ops in arb_ops(), pos_frac in 0.0f64..1.0) {
+        let trace = build_trace(&ops, None);
+        let pos = ((ops.len() as f64 * pos_frac) as usize).min(ops.len().saturating_sub(1));
+        let trace_b = build_trace(&ops, Some(pos));
+        prop_assert!(
+            race_count(&trace_b, &DetectorConfig::hybrid())
+                <= race_count(&trace, &DetectorConfig::hybrid()),
+            "barrier added races"
+        );
+    }
+
+    /// Wrapping every access in one common lock removes all hybrid races.
+    #[test]
+    fn common_lock_eliminates_all_races(ops in arb_ops()) {
+        let locked: Vec<(u8, Op)> = ops
+            .iter()
+            .map(|&(t, op)| {
+                let v = match op {
+                    Op::Write(v) | Op::Read(v) | Op::Locked(_, v) => v,
+                };
+                (t, Op::Locked(9, v))
+            })
+            .collect();
+        let trace = build_trace(&locked, None);
+        prop_assert_eq!(race_count(&trace, &DetectorConfig::hybrid()), 0);
+    }
+
+    /// Reads never race with reads, whatever the interleaving.
+    #[test]
+    fn read_only_histories_are_race_free(
+        pairs in proptest::collection::vec((0u8..2, 0u32..4), 1..12)
+    ) {
+        let ops: Vec<(u8, Op)> = pairs.into_iter().map(|(t, v)| (t, Op::Read(v))).collect();
+        let trace = build_trace(&ops, None);
+        prop_assert_eq!(race_count(&trace, &DetectorConfig::hybrid()), 0);
+        prop_assert_eq!(race_count(&trace, &DetectorConfig::lockset_only()), 0);
+    }
+
+    /// Determinism: detection is a pure function of the trace.
+    #[test]
+    fn detection_is_deterministic(ops in arb_ops()) {
+        let trace = build_trace(&ops, None);
+        prop_assert_eq!(
+            pair_set(&trace, &DetectorConfig::hybrid()),
+            pair_set(&trace, &DetectorConfig::hybrid())
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! language front-end.
+
+use home::ir::build as b;
+use home::ir::{parse, print_program, BinOp, Expr, IrReduceOp, MpiStmt, Stmt};
+use home::trace::{LockId, LockSet, VectorClock};
+use proptest::prelude::*;
+
+// ---- vector clock laws -----------------------------------------------------
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u64..20, 0..6).prop_map(|vals| {
+        let mut vc = VectorClock::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            vc.set(i, v);
+        }
+        vc
+    })
+}
+
+proptest! {
+    #[test]
+    fn vc_join_is_commutative(a in arb_vc(), c in arb_vc()) {
+        let mut ac = a.clone();
+        ac.join(&c);
+        let mut ca = c.clone();
+        ca.join(&a);
+        prop_assert_eq!(ac.partial_cmp_vc(&ca), Some(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn vc_join_is_upper_bound(a in arb_vc(), c in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&c);
+        prop_assert!(a.leq(&j));
+        prop_assert!(c.leq(&j));
+    }
+
+    #[test]
+    fn vc_join_is_idempotent(a in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&a);
+        prop_assert!(j.leq(&a) && a.leq(&j));
+    }
+
+    #[test]
+    fn vc_leq_is_a_partial_order(a in arb_vc(), c in arb_vc(), d in arb_vc()) {
+        // Reflexive.
+        prop_assert!(a.leq(&a));
+        // Antisymmetric (up to equality of components).
+        if a.leq(&c) && c.leq(&a) {
+            prop_assert_eq!(a.partial_cmp_vc(&c), Some(std::cmp::Ordering::Equal));
+        }
+        // Transitive.
+        if a.leq(&c) && c.leq(&d) {
+            prop_assert!(a.leq(&d));
+        }
+    }
+
+    #[test]
+    fn vc_tick_strictly_increases(a in arb_vc(), slot in 0usize..8) {
+        let before = a.clone();
+        let mut after = a;
+        after.tick(slot);
+        prop_assert!(before.happens_before(&after));
+    }
+
+    #[test]
+    fn vc_concurrent_is_symmetric_and_irreflexive(a in arb_vc(), c in arb_vc()) {
+        prop_assert_eq!(a.concurrent_with(&c), c.concurrent_with(&a));
+        prop_assert!(!a.concurrent_with(&a));
+    }
+}
+
+// ---- lockset laws ----------------------------------------------------------
+
+fn arb_lockset() -> impl Strategy<Value = LockSet> {
+    proptest::collection::btree_set(0u32..12, 0..6)
+        .prop_map(|s| LockSet::from_iter(s.into_iter().map(LockId)))
+}
+
+proptest! {
+    #[test]
+    fn lockset_intersect_commutes(a in arb_lockset(), c in arb_lockset()) {
+        prop_assert_eq!(a.intersect(&c), c.intersect(&a));
+    }
+
+    #[test]
+    fn lockset_intersection_is_subset(a in arb_lockset(), c in arb_lockset()) {
+        let i = a.intersect(&c);
+        for l in i.iter() {
+            prop_assert!(a.contains(l) && c.contains(l));
+        }
+        prop_assert_eq!(i.is_empty(), a.disjoint(&c));
+    }
+
+    #[test]
+    fn lockset_insert_remove_roundtrip(a in arb_lockset(), l in 0u32..12) {
+        let lock = LockId(l);
+        let had = a.contains(lock);
+        let mut m = a.clone();
+        m.insert(lock);
+        prop_assert!(m.contains(lock));
+        m.remove(lock);
+        prop_assert!(!m.contains(lock));
+        if !had {
+            prop_assert_eq!(m, a);
+        }
+    }
+}
+
+// ---- DSL parse ∘ print round-trip -------------------------------------------
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        Just(Expr::Rank),
+        Just(Expr::Size),
+        Just(Expr::ThreadId),
+        Just(Expr::NumThreads),
+        Just(Expr::Any),
+        "[a-z][a-z0-9_]{0,5}".prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Add, a, c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Mul, a, c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Eq, a, c)),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Lt, a, c)),
+            inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
+            inner.prop_map(|a| Expr::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        ( "[a-z][a-z0-9_]{0,5}", arb_expr()).prop_map(|(n, e)| b::decl(&n, e)),
+        ( "[a-z][a-z0-9_]{0,5}", arb_expr()).prop_map(|(n, e)| b::shared_decl(&n, e)),
+        arb_expr().prop_map(b::compute),
+        (arb_expr(), arb_expr(), arb_expr()).prop_map(|(d, t, c)| b::send(d, t, c)),
+        (arb_expr(), arb_expr()).prop_map(|(s, t)| b::recv(s, t)),
+        Just(b::mpi(MpiStmt::Barrier { comm: None })),
+        arb_expr().prop_map(|c| b::mpi(MpiStmt::Allreduce { op: IrReduceOp::Max, count: c, comm: None })),
+        (arb_expr(), arb_expr()).prop_map(|(s, t)| b::mpi(MpiStmt::Probe { src: s, tag: t, comm: None })),
+        Just(b::omp_barrier()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 1..4);
+        prop_oneof![
+            (arb_expr(), block.clone()).prop_map(|(c, blk)| b::if_then(c, blk)),
+            (arb_expr(), block.clone(), proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(c, t, e)| b::if_else(c, t, e)),
+            ("[a-z][a-z0-9_]{0,3}", arb_expr(), arb_expr(), block.clone())
+                .prop_map(|(v, lo, hi, blk)| b::seq_for(&v, lo, hi, blk)),
+            (arb_expr(), block.clone()).prop_map(|(n, blk)| b::omp_parallel(n, blk)),
+            ("[a-z][a-z0-9_]{0,3}", arb_expr(), arb_expr(), block.clone())
+                .prop_map(|(v, lo, hi, blk)| b::omp_for(&v, lo, hi, blk)),
+            block.clone().prop_map(b::omp_single),
+            block.clone().prop_map(b::omp_master),
+            ("[a-z][a-z0-9_]{0,3}", block.clone()).prop_map(|(n, blk)| b::omp_critical(&n, blk)),
+            proptest::collection::vec(block, 1..3).prop_map(b::omp_sections),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print ∘ parse ∘ print is the identity on printed form (canonical
+    /// printer is a fixpoint), and parse succeeds on everything the
+    /// builder can produce.
+    #[test]
+    fn printed_programs_reparse_and_print_identically(
+        body in proptest::collection::vec(arb_stmt(), 1..6)
+    ) {
+        let program = home::ir::build::finalize("prop", body);
+        let printed = print_program(&program);
+        let reparsed = parse(&printed).expect("printed program must parse");
+        prop_assert_eq!(reparsed.stmt_count(), program.stmt_count());
+        let printed2 = print_program(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+}
+
+// ---- static analysis invariants ---------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1's marking is exactly "syntactically inside an
+    /// omp parallel region": instrumented ⇒ in-region, and outside-region
+    /// reachable calls are never instrumented.
+    #[test]
+    fn checklist_instruments_only_hybrid_sites(
+        body in proptest::collection::vec(arb_stmt(), 1..6)
+    ) {
+        let program = home::ir::build::finalize("prop", body);
+        let report = home::static_analysis::analyze(&program);
+        for site in &report.checklist.sites {
+            if site.instrument {
+                prop_assert!(site.in_hybrid_region && site.reachable);
+            }
+            if !site.in_hybrid_region {
+                prop_assert!(!site.instrument);
+            }
+        }
+        prop_assert_eq!(
+            report.stats.instrumented + report.stats.skipped,
+            report.stats.total_mpi_calls
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! The six-violation matrix: for every violation class, a program that
+//! commits it (detected) and the corresponding corrected program (clean).
+//! This is the integration-level ground truth behind the accuracy table.
+
+use home::prelude::*;
+
+fn flags(src: &str, kind: ViolationKind) -> (bool, String) {
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    (report.has(kind), report.render())
+}
+
+fn assert_detected(src: &str, kind: ViolationKind) {
+    let (found, render) = flags(src, kind);
+    assert!(found, "expected {kind} in:\n{render}");
+}
+
+fn assert_clean_of(src: &str, kind: ViolationKind) {
+    let (found, render) = flags(src, kind);
+    assert!(!found, "unexpected {kind} in:\n{render}");
+}
+
+#[test]
+fn initialization_violation_and_fix() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(serialized);
+            omp parallel num_threads(2) {
+                mpi_send(to: rank, tag: tid, count: 1);
+                mpi_recv(from: rank, tag: tid);
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::Initialization,
+    );
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) {
+                mpi_send(to: rank, tag: tid, count: 1);
+                mpi_recv(from: rank, tag: tid);
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::Initialization,
+    );
+}
+
+#[test]
+fn serialized_level_with_master_only_calls_is_legal() {
+    // SERIALIZED allows MPI from threads as long as calls never overlap;
+    // master-only calls satisfy that.
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(serialized);
+            omp parallel num_threads(2) {
+                omp master { mpi_barrier(); }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::Initialization,
+    );
+}
+
+#[test]
+fn finalization_violation_and_fix() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) {
+                if (tid == 1) { mpi_finalize(); }
+            }
+        }"#,
+        ViolationKind::Finalization,
+    );
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) { compute(10); }
+            mpi_finalize();
+        }"#,
+        ViolationKind::Finalization,
+    );
+}
+
+#[test]
+fn concurrent_recv_violation_and_fix() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(multiple);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 4, count: 1);
+                mpi_send(to: 1, tag: 4, count: 1);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) { mpi_recv(from: 0, tag: 4); }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::ConcurrentRecv,
+    );
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(multiple);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 100, count: 1);
+                mpi_send(to: 1, tag: 101, count: 1);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) { mpi_recv(from: 0, tag: 100 + tid); }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::ConcurrentRecv,
+    );
+}
+
+#[test]
+fn wildcard_recv_collides_with_everything() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(multiple);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 100, count: 1);
+                mpi_send(to: 1, tag: 101, count: 1);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) { mpi_recv(from: any, tag: any); }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::ConcurrentRecv,
+    );
+}
+
+#[test]
+fn concurrent_request_violation_and_fix() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(multiple);
+            if (rank == 0) { mpi_send(to: 1, tag: 0, count: 1); }
+            if (rank == 1) {
+                mpi_irecv(from: 0, tag: 0, req: r);
+                omp parallel num_threads(2) { mpi_wait(req: r); }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::ConcurrentRequest,
+    );
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(multiple);
+            if (rank == 0) { mpi_send(to: 1, tag: 0, count: 1); }
+            if (rank == 1) {
+                mpi_irecv(from: 0, tag: 0, req: r);
+                mpi_wait(req: r);
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::ConcurrentRequest,
+    );
+}
+
+#[test]
+fn probe_violation_and_fix() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(multiple);
+            if (rank == 0) {
+                mpi_send(to: 1, tag: 9, count: 1);
+                mpi_send(to: 1, tag: 9, count: 1);
+            }
+            if (rank == 1) {
+                omp parallel num_threads(2) {
+                    mpi_probe(from: 0, tag: 9);
+                    mpi_recv(from: 0, tag: 9);
+                }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::Probe,
+    );
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(multiple);
+            if (rank == 0) { mpi_send(to: 1, tag: 9, count: 1); }
+            if (rank == 1) {
+                omp parallel num_threads(2) {
+                    omp master {
+                        mpi_probe(from: 0, tag: 9);
+                        mpi_recv(from: 0, tag: 9);
+                    }
+                }
+            }
+            mpi_finalize();
+        }"#,
+        ViolationKind::Probe,
+    );
+}
+
+#[test]
+fn collective_violation_and_fix() {
+    assert_detected(
+        r#"program v {
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) { mpi_barrier(); }
+            mpi_finalize();
+        }"#,
+        ViolationKind::CollectiveCall,
+    );
+    assert_clean_of(
+        r#"program ok {
+            mpi_init_thread(multiple);
+            omp parallel num_threads(2) { omp master { mpi_barrier(); } }
+            mpi_finalize();
+        }"#,
+        ViolationKind::CollectiveCall,
+    );
+}
+
+#[test]
+fn all_six_kinds_in_one_program() {
+    // One program committing everything at once; HOME must report all six.
+    let src = r#"program omnibus {
+        mpi_init_thread(funneled);
+        omp parallel num_threads(2) {
+            mpi_send(to: rank, tag: 900 + tid, count: 1);
+            mpi_recv(from: rank, tag: 900 + tid);
+        }
+        if (rank == 0) {
+            mpi_send(to: 1, tag: 4, count: 1);
+            mpi_send(to: 1, tag: 4, count: 1);
+            mpi_send(to: 1, tag: 9, count: 1);
+            mpi_send(to: 1, tag: 9, count: 1);
+            mpi_send(to: 1, tag: 5, count: 1);
+        }
+        if (rank == 1) {
+            omp parallel num_threads(2) { mpi_recv(from: 0, tag: 4); }
+            omp parallel num_threads(2) {
+                mpi_probe(from: 0, tag: 9);
+                mpi_recv(from: 0, tag: 9);
+            }
+            mpi_irecv(from: 0, tag: 5, req: r);
+            omp parallel num_threads(2) { mpi_wait(req: r); }
+        }
+        omp parallel num_threads(2) { mpi_barrier(); }
+        omp parallel num_threads(2) {
+            if (tid == 1) { mpi_finalize(); }
+        }
+    }"#;
+    let report = check(&parse(src).unwrap(), &CheckOptions::default());
+    for kind in ViolationKind::ALL {
+        assert!(report.has(kind), "missing {kind}:\n{}", report.render());
+    }
+}
