@@ -235,7 +235,9 @@ mod tests {
         let races = manifest_races(&Trace::from_events(events));
         // One race per monitored variable (src, tag, comm).
         assert_eq!(races.len(), 3);
-        assert!(races.iter().any(|r| r.loc == MemLoc::Monitored(MonitoredVar::Tag)));
+        assert!(races
+            .iter()
+            .any(|r| r.loc == MemLoc::Monitored(MonitoredVar::Tag)));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Accuracy-table bench target (paper Table, Section V-B): full pipeline —
 //! inject, run all three tools, score.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use home_npb::{accuracy_row, Benchmark, Class};
+use std::time::Duration;
 
 fn bench_accuracy(c: &mut Criterion) {
     let mut group = c.benchmark_group("accuracy_table");

@@ -2,7 +2,6 @@
 //! algebra, lockset operations, the race detector, the static analysis,
 //! and the DSL parser.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use home_dynamic::{detect, DetectorConfig};
 use home_npb::{generate, Benchmark, Class};
@@ -11,6 +10,7 @@ use home_trace::{
     AccessKind, Event, EventKind, LockId, LockSet, MemLoc, Rank, RegionId, Tid, Trace, VarId,
     VectorClock,
 };
+use std::time::Duration;
 
 fn bench_vector_clocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("vector_clock");
@@ -130,11 +130,9 @@ fn bench_detector(c: &mut Criterion) {
         ("2t_x_1k", synthetic_trace(2, 1_000, 16)),
         ("4t_x_2k", synthetic_trace(4, 2_000, 64)),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("hybrid", label),
-            &trace,
-            |b, t| b.iter(|| detect(t, &DetectorConfig::hybrid())),
-        );
+        group.bench_with_input(BenchmarkId::new("hybrid", label), &trace, |b, t| {
+            b.iter(|| detect(t, &DetectorConfig::hybrid()))
+        });
     }
     group.finish();
 }

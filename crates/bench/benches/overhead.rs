@@ -2,10 +2,10 @@
 //! benchmarks (wall-clock of the sweep machinery; the overhead-percentage
 //! series is printed by `report -- figure7`).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use home_bench::{figure_sweep, overhead_from_points};
 use home_npb::{Benchmark, Class};
+use std::time::Duration;
 
 fn bench_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure7_overhead");

@@ -4,11 +4,11 @@
 //! (tool, process-count) cell; the simulated-seconds series itself is
 //! printed by `cargo run -p home-bench --bin report -- figure6`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use home_baselines::Tool;
 use home_bench::measure;
 use home_npb::{Benchmark, Class};
+use std::time::Duration;
 
 fn bench_sp_mz(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure6_sp_mz");
@@ -17,11 +17,9 @@ fn bench_sp_mz(c: &mut Criterion) {
     group.sample_size(10);
     for np in [2usize, 8] {
         for tool in [Tool::Base, Tool::Home, Tool::Marmot, Tool::Itc] {
-            group.bench_with_input(
-                BenchmarkId::new(tool.label(), np),
-                &np,
-                |b, &np| b.iter(|| measure(Benchmark::SpMz, Class::W, tool, np)),
-            );
+            group.bench_with_input(BenchmarkId::new(tool.label(), np), &np, |b, &np| {
+                b.iter(|| measure(Benchmark::SpMz, Class::W, tool, np))
+            });
         }
     }
     group.finish();

@@ -55,8 +55,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let map: serde_json::Map<String, serde_json::Value> =
-            json_blobs.into_iter().collect();
+        let map: serde_json::Map<String, serde_json::Value> = json_blobs.into_iter().collect();
         std::fs::write(&path, serde_json::to_string_pretty(&map).unwrap())
             .unwrap_or_else(|e| eprintln!("failed to write {path}: {e}"));
         println!("\nraw series written to {path}");
@@ -83,7 +82,10 @@ fn parse_json(args: &[String]) -> Option<String> {
 /// The detection-accuracy table (paper Section V-B).
 fn accuracy(json: &mut Vec<(String, serde_json::Value)>) {
     println!("== Detection accuracy (paper Table: injected-violation reports) ==");
-    println!("{:<16} {:>6} {:>6} {:>8}", "Benchmarks", "HOME", "ITC", "Marmot");
+    println!(
+        "{:<16} {:>6} {:>6} {:>8}",
+        "Benchmarks", "HOME", "ITC", "Marmot"
+    );
     let mut rows = Vec::new();
     for b in Benchmark::ALL {
         let row = accuracy_row(b, Class::S, 2);
@@ -104,14 +106,16 @@ fn accuracy(json: &mut Vec<(String, serde_json::Value)>) {
         rows.push(row);
     }
     println!("(paper: LU 6/5/5, BT 6/7/6, SP 6/6/5 — ITC's 7 includes one false positive)\n");
-    json.push((
-        "accuracy".to_string(),
-        serde_json::to_value(&rows).unwrap(),
-    ));
+    json.push(("accuracy".to_string(), serde_json::to_value(&rows).unwrap()));
 }
 
 /// Figures 4–6: execution time vs process count for one benchmark.
-fn figure(benchmark: Benchmark, class: Class, number: u32, json: &mut Vec<(String, serde_json::Value)>) {
+fn figure(
+    benchmark: Benchmark,
+    class: Class,
+    number: u32,
+    json: &mut Vec<(String, serde_json::Value)>,
+) {
     println!(
         "== Figure {number}: {} class {class} execution time (simulated seconds) ==",
         benchmark.name()
@@ -162,9 +166,7 @@ fn figure7(class: Class, json: &mut Vec<(String, serde_json::Value)>) {
     for &np in &PROC_COUNTS {
         print!("{np:<8}");
         for tool in ["HOME", "MARMOT", "ITC"] {
-            let p = overheads
-                .iter()
-                .find(|o| o.nprocs == np && o.tool == tool);
+            let p = overheads.iter().find(|o| o.nprocs == np && o.tool == tool);
             match p {
                 Some(o) => print!("{:>11.1}%", o.percent),
                 None => print!("{:>12}", "-"),
@@ -188,7 +190,13 @@ fn ablation_selective(class: Class) {
     println!("== Ablation: selective vs full instrumentation (HOME, class {class}) ==");
     println!(
         "{:<6} {:>13} {:>11} {:>13} {:>11} {:>14} {:>12}",
-        "procs", "selective(s)", "sel evts", "all-calls(s)", "all evts", "all-access(s)", "access evts"
+        "procs",
+        "selective(s)",
+        "sel evts",
+        "all-calls(s)",
+        "all evts",
+        "all-access(s)",
+        "access evts"
     );
     for &np in &[2usize, 8, 32] {
         let program = generate(Benchmark::BtMz, class);

@@ -11,4 +11,6 @@
 
 pub mod perf;
 
-pub use perf::{figure_sweep, measure, overhead_from_points, OverheadPoint, PerfPoint, PROC_COUNTS};
+pub use perf::{
+    figure_sweep, measure, overhead_from_points, OverheadPoint, PerfPoint, PROC_COUNTS,
+};

@@ -97,12 +97,12 @@ pub fn overhead_from_points(points: &[PerfPoint]) -> Vec<OverheadPoint> {
                 b
             };
             for bench in benches {
-                let base = points.iter().find(|p| {
-                    p.benchmark == bench && p.tool == "Base" && p.nprocs == np
-                });
-                let t = points.iter().find(|p| {
-                    p.benchmark == bench && &p.tool == tool && p.nprocs == np
-                });
+                let base = points
+                    .iter()
+                    .find(|p| p.benchmark == bench && p.tool == "Base" && p.nprocs == np);
+                let t = points
+                    .iter()
+                    .find(|p| p.benchmark == bench && &p.tool == tool && p.nprocs == np);
                 if let (Some(base), Some(t)) = (base, t) {
                     if base.seconds > 0.0 {
                         ratios.push((t.seconds - base.seconds) / base.seconds * 100.0);

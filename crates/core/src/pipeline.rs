@@ -29,6 +29,12 @@ pub struct CheckOptions {
     /// broadly; `EarliestClockFirst` is time-faithful (what the accuracy
     /// table uses, so manifest-dependent baselines behave realistically).
     pub sched_policy: home_sched::SchedPolicy,
+    /// Worker threads for the per-seed simulate→detect→match chains. Seeds
+    /// are independent, so they fan out over up to `jobs` threads; each
+    /// seed's results land in an indexed slot and merge back in seed-list
+    /// order, so the report is identical for every value. `1` is exactly
+    /// the serial path; the default is the machine's available parallelism.
+    pub jobs: usize,
 }
 
 impl Default for CheckOptions {
@@ -40,6 +46,7 @@ impl Default for CheckOptions {
             detector: DetectorConfig::hybrid(),
             instrumentation: Instrumentation::home(),
             sched_policy: home_sched::SchedPolicy::Random,
+            jobs: home_dynamic::default_jobs(),
         }
     }
 }
@@ -57,6 +64,14 @@ impl CheckOptions {
     /// Replace the seed list.
     pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
         self.seeds = seeds;
+        self
+    }
+
+    /// Set the worker-thread count for both the per-seed fan-out and the
+    /// detector's per-rank fan-out.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self.detector.jobs = jobs;
         self
     }
 }
@@ -88,7 +103,9 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
         ..HomeReport::default()
     };
 
-    for &seed in &options.seeds {
+    // One seed's simulate→detect→match chain. Pure in `program` and the
+    // shared checklist, so seeds may run on separate threads.
+    let run_seed = |seed: u64| -> SeedOutcome {
         let mut cfg = RunConfig::test(options.nprocs, seed)
             .with_instrumentation(options.instrumentation.clone())
             .with_checklist(Arc::clone(&checklist));
@@ -98,15 +115,52 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
 
         let races = detect(&result.trace, &options.detector);
         let violations = match_violations(&result.trace, &races, &result.mpi_errors);
-
-        report.runs += 1;
-        report.total_events += result.events_recorded;
-        if let Some(d) = result.deadlock {
-            report.deadlocks.push((seed, d));
+        SeedOutcome {
+            seed,
+            events_recorded: result.events_recorded,
+            deadlock: result.deadlock,
+            incidents: result.mpi_errors,
+            races,
+            violations,
         }
-        report.incidents.extend(result.mpi_errors);
-        report.races.extend(races);
-        report.violations.extend(violations);
+    };
+
+    let jobs = options.jobs.max(1).min(options.seeds.len().max(1));
+    let outcomes: Vec<SeedOutcome> = if jobs <= 1 {
+        options.seeds.iter().map(|&seed| run_seed(seed)).collect()
+    } else {
+        // Indexed slots keep the merge in seed-list order regardless of
+        // which worker finishes first, so the report is byte-identical to
+        // the serial path.
+        let mut slots: Vec<Option<SeedOutcome>> = Vec::new();
+        slots.resize_with(options.seeds.len(), || None);
+        let chunk = options.seeds.len().div_ceil(jobs);
+        let run_seed = &run_seed;
+        std::thread::scope(|scope| {
+            for (slot_chunk, seed_chunk) in slots.chunks_mut(chunk).zip(options.seeds.chunks(chunk))
+            {
+                scope.spawn(move || {
+                    for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
+                        *slot = Some(run_seed(seed));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker filled slot"))
+            .collect()
+    };
+
+    for outcome in outcomes {
+        report.runs += 1;
+        report.total_events += outcome.events_recorded;
+        if let Some(d) = outcome.deadlock {
+            report.deadlocks.push((outcome.seed, d));
+        }
+        report.incidents.extend(outcome.incidents);
+        report.races.extend(outcome.races);
+        report.violations.extend(outcome.violations);
     }
 
     // Merge: dedupe violations across seeds by (kind, rank, locations).
@@ -115,6 +169,16 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
         .violations
         .retain(|v| seen.insert((v.kind, v.rank, v.locations.clone())));
     report
+}
+
+/// Everything one seed's chain contributes to the merged report.
+struct SeedOutcome {
+    seed: u64,
+    events_recorded: u64,
+    deadlock: Option<home_sched::DeadlockInfo>,
+    incidents: Vec<home_interp::MpiIncident>,
+    races: Vec<home_dynamic::Race>,
+    violations: Vec<crate::report::Violation>,
 }
 
 #[cfg(test)]
@@ -375,6 +439,74 @@ mod tests {
         assert_eq!(r.static_stats.instrumented, 1);
         assert_eq!(r.runs, 4);
         assert!(r.total_events > 0);
+    }
+
+    #[test]
+    fn parallel_check_matches_serial_byte_for_byte() {
+        // The acceptance bar for the fan-out: across >= 4 seeds, the
+        // rendered report with jobs=1 and jobs=N must be identical, and so
+        // must every merged field the renderer does not show.
+        let program = parse(
+            r#"
+            program par {
+                mpi_init_thread(multiple);
+                shared int tag = 0;
+                omp parallel num_threads(2) {
+                    if (rank == 0) {
+                        mpi_send(to: 1, tag: tag, count: 1);
+                        mpi_recv(from: 1, tag: tag);
+                    }
+                    if (rank == 1) {
+                        mpi_recv(from: 0, tag: tag);
+                        mpi_send(to: 0, tag: tag, count: 1);
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        )
+        .unwrap();
+        let seeds = vec![1, 2, 3, 4, 5, 6];
+        let serial = check(
+            &program,
+            &CheckOptions::default()
+                .with_seeds(seeds.clone())
+                .with_jobs(1),
+        );
+        for jobs in [2, 4, 8] {
+            let parallel = check(
+                &program,
+                &CheckOptions::default()
+                    .with_seeds(seeds.clone())
+                    .with_jobs(jobs),
+            );
+            assert_eq!(serial.render(), parallel.render(), "render at jobs={jobs}");
+            assert_eq!(serial.runs, parallel.runs, "runs at jobs={jobs}");
+            assert_eq!(
+                serial.total_events, parallel.total_events,
+                "events at jobs={jobs}"
+            );
+            assert_eq!(
+                serial.violations, parallel.violations,
+                "violations at jobs={jobs}"
+            );
+            assert_eq!(
+                serial.races.len(),
+                parallel.races.len(),
+                "race count at jobs={jobs}"
+            );
+            assert_eq!(
+                format!("{:?}", serial.races),
+                format!("{:?}", parallel.races),
+                "race order at jobs={jobs}"
+            );
+            assert_eq!(
+                format!("{:?}", serial.deadlocks),
+                format!("{:?}", parallel.deadlocks),
+                "deadlocks at jobs={jobs}"
+            );
+        }
+        assert!(serial.has(ViolationKind::ConcurrentRecv));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use home_interp::MpiIncident;
 use home_trace::{
     EventKind, MemLoc, MonitoredVar, MpiCallRecord, Rank, SrcLoc, ThreadLevel, Trace,
 };
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Match rules over one run's evidence.
 pub fn match_violations(
@@ -33,9 +33,11 @@ pub fn match_violations(
     dedupe(out)
 }
 
+/// Ordered maps throughout: rules iterate these, and violation order must
+/// be deterministic (it is part of the rendered report).
 struct RuleCtx {
     /// Thread level each rank initialized with.
-    init_levels: HashMap<Rank, ThreadLevel>,
+    init_levels: BTreeMap<Rank, ThreadLevel>,
     /// Ranks that forked a multi-thread parallel region.
     multi_threaded: BTreeSet<Rank>,
     /// Instrumented MPI calls inside parallel regions, per rank.
@@ -43,17 +45,17 @@ struct RuleCtx {
     /// Finalize monitored writes (rank, record, loc, time).
     finalizes: Vec<(Rank, MpiCallRecord, Option<SrcLoc>, u64)>,
     /// Latest MPI-call event time per rank.
-    last_call_time: HashMap<Rank, u64>,
+    last_call_time: BTreeMap<Rank, u64>,
 }
 
 impl RuleCtx {
     fn gather(trace: &Trace) -> RuleCtx {
         let mut ctx = RuleCtx {
-            init_levels: HashMap::new(),
+            init_levels: BTreeMap::new(),
             multi_threaded: BTreeSet::new(),
             region_calls: Vec::new(),
             finalizes: Vec::new(),
-            last_call_time: HashMap::new(),
+            last_call_time: BTreeMap::new(),
         };
         for e in trace.events() {
             match &e.kind {

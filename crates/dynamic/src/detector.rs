@@ -51,6 +51,19 @@ pub struct DetectorConfig {
     /// Report at most one race per (location, thread-pair) — keeps reports
     /// readable; disable for exhaustive counting.
     pub dedupe_pairs: bool,
+    /// Worker threads for per-rank detection. Ranks are independent (the
+    /// detector is offline and shares nothing across ranks), so they fan
+    /// out over up to `jobs` threads; results merge back in rank order, so
+    /// the output is identical for every value. `1` is exactly the serial
+    /// path; the default is the machine's available parallelism.
+    pub jobs: usize,
+}
+
+/// The machine's available parallelism (used as the default `jobs` value).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 impl DetectorConfig {
@@ -61,6 +74,7 @@ impl DetectorConfig {
             history_cap: 512,
             ignore_locks: false,
             dedupe_pairs: true,
+            jobs: default_jobs(),
         }
     }
 
@@ -192,11 +206,47 @@ pub fn detect(trace: &Trace, config: &DetectorConfig) -> Vec<Race> {
 
 /// [`detect`], additionally returning coverage statistics (so harnesses can
 /// check that the history cap did not silently truncate pair coverage).
+///
+/// Ranks are analyzed independently (per the paper the detector is an
+/// offline per-process pass), so with `config.jobs > 1` they fan out over
+/// scoped worker threads. Each rank's result lands in its own indexed slot
+/// and the slots are merged in rank order, so the returned races and stats
+/// are identical for every `jobs` value.
 pub fn detect_with_stats(trace: &Trace, config: &DetectorConfig) -> (Vec<Race>, DetectStats) {
+    let ranks = trace.ranks();
+    let jobs = config.jobs.max(1).min(ranks.len().max(1));
+
+    let per_rank: Vec<(Vec<Race>, DetectStats)> = if jobs <= 1 {
+        ranks
+            .iter()
+            .map(|&rank| detect_rank(trace, rank, config))
+            .collect()
+    } else {
+        let mut slots: Vec<Option<(Vec<Race>, DetectStats)>> = Vec::new();
+        slots.resize_with(ranks.len(), || None);
+        let chunk = ranks.len().div_ceil(jobs);
+        std::thread::scope(|scope| {
+            for (slot_chunk, rank_chunk) in slots.chunks_mut(chunk).zip(ranks.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, &rank) in slot_chunk.iter_mut().zip(rank_chunk) {
+                        *slot = Some(detect_rank(trace, rank, config));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker filled slot"))
+            .collect()
+    };
+
     let mut races = Vec::new();
     let mut stats = DetectStats::default();
-    for rank in trace.ranks() {
-        detect_rank(trace, rank, config, &mut races, &mut stats);
+    for (rank_races, rank_stats) in per_rank {
+        races.extend(rank_races);
+        stats.history_overflow |= rank_stats.history_overflow;
+        stats.locations += rank_stats.locations;
+        stats.accesses += rank_stats.accesses;
     }
     (races, stats)
 }
@@ -209,8 +259,7 @@ struct PreScan {
 }
 
 fn pre_scan(trace: &Trace, rank: Rank) -> PreScan {
-    let mut barrier_participants: HashMap<(RegionId, BarrierId, u64), Vec<SegKey>> =
-        HashMap::new();
+    let mut barrier_participants: HashMap<(RegionId, BarrierId, u64), Vec<SegKey>> = HashMap::new();
     let mut region_threads: HashMap<RegionId, Vec<SegKey>> = HashMap::new();
     for e in trace.by_rank(rank) {
         let seg: SegKey = (e.region, e.tid);
@@ -235,13 +284,10 @@ fn pre_scan(trace: &Trace, rank: Rank) -> PreScan {
     }
 }
 
-fn detect_rank(
-    trace: &Trace,
-    rank: Rank,
-    config: &DetectorConfig,
-    races: &mut Vec<Race>,
-    stats: &mut DetectStats,
-) {
+/// Analyze one rank's events, returning its races and coverage stats.
+/// Pure in `trace` — callers may run ranks on separate threads.
+fn detect_rank(trace: &Trace, rank: Rank, config: &DetectorConfig) -> (Vec<Race>, DetectStats) {
+    let mut races = Vec::new();
     let scan = pre_scan(trace, rank);
     let mut st = RankState::new();
     let mut reported: std::collections::HashSet<(MemLoc, SegKey, SegKey, u32, u32)> =
@@ -281,8 +327,11 @@ fn detect_rank(
                         // current VC (recording-order guarantee), so the
                         // epoch join is computable now.
                         let mut join = VectorClock::new();
-                        let participants =
-                            scan.barrier_participants.get(&key).cloned().unwrap_or_default();
+                        let participants = scan
+                            .barrier_participants
+                            .get(&key)
+                            .cloned()
+                            .unwrap_or_default();
                         for p in participants {
                             let vc = st.vc_mut(p).clone();
                             join.join(&vc);
@@ -335,7 +384,7 @@ fn detect_rank(
                         record,
                         config,
                         &mut reported,
-                        races,
+                        &mut races,
                     );
                 } else {
                     // MpiCall / MpiInit entries advance program order only.
@@ -345,9 +394,12 @@ fn detect_rank(
             }
         }
     }
-    stats.history_overflow |= st.history_overflow;
-    stats.locations += st.history.len();
-    stats.accesses += st.history.values().map(Vec::len).sum::<usize>();
+    let stats = DetectStats {
+        history_overflow: st.history_overflow,
+        locations: st.history.len(),
+        accesses: st.history.values().map(Vec::len).sum::<usize>(),
+    };
+    (races, stats)
 }
 
 fn race_access(e: &Event, kind: AccessKind) -> RaceAccess {
@@ -549,7 +601,10 @@ mod tests {
     #[test]
     fn unsynchronized_concurrent_writes_race() {
         let mut tb = TB::new();
-        tb.fork(0, 2).write(0, Some(0), 7).write(1, Some(0), 7).join(0);
+        tb.fork(0, 2)
+            .write(0, Some(0), 7)
+            .write(1, Some(0), 7)
+            .join(0);
         let races = hybrid(&tb.trace());
         assert_eq!(races.len(), 1);
         assert_eq!(races[0].loc, MemLoc::Var(VarId(7)));
@@ -558,21 +613,30 @@ mod tests {
     #[test]
     fn read_read_is_not_a_race() {
         let mut tb = TB::new();
-        tb.fork(0, 2).read(0, Some(0), 7).read(1, Some(0), 7).join(0);
+        tb.fork(0, 2)
+            .read(0, Some(0), 7)
+            .read(1, Some(0), 7)
+            .join(0);
         assert!(hybrid(&tb.trace()).is_empty());
     }
 
     #[test]
     fn write_read_is_a_race() {
         let mut tb = TB::new();
-        tb.fork(0, 2).write(0, Some(0), 7).read(1, Some(0), 7).join(0);
+        tb.fork(0, 2)
+            .write(0, Some(0), 7)
+            .read(1, Some(0), 7)
+            .join(0);
         assert_eq!(hybrid(&tb.trace()).len(), 1);
     }
 
     #[test]
     fn different_locations_do_not_race() {
         let mut tb = TB::new();
-        tb.fork(0, 2).write(0, Some(0), 7).write(1, Some(0), 8).join(0);
+        tb.fork(0, 2)
+            .write(0, Some(0), 7)
+            .write(1, Some(0), 8)
+            .join(0);
         assert!(hybrid(&tb.trace()).is_empty());
     }
 
@@ -690,7 +754,11 @@ mod tests {
             ignore_locks: true,
             ..DetectorConfig::hybrid()
         };
-        assert_eq!(detect(&t, &cfg).len(), 1, "critical-blind detector flags it");
+        assert_eq!(
+            detect(&t, &cfg).len(),
+            1,
+            "critical-blind detector flags it"
+        );
     }
 
     #[test]
@@ -799,6 +867,63 @@ mod tests {
         assert!(!stats.history_overflow);
         assert!(stats.locations >= 1);
         assert!(stats.accesses >= 4);
+    }
+
+    #[test]
+    fn parallel_rank_detection_matches_serial() {
+        // A multi-rank trace with real races on each rank: results must be
+        // identical whatever the jobs count, including the stats.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for rank in 0..4u32 {
+            events.push(Event {
+                seq,
+                rank: Rank(rank),
+                tid: Tid(0),
+                region: None,
+                time_ns: seq,
+                loc: None,
+                kind: EventKind::Fork {
+                    region: RegionId(0),
+                    nthreads: 2,
+                },
+            });
+            seq += 1;
+            for tid in 0..2u32 {
+                events.push(Event {
+                    seq,
+                    rank: Rank(rank),
+                    tid: Tid(tid),
+                    region: Some(RegionId(0)),
+                    time_ns: seq,
+                    loc: Some(SrcLoc::new("p.hmp", seq as u32 + 1)),
+                    kind: EventKind::Access {
+                        loc: MemLoc::Var(VarId(rank)),
+                        kind: AccessKind::Write,
+                    },
+                });
+                seq += 1;
+            }
+        }
+        let t = Trace::from_events(events);
+        let serial = DetectorConfig {
+            jobs: 1,
+            ..DetectorConfig::hybrid()
+        };
+        let (races_1, stats_1) = detect_with_stats(&t, &serial);
+        for jobs in [2, 3, 4, 8] {
+            let parallel = DetectorConfig {
+                jobs,
+                ..DetectorConfig::hybrid()
+            };
+            let (races_n, stats_n) = detect_with_stats(&t, &parallel);
+            assert_eq!(stats_1, stats_n, "stats differ at jobs={jobs}");
+            assert_eq!(races_1.len(), races_n.len(), "race count at jobs={jobs}");
+            for (a, b) in races_1.iter().zip(&races_n) {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "order at jobs={jobs}");
+            }
+        }
+        assert_eq!(races_1.len(), 4, "one race per rank");
     }
 
     #[test]

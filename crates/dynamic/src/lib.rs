@@ -15,5 +15,7 @@
 mod detector;
 mod races;
 
-pub use detector::{detect, detect_with_stats, DetectStats, DetectorConfig, DetectorMode};
+pub use detector::{
+    default_jobs, detect, detect_with_stats, DetectStats, DetectorConfig, DetectorMode,
+};
 pub use races::{Race, RaceAccess};

@@ -240,7 +240,12 @@ fn exec_stmt(st: &mut ExecState<'_>, stmt: &Stmt) -> Result<(), ExecError> {
             st.env.pop();
             r
         }
-        StmtKind::For { var, from, to, body } => {
+        StmtKind::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
             let lo = eval(st, from)?;
             let hi = eval(st, to)?;
             for i in lo..hi {
@@ -254,7 +259,10 @@ fn exec_stmt(st: &mut ExecState<'_>, stmt: &Stmt) -> Result<(), ExecError> {
             }
             Ok(())
         }
-        StmtKind::OmpParallel { num_threads, body: _ } => {
+        StmtKind::OmpParallel {
+            num_threads,
+            body: _,
+        } => {
             if st.omp.is_some() {
                 return Err(ExecError::Runtime(
                     "nested omp parallel is not supported".into(),
@@ -288,10 +296,7 @@ fn exec_stmt(st: &mut ExecState<'_>, stmt: &Stmt) -> Result<(), ExecError> {
                     Ok(()) => Ok(()),
                     Err(ExecError::Sched(e)) => Err(e),
                     Err(ExecError::Runtime(msg)) => {
-                        shared
-                            .runtime_errors
-                            .lock()
-                            .push((shared.mpi.rank(), msg));
+                        shared.runtime_errors.lock().push((shared.mpi.rank(), msg));
                         Ok(())
                     }
                 }
@@ -468,7 +473,11 @@ fn exec_stmt(st: &mut ExecState<'_>, stmt: &Stmt) -> Result<(), ExecError> {
                 }
             }
         }
-        StmtKind::Compute { flops, reads, writes } => {
+        StmtKind::Compute {
+            flops,
+            reads,
+            writes,
+        } => {
             let f = eval(st, flops)?.max(0) as u64;
             let cfg = Arc::clone(&st.shared.cfg);
             st.rt().advance(SimTime::from_secs_f64(
@@ -514,7 +523,9 @@ fn exec_stmt(st: &mut ExecState<'_>, stmt: &Stmt) -> Result<(), ExecError> {
         StmtKind::Call { name } => {
             let program = Arc::clone(&st.shared.program);
             let Some(func) = program.function(name) else {
-                return Err(ExecError::Runtime(format!("call to unknown function `{name}`")));
+                return Err(ExecError::Runtime(format!(
+                    "call to unknown function `{name}`"
+                )));
             };
             if st.call_depth >= 64 {
                 return Err(ExecError::Runtime(format!(
@@ -698,8 +709,15 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             let res = proc.finalize();
             check!(st, res, "mpi_finalize");
         }
-        MpiStmt::Send { dest, tag, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+        MpiStmt::Send {
+            dest,
+            tag,
+            count,
+            comm,
+        } => {
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let d = eval(st, dest)?;
             let t = eval(st, tag)?;
             let c = eval(st, count)?.max(0) as usize;
@@ -708,8 +726,15 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             let res = proc.send(d.max(0) as u32, t as i32, cm, payload(vec![0.0; c]));
             check!(st, res, "mpi_send");
         }
-        MpiStmt::Ssend { dest, tag, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+        MpiStmt::Ssend {
+            dest,
+            tag,
+            count,
+            comm,
+        } => {
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let d = eval(st, dest)?;
             let t = eval(st, tag)?;
             let c = eval(st, count)?.max(0) as usize;
@@ -719,7 +744,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_ssend");
         }
         MpiStmt::Recv { src, tag, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let s = eval(st, src)?;
             let t = eval(st, tag)?;
             let record = mk_record(MpiCallKind::Recv, Some(s), Some(t), None, cm);
@@ -734,7 +761,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             req,
             comm,
         } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let d = eval(st, dest)?;
             let t = eval(st, tag)?;
             let c = eval(st, count)?.max(0) as usize;
@@ -745,8 +774,15 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
                 st.shared.requests.lock().insert(req.clone(), id);
             }
         }
-        MpiStmt::Irecv { src, tag, req, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+        MpiStmt::Irecv {
+            src,
+            tag,
+            req,
+            comm,
+        } => {
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let s = eval(st, src)?;
             let t = eval(st, tag)?;
             let res = proc.irecv(SrcSpec::from_i32(s as i32), TagSpec::from_i32(t as i32), cm);
@@ -779,9 +815,7 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
                         let res = proc.wait(id);
                         check!(st, res, "mpi_waitall");
                     }
-                    None => {
-                        st.incident(stmt, "mpi_waitall", format!("unknown request `{req}`"))
-                    }
+                    None => st.incident(stmt, "mpi_waitall", format!("unknown request `{req}`")),
                 }
             }
         }
@@ -798,7 +832,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             }
         }
         MpiStmt::Probe { src, tag, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let s = eval(st, src)?;
             let t = eval(st, tag)?;
             let record = mk_record(MpiCallKind::Probe, Some(s), Some(t), None, cm);
@@ -807,7 +843,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_probe");
         }
         MpiStmt::Iprobe { src, tag, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let s = eval(st, src)?;
             let t = eval(st, tag)?;
             let record = mk_record(MpiCallKind::Iprobe, Some(s), Some(t), None, cm);
@@ -816,14 +854,18 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_iprobe");
         }
         MpiStmt::Barrier { comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let record = mk_record(MpiCallKind::Barrier, None, None, None, cm);
             wrap(st, &record);
             let res = proc.barrier(cm);
             check!(st, res, "mpi_barrier");
         }
         MpiStmt::Bcast { root, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let r = eval(st, root)?.max(0) as u32;
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Bcast, Some(r as i64), None, None, cm);
@@ -837,17 +879,31 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             let res = proc.bcast(r, data, cm);
             check!(st, res, "mpi_bcast");
         }
-        MpiStmt::Reduce { op, root, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+        MpiStmt::Reduce {
+            op,
+            root,
+            count,
+            comm,
+        } => {
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let r = eval(st, root)?.max(0) as u32;
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Reduce, Some(r as i64), None, None, cm);
             wrap(st, &record);
-            let res = proc.reduce(to_reduce_op(*op), r, payload(vec![proc.rank() as f64; c]), cm);
+            let res = proc.reduce(
+                to_reduce_op(*op),
+                r,
+                payload(vec![proc.rank() as f64; c]),
+                cm,
+            );
             check!(st, res, "mpi_reduce");
         }
         MpiStmt::Allreduce { op, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Allreduce, None, None, None, cm);
             wrap(st, &record);
@@ -855,7 +911,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_allreduce");
         }
         MpiStmt::Gather { root, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let r = eval(st, root)?.max(0) as u32;
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Gather, Some(r as i64), None, None, cm);
@@ -864,7 +922,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_gather");
         }
         MpiStmt::Allgather { count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Allgather, None, None, None, cm);
             wrap(st, &record);
@@ -872,7 +932,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_allgather");
         }
         MpiStmt::Scatter { root, count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let r = eval(st, root)?.max(0) as u32;
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Scatter, Some(r as i64), None, None, cm);
@@ -888,7 +950,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_scatter");
         }
         MpiStmt::Alltoall { count, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let c = eval(st, count)?.max(0) as usize;
             let record = mk_record(MpiCallKind::Alltoall, None, None, None, cm);
             wrap(st, &record);
@@ -897,7 +961,9 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
             check!(st, res, "mpi_alltoall");
         }
         MpiStmt::CommDup { into, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let record = mk_record(MpiCallKind::CommDup, None, None, None, cm);
             wrap(st, &record);
             let res = proc.comm_dup(cm);
@@ -905,8 +971,15 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
                 st.shared.comms.lock().insert(into.clone(), new);
             }
         }
-        MpiStmt::CommSplit { color, key, into, comm } => {
-            let Some(cm) = resolve_comm(st, comm) else { return Ok(()) };
+        MpiStmt::CommSplit {
+            color,
+            key,
+            into,
+            comm,
+        } => {
+            let Some(cm) = resolve_comm(st, comm) else {
+                return Ok(());
+            };
             let col = eval(st, color)?;
             let k = eval(st, key)?;
             let record = mk_record(MpiCallKind::CommSplit, None, None, None, cm);

@@ -129,7 +129,10 @@ mod tests {
             .monitored_writes_of(MonitoredVar::Collective)
             .count();
         assert_eq!(collective_writes, 2 * 2, "2 ranks × 2 threads");
-        assert_eq!(r.trace.monitored_writes_of(MonitoredVar::Finalize).count(), 0);
+        assert_eq!(
+            r.trace.monitored_writes_of(MonitoredVar::Finalize).count(),
+            0
+        );
     }
 
     #[test]
@@ -161,8 +164,10 @@ mod tests {
             let r = run_src(src, 2, seed);
             assert!(r.deadlock.is_none(), "balanced exchange completes");
             // Both threads of each rank wrote tagtmp with the same tag 0.
-            let mut per_rank_threads: std::collections::HashMap<Rank, std::collections::HashSet<home_trace::Tid>> =
-                Default::default();
+            let mut per_rank_threads: std::collections::HashMap<
+                Rank,
+                std::collections::HashSet<home_trace::Tid>,
+            > = Default::default();
             for e in r.trace.monitored_writes_of(MonitoredVar::Tag) {
                 assert_eq!(e.kind.mpi_call().unwrap().tag, Some(0));
                 per_rank_threads.entry(e.rank).or_default().insert(e.tid);
@@ -196,8 +201,10 @@ mod tests {
         for seed in 0..5 {
             let r = run_src(src, 2, seed);
             let d = r.deadlock.expect("must deadlock");
-            assert!(d.involves("MPI_Wait") || d.involves("MPI_Recv") || d.involves("recv"),
-                "deadlock report should mention the blocked receive: {d}");
+            assert!(
+                d.involves("MPI_Wait") || d.involves("MPI_Recv") || d.involves("recv"),
+                "deadlock report should mention the blocked receive: {d}"
+            );
         }
     }
 
@@ -339,8 +346,7 @@ mod tests {
         let mut saw_consumed = false;
         for seed in 0..20 {
             let r = run_src(src, 2, seed);
-            if r
-                .mpi_errors
+            if r.mpi_errors
                 .iter()
                 .any(|i| i.error.contains("already completed"))
             {

@@ -270,10 +270,7 @@ pub enum MpiStmt {
         comm: Option<String>,
     },
     /// `mpi_allgather(count: e [, comm: c]);`
-    Allgather {
-        count: Expr,
-        comm: Option<String>,
-    },
+    Allgather { count: Expr, comm: Option<String> },
     /// `mpi_scatter(root: e, count: e [, comm: c]);`
     Scatter {
         root: Expr,
@@ -281,16 +278,10 @@ pub enum MpiStmt {
         comm: Option<String>,
     },
     /// `mpi_alltoall(count: e [, comm: c]);`
-    Alltoall {
-        count: Expr,
-        comm: Option<String>,
-    },
+    Alltoall { count: Expr, comm: Option<String> },
     /// `mpi_comm_dup(into: c [, comm: c0]);` — duplicate a communicator
     /// into the named handle (collective over the parent communicator).
-    CommDup {
-        into: String,
-        comm: Option<String>,
-    },
+    CommDup { into: String, comm: Option<String> },
     /// `mpi_comm_split(color: e, key: e, into: c [, comm: c0]);`
     CommSplit {
         color: Expr,
@@ -468,9 +459,7 @@ impl StmtKind {
             | StmtKind::OmpSingle { body }
             | StmtKind::OmpMaster { body }
             | StmtKind::OmpCritical { body, .. } => vec![body],
-            StmtKind::OmpSections { sections } => {
-                sections.iter().map(|s| s.as_slice()).collect()
-            }
+            StmtKind::OmpSections { sections } => sections.iter().map(|s| s.as_slice()).collect(),
             _ => Vec::new(),
         }
     }
@@ -575,24 +564,22 @@ mod tests {
                     1,
                     StmtKind::OmpParallel {
                         num_threads: Expr::int(2),
-                        body: vec![
-                            stmt(
-                                2,
-                                StmtKind::If {
-                                    cond: Expr::bin(BinOp::Eq, Expr::Rank, Expr::int(0)),
-                                    then_block: vec![stmt(
-                                        3,
-                                        StmtKind::Mpi(MpiStmt::Send {
-                                            dest: Expr::int(1),
-                                            tag: Expr::var("tag"),
-                                            count: Expr::int(1),
-                                            comm: None,
-                                        }),
-                                    )],
-                                    else_block: vec![],
-                                },
-                            ),
-                        ],
+                        body: vec![stmt(
+                            2,
+                            StmtKind::If {
+                                cond: Expr::bin(BinOp::Eq, Expr::Rank, Expr::int(0)),
+                                then_block: vec![stmt(
+                                    3,
+                                    StmtKind::Mpi(MpiStmt::Send {
+                                        dest: Expr::int(1),
+                                        tag: Expr::var("tag"),
+                                        count: Expr::int(1),
+                                        comm: None,
+                                    }),
+                                )],
+                                else_block: vec![],
+                            },
+                        )],
                     },
                 ),
                 stmt(4, StmtKind::Mpi(MpiStmt::Finalize)),

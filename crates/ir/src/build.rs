@@ -5,9 +5,9 @@
 //! functions returning unnumbered statements plus [`finalize`] which assigns
 //! dense node ids (preorder) and a synthetic line per statement.
 
-use crate::ast::*;
 #[allow(unused_imports)]
 use crate::ast::FuncDef;
+use crate::ast::*;
 
 /// An unnumbered statement (ids assigned by [`finalize`]).
 pub fn stmt(kind: StmtKind) -> Stmt {

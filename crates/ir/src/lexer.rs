@@ -87,7 +87,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character {:?} on line {}",
+            self.ch, self.line
+        )
     }
 }
 

@@ -213,7 +213,15 @@ impl Parser {
                     self.expect(Tok::DotDot)?;
                     let to = self.expr()?;
                     let body = self.block()?;
-                    Ok(self.mk(line, StmtKind::For { var, from, to, body }))
+                    Ok(self.mk(
+                        line,
+                        StmtKind::For {
+                            var,
+                            from,
+                            to,
+                            body,
+                        },
+                    ))
                 }
                 "omp" => self.omp_stmt(line),
                 "compute" => self.compute_stmt(line),
@@ -403,7 +411,14 @@ impl Parser {
         }
         self.expect(Tok::RParen)?;
         self.expect(Tok::Semi)?;
-        Ok(self.mk(line, StmtKind::Compute { flops, reads, writes }))
+        Ok(self.mk(
+            line,
+            StmtKind::Compute {
+                flops,
+                reads,
+                writes,
+            },
+        ))
     }
 
     /// Parse `key: expr` argument lists for MPI calls.
@@ -432,11 +447,7 @@ impl Parser {
         Ok(args)
     }
 
-    fn take_arg(
-        &self,
-        args: &mut Vec<(String, Expr)>,
-        keys: &[&str],
-    ) -> Option<Expr> {
+    fn take_arg(&self, args: &mut Vec<(String, Expr)>, keys: &[&str]) -> Option<Expr> {
         let pos = args.iter().position(|(k, _)| keys.contains(&k.as_str()))?;
         Some(args.remove(pos).1)
     }
@@ -454,12 +465,10 @@ impl Parser {
         let call = match name.as_str() {
             "mpi_init" => MpiStmt::Init,
             "mpi_init_thread" => {
-                let level = self
-                    .take_bare(&mut args)
-                    .ok_or_else(|| ParseError {
-                        msg: "mpi_init_thread needs a thread level".into(),
-                        line,
-                    })?;
+                let level = self.take_bare(&mut args).ok_or_else(|| ParseError {
+                    msg: "mpi_init_thread needs a thread level".into(),
+                    line,
+                })?;
                 let required = match level.as_str() {
                     "single" => IrThreadLevel::Single,
                     "funneled" => IrThreadLevel::Funneled,
@@ -476,23 +485,23 @@ impl Parser {
             }
             "mpi_finalize" => MpiStmt::Finalize,
             "mpi_send" => MpiStmt::Send {
-                dest: self.take_arg(&mut args, &["to", "dest"]).ok_or_else(|| {
-                    ParseError {
+                dest: self
+                    .take_arg(&mut args, &["to", "dest"])
+                    .ok_or_else(|| ParseError {
                         msg: "mpi_send needs `to:`".into(),
                         line,
-                    }
-                })?,
+                    })?,
                 tag: self.take_arg(&mut args, &["tag"]).unwrap_or(Expr::Int(0)),
                 count: self.take_arg(&mut args, &["count"]).unwrap_or(one.clone()),
                 comm: self.comm_arg(&mut args, line)?,
             },
             "mpi_ssend" => MpiStmt::Ssend {
-                dest: self.take_arg(&mut args, &["to", "dest"]).ok_or_else(|| {
-                    ParseError {
+                dest: self
+                    .take_arg(&mut args, &["to", "dest"])
+                    .ok_or_else(|| ParseError {
                         msg: "mpi_ssend needs `to:`".into(),
                         line,
-                    }
-                })?,
+                    })?,
                 tag: self.take_arg(&mut args, &["tag"]).unwrap_or(Expr::Int(0)),
                 count: self.take_arg(&mut args, &["count"]).unwrap_or(one.clone()),
                 comm: self.comm_arg(&mut args, line)?,
@@ -507,12 +516,12 @@ impl Parser {
             "mpi_isend" => {
                 let req = self.req_arg(&mut args, line)?;
                 MpiStmt::Isend {
-                    dest: self.take_arg(&mut args, &["to", "dest"]).ok_or_else(|| {
-                        ParseError {
+                    dest: self
+                        .take_arg(&mut args, &["to", "dest"])
+                        .ok_or_else(|| ParseError {
                             msg: "mpi_isend needs `to:`".into(),
                             line,
-                        }
-                    })?,
+                        })?,
                     tag: self.take_arg(&mut args, &["tag"]).unwrap_or(Expr::Int(0)),
                     count: self.take_arg(&mut args, &["count"]).unwrap_or(one.clone()),
                     req,
@@ -610,10 +619,12 @@ impl Parser {
                 comm: self.comm_arg(&mut args, line)?,
             },
             "mpi_comm_split" => MpiStmt::CommSplit {
-                color: self.take_arg(&mut args, &["color"]).ok_or_else(|| ParseError {
-                    msg: "mpi_comm_split needs `color:`".into(),
-                    line,
-                })?,
+                color: self
+                    .take_arg(&mut args, &["color"])
+                    .ok_or_else(|| ParseError {
+                        msg: "mpi_comm_split needs `color:`".into(),
+                        line,
+                    })?,
                 key: self.take_arg(&mut args, &["key"]).unwrap_or(Expr::Rank),
                 into: self.handle_arg(&mut args, "into", line)?,
                 comm: self.comm_arg(&mut args, line)?,
@@ -962,7 +973,8 @@ mod tests {
 
     #[test]
     fn expression_precedence() {
-        let src = "program e { int x = 1 + 2 * 3; int y = (1 + 2) * 3; int z = rank == 0 && tid != 1; }";
+        let src =
+            "program e { int x = 1 + 2 * 3; int y = (1 + 2) * 3; int z = rank == 0 && tid != 1; }";
         let p = parse(src).unwrap();
         let inits: Vec<&Expr> = p
             .body
@@ -1023,7 +1035,11 @@ mod tests {
     fn compute_clauses() {
         let p = parse("program c { compute(100, reads: a b, writes: c); }").unwrap();
         match &p.body[0].kind {
-            StmtKind::Compute { flops, reads, writes } => {
+            StmtKind::Compute {
+                flops,
+                reads,
+                writes,
+            } => {
                 assert_eq!(*flops, Expr::int(100));
                 assert_eq!(reads, &vec!["a".to_string(), "b".to_string()]);
                 assert_eq!(writes, &vec!["c".to_string()]);

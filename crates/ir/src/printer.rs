@@ -61,14 +61,28 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
                 out.push_str("}\n");
             }
         }
-        StmtKind::For { var, from, to, body } => {
-            let _ = writeln!(out, "for {var} in {}..{} {{", print_expr(from), print_expr(to));
+        StmtKind::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "for {var} in {}..{} {{",
+                print_expr(from),
+                print_expr(to)
+            );
             print_block(out, body, depth + 1);
             indent(out, depth);
             out.push_str("}\n");
         }
         StmtKind::OmpParallel { num_threads, body } => {
-            let _ = writeln!(out, "omp parallel num_threads({}) {{", print_expr(num_threads));
+            let _ = writeln!(
+                out,
+                "omp parallel num_threads({}) {{",
+                print_expr(num_threads)
+            );
             print_block(out, body, depth + 1);
             indent(out, depth);
             out.push_str("}\n");
@@ -128,7 +142,11 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
         StmtKind::OmpAtomic { name, value } => {
             let _ = writeln!(out, "omp atomic {name} = {};", print_expr(value));
         }
-        StmtKind::Compute { flops, reads, writes } => {
+        StmtKind::Compute {
+            flops,
+            reads,
+            writes,
+        } => {
             let mut line = format!("compute({}", print_expr(flops));
             if !reads.is_empty() {
                 line.push_str(&format!(", reads: {}", reads.join(" ")));
@@ -158,14 +176,24 @@ fn print_mpi(out: &mut String, call: &MpiStmt) {
             format!("mpi_init_thread({});", required.keyword())
         }
         MpiStmt::Finalize => "mpi_finalize();".to_string(),
-        MpiStmt::Send { dest, tag, count, comm } => format!(
+        MpiStmt::Send {
+            dest,
+            tag,
+            count,
+            comm,
+        } => format!(
             "mpi_send(to: {}, tag: {}, count: {}{});",
             print_expr(dest),
             print_expr(tag),
             print_expr(count),
             comm_suffix(comm)
         ),
-        MpiStmt::Ssend { dest, tag, count, comm } => format!(
+        MpiStmt::Ssend {
+            dest,
+            tag,
+            count,
+            comm,
+        } => format!(
             "mpi_ssend(to: {}, tag: {}, count: {}{});",
             print_expr(dest),
             print_expr(tag),
@@ -191,7 +219,12 @@ fn print_mpi(out: &mut String, call: &MpiStmt) {
             print_expr(count),
             comm_suffix(comm)
         ),
-        MpiStmt::Irecv { src, tag, req, comm } => format!(
+        MpiStmt::Irecv {
+            src,
+            tag,
+            req,
+            comm,
+        } => format!(
             "mpi_irecv(from: {}, tag: {}, req: {req}{});",
             print_expr(src),
             print_expr(tag),
@@ -230,7 +263,12 @@ fn print_mpi(out: &mut String, call: &MpiStmt) {
             print_expr(count),
             comm_suffix(comm)
         ),
-        MpiStmt::Reduce { op, root, count, comm } => format!(
+        MpiStmt::Reduce {
+            op,
+            root,
+            count,
+            comm,
+        } => format!(
             "mpi_reduce({}, root: {}, count: {}{});",
             op.keyword(),
             print_expr(root),
@@ -265,11 +303,15 @@ fn print_mpi(out: &mut String, call: &MpiStmt) {
             print_expr(count),
             comm_suffix(comm)
         ),
-        MpiStmt::CommDup { into, comm } => format!(
-            "mpi_comm_dup(into: {into}{});",
-            comm_suffix(comm)
-        ),
-        MpiStmt::CommSplit { color, key, into, comm } => format!(
+        MpiStmt::CommDup { into, comm } => {
+            format!("mpi_comm_dup(into: {into}{});", comm_suffix(comm))
+        }
+        MpiStmt::CommSplit {
+            color,
+            key,
+            into,
+            comm,
+        } => format!(
             "mpi_comm_split(color: {}, key: {}, into: {into}{});",
             print_expr(color),
             print_expr(key),
@@ -327,7 +369,12 @@ mod tests {
                             then_block: walk(then_block),
                             else_block: walk(else_block),
                         },
-                        StmtKind::For { var, from, to, body } => StmtKind::For {
+                        StmtKind::For {
+                            var,
+                            from,
+                            to,
+                            body,
+                        } => StmtKind::For {
                             var: var.clone(),
                             from: from.clone(),
                             to: to.clone(),

@@ -102,7 +102,12 @@ impl Slot {
     }
 
     /// Check that a late arrival agrees with the slot's operation.
-    pub fn check_match(&self, kind: MpiCallKind, op: Option<ReduceOp>, root: Option<u32>) -> MpiResult<()> {
+    pub fn check_match(
+        &self,
+        kind: MpiCallKind,
+        op: Option<ReduceOp>,
+        root: Option<u32>,
+    ) -> MpiResult<()> {
         if self.kind != kind {
             return Err(MpiError::CollectiveMismatch {
                 expected: self.kind,
@@ -141,7 +146,7 @@ impl Slot {
                 vec![Arc::clone(&empty); size]
             }
             MpiCallKind::Bcast => {
-                let root = self.root.expect("bcast needs root") ;
+                let root = self.root.expect("bcast needs root");
                 vec![data_of(root); size]
             }
             MpiCallKind::Reduce | MpiCallKind::Allreduce => {
@@ -361,7 +366,9 @@ mod tests {
     #[test]
     fn mismatched_kind_is_detected() {
         let s = Slot::new(MpiCallKind::Barrier, None, None);
-        let e = s.check_match(MpiCallKind::Bcast, None, Some(0)).unwrap_err();
+        let e = s
+            .check_match(MpiCallKind::Bcast, None, Some(0))
+            .unwrap_err();
         assert!(matches!(e, MpiError::CollectiveMismatch { .. }));
         assert!(s.check_match(MpiCallKind::Barrier, None, None).is_ok());
     }

@@ -1,9 +1,9 @@
 //! Communicator bookkeeping.
 
 use crate::error::{MpiError, MpiResult};
-use home_trace::{CommId, Rank};
 #[cfg(test)]
 use home_trace::COMM_WORLD;
+use home_trace::{CommId, Rank};
 
 /// One communicator: an ordered list of member world ranks; a process's
 /// rank *within* the communicator is its position in this list.
@@ -156,7 +156,10 @@ mod tests {
         let mut t = CommTable::new_world(3);
         let d = t.dup(COMM_WORLD).unwrap();
         assert_ne!(d, COMM_WORLD);
-        assert_eq!(t.get(d).unwrap().members, t.get(COMM_WORLD).unwrap().members);
+        assert_eq!(
+            t.get(d).unwrap().members,
+            t.get(COMM_WORLD).unwrap().members
+        );
     }
 
     #[test]

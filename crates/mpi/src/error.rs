@@ -46,7 +46,10 @@ impl std::fmt::Display for MpiError {
             MpiError::AlreadyInitialized => write!(f, "MPI_Init called twice"),
             MpiError::AlreadyFinalized => write!(f, "MPI call after MPI_Finalize"),
             MpiError::InvalidRank { rank, comm_size } => {
-                write!(f, "rank {rank} out of range for communicator of size {comm_size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {comm_size}"
+                )
             }
             MpiError::InvalidComm => write!(f, "invalid communicator"),
             MpiError::CollectiveMismatch { expected, got } => {
@@ -80,9 +83,12 @@ mod tests {
     #[test]
     fn display_strings() {
         assert!(MpiError::NotInitialized.to_string().contains("MPI_Init"));
-        assert!(MpiError::InvalidRank { rank: 9, comm_size: 4 }
-            .to_string()
-            .contains("9"));
+        assert!(MpiError::InvalidRank {
+            rank: 9,
+            comm_size: 4
+        }
+        .to_string()
+        .contains("9"));
         let m = MpiError::CollectiveMismatch {
             expected: MpiCallKind::Barrier,
             got: MpiCallKind::Bcast,

@@ -157,7 +157,11 @@ impl Status {
 
 impl fmt::Display for Status {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Status(src={}, tag={}, count={})", self.source, self.tag, self.count)
+        write!(
+            f,
+            "Status(src={}, tag={}, count={})",
+            self.source, self.tag, self.count
+        )
     }
 }
 
@@ -203,7 +207,14 @@ mod tests {
     fn status_of_message() {
         let m = msg(1, 3);
         let s = Status::of(&m);
-        assert_eq!(s, Status { source: 1, tag: 3, count: 2 });
+        assert_eq!(
+            s,
+            Status {
+                source: 1,
+                tag: 3,
+                count: 2
+            }
+        );
         assert!(s.to_string().contains("src=1"));
     }
 }

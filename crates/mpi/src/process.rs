@@ -142,8 +142,7 @@ impl Process {
         let rt = self.rt();
         let cfg = self.world.config().clone();
         rt.advance(cfg.latency.send_overhead);
-        let available_at =
-            rt.clock() + cfg.latency.transfer_time(data.len());
+        let available_at = rt.clock() + cfg.latency.transfer_time(data.len());
         let (woken, _) = self.deliver_message(dest, tag, comm, data, available_at, None)?;
         for w in woken {
             rt.unblock(w);
@@ -162,8 +161,7 @@ impl Process {
         rt.advance(cfg.latency.send_overhead);
         let available_at = rt.clock() + cfg.latency.transfer_time(data.len());
         let me = self.me_vtid();
-        let (woken, uid) =
-            self.deliver_message(dest, tag, comm, data, available_at, Some(me))?;
+        let (woken, uid) = self.deliver_message(dest, tag, comm, data, available_at, Some(me))?;
         for w in woken {
             rt.unblock(w);
         }
@@ -223,8 +221,7 @@ impl Process {
     /// `MPI_Isend`: same transfer as [`Process::send`] plus a request handle
     /// whose completion stands for send-buffer reuse.
     pub fn isend(&self, dest: u32, tag: i32, comm: CommId, data: Payload) -> MpiResult<ReqId> {
-        let complete_at = self.rt().clock()
-            + self.world.config().latency.send_overhead;
+        let complete_at = self.rt().clock() + self.world.config().latency.send_overhead;
         self.send(dest, tag, comm, data)?;
         let mut st = self.world.lock();
         Ok(st.reqs.alloc(
@@ -377,7 +374,10 @@ impl Process {
         let rreq = self.irecv(src, recv_tag, comm)?;
         self.send(dest, send_tag, comm, data)?;
         let (payload, status) = self.wait(rreq)?;
-        Ok((payload.expect("receive request must carry a payload"), status))
+        Ok((
+            payload.expect("receive request must carry a payload"),
+            status,
+        ))
     }
 
     /// `MPI_Probe`: block until a matching message is visible, without
@@ -531,10 +531,8 @@ impl Process {
         let new_comms: Option<Result<Vec<Option<CommId>>, MpiError>> = match kind {
             MpiCallKind::CommDup => Some(st.comms.dup(comm).map(|id| vec![Some(id); size])),
             MpiCallKind::CommSplit => {
-                let cks: Vec<(i32, i32)> = color_keys
-                    .iter()
-                    .map(|ck| ck.unwrap_or((-1, 0)))
-                    .collect();
+                let cks: Vec<(i32, i32)> =
+                    color_keys.iter().map(|ck| ck.unwrap_or((-1, 0))).collect();
                 Some(st.comms.split(comm, &cks))
             }
             _ => None,
@@ -555,7 +553,14 @@ impl Process {
 
     /// `MPI_Barrier`.
     pub fn barrier(&self, comm: CommId) -> MpiResult<()> {
-        self.collective(comm, MpiCallKind::Barrier, None, None, Arc::new(Vec::new()), None)?;
+        self.collective(
+            comm,
+            MpiCallKind::Barrier,
+            None,
+            None,
+            Arc::new(Vec::new()),
+            None,
+        )?;
         Ok(())
     }
 
@@ -574,9 +579,7 @@ impl Process {
         data: Payload,
         comm: CommId,
     ) -> MpiResult<Option<Payload>> {
-        let crank = self
-            .comm_rank(comm)?
-            .ok_or(MpiError::InvalidComm)?;
+        let crank = self.comm_rank(comm)?.ok_or(MpiError::InvalidComm)?;
         let (payload, _) =
             self.collective(comm, MpiCallKind::Reduce, Some(op), Some(root), data, None)?;
         Ok(if crank == root { Some(payload) } else { None })
@@ -591,9 +594,7 @@ impl Process {
 
     /// `MPI_Gather`: root receives concatenation in rank order.
     pub fn gather(&self, root: u32, data: Payload, comm: CommId) -> MpiResult<Option<Payload>> {
-        let crank = self
-            .comm_rank(comm)?
-            .ok_or(MpiError::InvalidComm)?;
+        let crank = self.comm_rank(comm)?.ok_or(MpiError::InvalidComm)?;
         let (payload, _) =
             self.collective(comm, MpiCallKind::Gather, None, Some(root), data, None)?;
         Ok(if crank == root { Some(payload) } else { None })
@@ -668,12 +669,7 @@ mod tests {
         run_world_cfg(n, seed, MpiConfig::test(), f).unwrap();
     }
 
-    fn run_world_cfg<F>(
-        n: usize,
-        seed: u64,
-        cfg: MpiConfig,
-        f: F,
-    ) -> Result<World, SchedError>
+    fn run_world_cfg<F>(n: usize, seed: u64, cfg: MpiConfig, f: F) -> Result<World, SchedError>
     where
         F: Fn(Process) + Send + Sync + 'static,
     {
@@ -740,7 +736,8 @@ mod tests {
         run_world(2, 1, |p| {
             p.init_thread(ThreadLevel::Multiple).unwrap();
             if p.rank() == 0 {
-                p.send(1, 7, COMM_WORLD, payload(vec![1.0, 2.0, 3.0])).unwrap();
+                p.send(1, 7, COMM_WORLD, payload(vec![1.0, 2.0, 3.0]))
+                    .unwrap();
             } else {
                 let (data, st) = p
                     .recv(SrcSpec::Rank(0), TagSpec::Tag(7), COMM_WORLD)
@@ -784,7 +781,9 @@ mod tests {
                 }
             } else {
                 for i in 0..10 {
-                    let (d, _) = p.recv(SrcSpec::Rank(0), TagSpec::Tag(0), COMM_WORLD).unwrap();
+                    let (d, _) = p
+                        .recv(SrcSpec::Rank(0), TagSpec::Tag(0), COMM_WORLD)
+                        .unwrap();
                     assert_eq!(d[0], i as f64, "messages must not overtake");
                 }
             }
@@ -801,8 +800,12 @@ mod tests {
                 p.send(1, 6, COMM_WORLD, payload(vec![6.0])).unwrap();
             } else {
                 // Receive the *second* tag first.
-                let (d6, _) = p.recv(SrcSpec::Rank(0), TagSpec::Tag(6), COMM_WORLD).unwrap();
-                let (d5, _) = p.recv(SrcSpec::Rank(0), TagSpec::Tag(5), COMM_WORLD).unwrap();
+                let (d6, _) = p
+                    .recv(SrcSpec::Rank(0), TagSpec::Tag(6), COMM_WORLD)
+                    .unwrap();
+                let (d5, _) = p
+                    .recv(SrcSpec::Rank(0), TagSpec::Tag(5), COMM_WORLD)
+                    .unwrap();
                 assert_eq!((d5[0], d6[0]), (5.0, 6.0));
             }
             p.finalize().unwrap();
@@ -862,7 +865,10 @@ mod tests {
                 p.waitall(&rs).unwrap();
             } else {
                 let rs: Vec<ReqId> = (0..4)
-                    .map(|i| p.irecv(SrcSpec::Rank(0), TagSpec::Tag(i), COMM_WORLD).unwrap())
+                    .map(|i| {
+                        p.irecv(SrcSpec::Rank(0), TagSpec::Tag(i), COMM_WORLD)
+                            .unwrap()
+                    })
                     .collect();
                 let sts = p.waitall(&rs).unwrap();
                 for (i, st) in sts.iter().enumerate() {
@@ -933,7 +939,9 @@ mod tests {
                 p.ssend(1, 5, COMM_WORLD, payload(vec![7.0])).unwrap();
                 // After ssend returns, the receive must have matched.
             } else {
-                let (d, st) = p.recv(SrcSpec::Rank(0), TagSpec::Tag(5), COMM_WORLD).unwrap();
+                let (d, st) = p
+                    .recv(SrcSpec::Rank(0), TagSpec::Tag(5), COMM_WORLD)
+                    .unwrap();
                 assert_eq!(*d, vec![7.0]);
                 assert_eq!(st.tag, 5);
             }
@@ -1030,10 +1038,13 @@ mod tests {
             if p.rank() == 0 {
                 assert_eq!(*g.unwrap(), vec![0.0, 1.0]);
             }
-            let ag = p.allgather(payload(vec![p.rank() as f64 + 10.0]), COMM_WORLD).unwrap();
+            let ag = p
+                .allgather(payload(vec![p.rank() as f64 + 10.0]), COMM_WORLD)
+                .unwrap();
             assert_eq!(*ag, vec![10.0, 11.0]);
             let sc = if p.rank() == 0 {
-                p.scatter(0, payload(vec![1.0, 2.0, 3.0, 4.0]), COMM_WORLD).unwrap()
+                p.scatter(0, payload(vec![1.0, 2.0, 3.0, 4.0]), COMM_WORLD)
+                    .unwrap()
             } else {
                 p.scatter(0, payload(vec![]), COMM_WORLD).unwrap()
             };
@@ -1043,7 +1054,9 @@ mod tests {
                 assert_eq!(*sc, vec![3.0, 4.0]);
             }
             let base = p.rank() as f64 * 10.0;
-            let at = p.alltoall(payload(vec![base, base + 1.0]), COMM_WORLD).unwrap();
+            let at = p
+                .alltoall(payload(vec![base, base + 1.0]), COMM_WORLD)
+                .unwrap();
             if p.rank() == 0 {
                 assert_eq!(*at, vec![0.0, 10.0]);
             } else {
@@ -1116,7 +1129,8 @@ mod tests {
             if p.rank() == 0 {
                 p.send(1, 0, COMM_WORLD, payload(vec![0.0; 1000])).unwrap();
             } else {
-                p.recv(SrcSpec::Rank(0), TagSpec::Tag(0), COMM_WORLD).unwrap();
+                p.recv(SrcSpec::Rank(0), TagSpec::Tag(0), COMM_WORLD)
+                    .unwrap();
             }
             p.finalize().unwrap();
         })
@@ -1163,7 +1177,8 @@ mod tests {
                         *obs.lock() = Some(st.source);
                         let _ = p.recv(SrcSpec::Any, TagSpec::Any, COMM_WORLD).unwrap();
                     } else {
-                        p.send(2, 0, COMM_WORLD, payload(vec![p.rank() as f64])).unwrap();
+                        p.send(2, 0, COMM_WORLD, payload(vec![p.rank() as f64]))
+                            .unwrap();
                     }
                     p.finalize().unwrap();
                 });

@@ -134,10 +134,7 @@ mod tests {
     #[test]
     fn alloc_and_lookup() {
         let mut t = RequestTable::new();
-        let id = t.alloc(
-            Rank(0),
-            ReqState::SendInFlight { complete_at_ns: 5 },
-        );
+        let id = t.alloc(Rank(0), ReqState::SendInFlight { complete_at_ns: 5 });
         assert!(t.get(id).is_ok());
         assert!(t.get(ReqId(99)).is_err());
         assert_eq!(t.live(), 1);

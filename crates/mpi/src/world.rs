@@ -306,10 +306,10 @@ mod tests {
             },
         );
         st.deliver(Rank(1), mk_msg(0, 0, 1));
-        assert!(matches!(
-            st.reqs.get(r0).unwrap().state,
-            ReqState::ReadyRecv(_)
-        ), "earliest posting matched first");
+        assert!(
+            matches!(st.reqs.get(r0).unwrap().state, ReqState::ReadyRecv(_)),
+            "earliest posting matched first"
+        );
         assert!(matches!(
             st.reqs.get(r1).unwrap().state,
             ReqState::PendingRecv { .. }

@@ -11,8 +11,8 @@
 
 use crate::params::{Benchmark, Class, SizeParams};
 use home_ir::build::{
-    assign, compute_rw, if_then, mpi, omp_barrier, omp_critical, omp_for, omp_master,
-    omp_parallel, recv, send, seq_for, shared_decl,
+    assign, compute_rw, if_then, mpi, omp_barrier, omp_critical, omp_for, omp_master, omp_parallel,
+    recv, send, seq_for, shared_decl,
 };
 use home_ir::{BinOp, Expr, IrReduceOp, IrThreadLevel, MpiStmt, Stmt};
 
@@ -46,8 +46,14 @@ fn phase_region(benchmark: Benchmark, phase: usize, p: &SizeParams) -> Stmt {
         // Halo exchange, funneled through the master thread (the correct
         // hybrid idiom): eager sends both ways, then receives.
         omp_master(vec![
-            if_then(has_right(), vec![send(right.clone(), tag.clone(), msg.clone())]),
-            if_then(has_left(), vec![send(left.clone(), tag.clone(), msg.clone())]),
+            if_then(
+                has_right(),
+                vec![send(right.clone(), tag.clone(), msg.clone())],
+            ),
+            if_then(
+                has_left(),
+                vec![send(left.clone(), tag.clone(), msg.clone())],
+            ),
             if_then(has_left(), vec![recv(left, tag.clone())]),
             if_then(has_right(), vec![recv(right, tag)]),
         ]),
@@ -138,7 +144,11 @@ pub fn generate(benchmark: Benchmark, class: Class) -> home_ir::Program {
     body.extend(benchmark_body(benchmark, class));
     body.push(mpi(MpiStmt::Finalize));
     home_ir::build::finalize(
-        &format!("{}_{}", benchmark.name().to_lowercase().replace('-', "_"), class),
+        &format!(
+            "{}_{}",
+            benchmark.name().to_lowercase().replace('-', "_"),
+            class
+        ),
         body,
     )
 }
@@ -181,11 +191,7 @@ mod tests {
         for b in Benchmark::ALL {
             let p = generate(b, Class::S);
             let report = check(&p, &CheckOptions::new(2, 2).with_seeds(vec![1, 2]));
-            assert!(
-                report.violations.is_empty(),
-                "{b}: {}",
-                report.render()
-            );
+            assert!(report.violations.is_empty(), "{b}: {}", report.render());
             assert!(report.deadlocks.is_empty(), "{b} deadlocked");
         }
     }

@@ -18,9 +18,7 @@
 use crate::gen::benchmark_body;
 use crate::params::{Benchmark, Class};
 use home_core::ViolationKind;
-use home_ir::build::{
-    compute, if_then, mpi, omp_parallel, omp_critical, recv, send,
-};
+use home_ir::build::{compute, if_then, mpi, omp_critical, omp_parallel, recv, send};
 use home_ir::{BinOp, Expr, IrThreadLevel, MpiStmt, Program, Stmt};
 use serde::{Deserialize, Serialize};
 
@@ -52,7 +50,14 @@ fn episode_plan(benchmark: Benchmark) -> (Vec<Episode>, bool) {
         // LU carries the probe episode (latent): ITC cannot wrap probes
         // (miss → 5) and Marmot never sees it manifest (miss → 5).
         Benchmark::LuMz => (
-            vec![InitFunneled, FinalizeWorker, RecvManifest { tag: 910 }, Request, ProbeLatent, CollectivePar],
+            vec![
+                InitFunneled,
+                FinalizeWorker,
+                RecvManifest { tag: 910 },
+                Request,
+                ProbeLatent,
+                CollectivePar,
+            ],
             false,
         ),
         // BT: all six manifest (Marmot 6), no probe (ITC detects 6) plus
@@ -70,7 +75,14 @@ fn episode_plan(benchmark: Benchmark) -> (Vec<Episode>, bool) {
         ),
         // SP: one latent receive (Marmot misses → 5), no probe (ITC 6).
         Benchmark::SpMz => (
-            vec![InitFunneled, FinalizeWorker, RecvManifest { tag: 910 }, RecvLatent, Request, CollectivePar],
+            vec![
+                InitFunneled,
+                FinalizeWorker,
+                RecvManifest { tag: 910 },
+                RecvLatent,
+                Request,
+                CollectivePar,
+            ],
             false,
         ),
     }

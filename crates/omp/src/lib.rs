@@ -71,7 +71,10 @@ mod tests {
             .unwrap();
         });
         let kinds: Vec<&EventKind> = trace.events().iter().map(|e| &e.kind).collect();
-        assert!(matches!(kinds.first(), Some(EventKind::Fork { nthreads: 2, .. })));
+        assert!(matches!(
+            kinds.first(),
+            Some(EventKind::Fork { nthreads: 2, .. })
+        ));
         assert!(matches!(kinds.last(), Some(EventKind::JoinRegion { .. })));
         // Two access events, one per thread, both inside the region.
         let accesses: Vec<_> = trace

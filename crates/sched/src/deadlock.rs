@@ -17,7 +17,11 @@ pub struct BlockedThread {
 
 impl fmt::Display for BlockedThread {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}) blocked on {}", self.name, self.vtid, self.reason)
+        write!(
+            f,
+            "{} ({}) blocked on {}",
+            self.name, self.vtid, self.reason
+        )
     }
 }
 
@@ -52,7 +56,12 @@ impl DeadlockInfo {
 
 impl fmt::Display for DeadlockInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} thread(s) blocked at step {}: ", self.blocked.len(), self.step)?;
+        write!(
+            f,
+            "{} thread(s) blocked at step {}: ",
+            self.blocked.len(),
+            self.step
+        )?;
         for (i, b) in self.blocked.iter().enumerate() {
             if i > 0 {
                 write!(f, "; ")?;

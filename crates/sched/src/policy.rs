@@ -37,11 +37,7 @@ impl SchedPolicy {
                 let mut sorted: Vec<Vtid> = runnable.to_vec();
                 sorted.sort_unstable();
                 match last {
-                    Some(l) => sorted
-                        .iter()
-                        .copied()
-                        .find(|&v| v > l)
-                        .unwrap_or(sorted[0]),
+                    Some(l) => sorted.iter().copied().find(|&v| v > l).unwrap_or(sorted[0]),
                     None => sorted[0],
                 }
             }
@@ -125,6 +121,10 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(seq(7), seq(7));
-        assert_ne!(seq(7), seq(8), "different seeds should differ (very likely)");
+        assert_ne!(
+            seq(7),
+            seq(8),
+            "different seeds should differ (very likely)"
+        );
     }
 }

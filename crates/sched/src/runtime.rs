@@ -307,7 +307,9 @@ impl Runtime {
         let mut inner = self.shared.mu.lock();
         // Fold our final clock into the makespan.
         let final_clock = inner.slot(me).clock.load(Ordering::Relaxed);
-        self.shared.makespan.fetch_max(final_clock, Ordering::Relaxed);
+        self.shared
+            .makespan
+            .fetch_max(final_clock, Ordering::Relaxed);
         inner.slot_mut(me).status = ThreadStatus::Finished;
         inner.live -= 1;
         let waiters = std::mem::take(&mut inner.slot_mut(me).join_waiters);
@@ -504,9 +506,13 @@ impl Runtime {
     pub fn merge_clock(&self, t: SimTime) {
         CURRENT.with(|c| {
             let b = c.borrow();
-            let ctx = b.as_ref().expect("merge_clock called outside a virtual thread");
+            let ctx = b
+                .as_ref()
+                .expect("merge_clock called outside a virtual thread");
             ctx.clock.fetch_max(t.as_nanos(), Ordering::Relaxed);
-            self.shared.makespan.fetch_max(t.as_nanos(), Ordering::Relaxed);
+            self.shared
+                .makespan
+                .fetch_max(t.as_nanos(), Ordering::Relaxed);
         });
     }
 
@@ -639,7 +645,8 @@ mod tests {
             for _ in 0..10 {
                 rt_a.yield_now().unwrap();
             }
-            rt_a.block_current(BlockReason::Other("token".into())).unwrap();
+            rt_a.block_current(BlockReason::Other("token".into()))
+                .unwrap();
             7
         });
         let rt_b = rt.clone();
@@ -751,11 +758,9 @@ mod tests {
     fn max_steps_aborts_livelock() {
         let rt = Runtime::new(SchedConfig::deterministic(0).with_max_steps(Some(100)));
         let rt2 = rt.clone();
-        rt.spawn("spinner", move || {
-            loop {
-                if rt2.yield_now().is_err() {
-                    break;
-                }
+        rt.spawn("spinner", move || loop {
+            if rt2.yield_now().is_err() {
+                break;
             }
         });
         let err = rt.run().unwrap_err();

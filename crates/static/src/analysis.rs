@@ -506,28 +506,39 @@ mod tests {
         let r = analyze(&p);
         assert_eq!(
             r.checklist.monitored_vars,
-            vec!["srctmp", "tagtmp", "commtmp", "requesttmp", "collectivetmp", "finalizetmp"]
+            vec![
+                "srctmp",
+                "tagtmp",
+                "commtmp",
+                "requesttmp",
+                "collectivetmp",
+                "finalizetmp"
+            ]
         );
     }
 
     #[test]
     fn p2p_only_program_needs_only_envelope_vars() {
-        let p = parse(
-            "program p { omp parallel { mpi_send(to: 1, tag: 0, count: 1); } }",
-        )
-        .unwrap();
+        let p = parse("program p { omp parallel { mpi_send(to: 1, tag: 0, count: 1); } }").unwrap();
         let r = analyze(&p);
-        assert_eq!(r.checklist.monitored_vars, vec!["srctmp", "tagtmp", "commtmp"]);
+        assert_eq!(
+            r.checklist.monitored_vars,
+            vec!["srctmp", "tagtmp", "commtmp"]
+        );
     }
 
     #[test]
     fn init_levels_are_recorded() {
-        let p = parse(
-            "program i { mpi_init(); omp parallel { mpi_send(to: 1, tag: 0, count: 1); } }",
-        )
-        .unwrap();
+        let p =
+            parse("program i { mpi_init(); omp parallel { mpi_send(to: 1, tag: 0, count: 1); } }")
+                .unwrap();
         let r = analyze(&p);
-        let init = r.checklist.sites.iter().find(|s| s.name == "mpi_init").unwrap();
+        let init = r
+            .checklist
+            .sites
+            .iter()
+            .find(|s| s.name == "mpi_init")
+            .unwrap();
         assert_eq!(init.init_level, Some(home_ir::IrThreadLevel::Single));
     }
 

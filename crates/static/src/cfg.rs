@@ -257,10 +257,9 @@ mod tests {
 
     #[test]
     fn parallel_region_markers_bracket_body() {
-        let p = parse(
-            "program r { omp parallel num_threads(2) { mpi_barrier(); } mpi_finalize(); }",
-        )
-        .unwrap();
+        let p =
+            parse("program r { omp parallel num_threads(2) { mpi_barrier(); } mpi_finalize(); }")
+                .unwrap();
         let cfg = Cfg::build(&p);
         let seq: Vec<&CfgNode> = cfg.linearized().map(|(_, n)| n).collect();
         let begin = seq
@@ -273,14 +272,16 @@ mod tests {
             .unwrap();
         let barrier = seq
             .iter()
-            .position(|n| matches!(n, CfgNode::Stmt(_)) && {
-                if let CfgNode::Stmt(id) = n {
-                    matches!(
-                        p.stmt(*id).unwrap().kind,
-                        home_ir::StmtKind::Mpi(home_ir::MpiStmt::Barrier { .. })
-                    )
-                } else {
-                    false
+            .position(|n| {
+                matches!(n, CfgNode::Stmt(_)) && {
+                    if let CfgNode::Stmt(id) = n {
+                        matches!(
+                            p.stmt(*id).unwrap().kind,
+                            home_ir::StmtKind::Mpi(home_ir::MpiStmt::Barrier { .. })
+                        )
+                    } else {
+                        false
+                    }
                 }
             })
             .unwrap();
@@ -289,7 +290,9 @@ mod tests {
 
     #[test]
     fn if_branches_join() {
-        let p = parse("program b { if (rank == 0) { compute(1); } else { compute(2); } compute(3); }").unwrap();
+        let p =
+            parse("program b { if (rank == 0) { compute(1); } else { compute(2); } compute(3); }")
+                .unwrap();
         let cfg = Cfg::build(&p);
         // The branch head must have two successors.
         let (branch_ix, _) = cfg
@@ -333,12 +336,13 @@ mod tests {
     fn omp_for_emits_begin_loop_end() {
         let p = parse("program f { omp parallel { omp for i in 0..4 { compute(1); } } }").unwrap();
         let cfg = Cfg::build(&p);
-        let kinds: Vec<String> = cfg
-            .linearized()
-            .map(|(_, n)| format!("{n:?}"))
-            .collect();
-        assert!(kinds.iter().any(|k| k.contains("OmpBegin") && k.contains("For")));
+        let kinds: Vec<String> = cfg.linearized().map(|(_, n)| format!("{n:?}")).collect();
+        assert!(kinds
+            .iter()
+            .any(|k| k.contains("OmpBegin") && k.contains("For")));
         assert!(kinds.iter().any(|k| k.contains("LoopHead")));
-        assert!(kinds.iter().any(|k| k.contains("OmpEnd") && k.contains("For")));
+        assert!(kinds
+            .iter()
+            .any(|k| k.contains("OmpEnd") && k.contains("For")));
     }
 }

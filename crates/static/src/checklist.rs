@@ -66,9 +66,7 @@ impl Checklist {
 
     /// Should the interpreter wrap this call site?
     pub fn should_instrument(&self, node: NodeId) -> bool {
-        self.sites
-            .iter()
-            .any(|s| s.node == node && s.instrument)
+        self.sites.iter().any(|s| s.node == node && s.instrument)
     }
 
     /// Site lookup.

@@ -136,12 +136,18 @@ impl MpiCallKind {
 
     /// True for receive-side point-to-point calls.
     pub fn is_recv(self) -> bool {
-        matches!(self, MpiCallKind::Recv | MpiCallKind::Irecv | MpiCallKind::Sendrecv)
+        matches!(
+            self,
+            MpiCallKind::Recv | MpiCallKind::Irecv | MpiCallKind::Sendrecv
+        )
     }
 
     /// True for request-completion calls (`MPI_Wait`/`MPI_Test`/`Waitall`).
     pub fn is_completion(self) -> bool {
-        matches!(self, MpiCallKind::Wait | MpiCallKind::Test | MpiCallKind::Waitall)
+        matches!(
+            self,
+            MpiCallKind::Wait | MpiCallKind::Test | MpiCallKind::Waitall
+        )
     }
 
     /// True for probing calls.
@@ -234,10 +240,24 @@ impl fmt::Display for MpiCallRecord {
             write!(f, "{s}")
         };
         if let Some(p) = self.peer {
-            field(f, if p < 0 { "peer=ANY".into() } else { format!("peer={p}") })?;
+            field(
+                f,
+                if p < 0 {
+                    "peer=ANY".into()
+                } else {
+                    format!("peer={p}")
+                },
+            )?;
         }
         if let Some(t) = self.tag {
-            field(f, if t < 0 { "tag=ANY".into() } else { format!("tag={t}") })?;
+            field(
+                f,
+                if t < 0 {
+                    "tag=ANY".into()
+                } else {
+                    format!("tag={t}")
+                },
+            )?;
         }
         field(f, format!("{}", self.comm))?;
         if let Some(r) = self.request {
@@ -280,10 +300,7 @@ pub enum AccessKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A read or write of a shared location.
-    Access {
-        loc: MemLoc,
-        kind: AccessKind,
-    },
+    Access { loc: MemLoc, kind: AccessKind },
     /// The HOME wrapper's write into a monitored variable, carrying the MPI
     /// call that produced it. Race detection treats it as a `Write` on
     /// `MemLoc::Monitored(var)`; violation matching reads the call record.
@@ -292,33 +309,19 @@ pub enum EventKind {
         call: MpiCallRecord,
     },
     /// Lock acquired (OpenMP `critical` or runtime lock).
-    Acquire {
-        lock: LockId,
-    },
+    Acquire { lock: LockId },
     /// Lock released.
-    Release {
-        lock: LockId,
-    },
+    Release { lock: LockId },
     /// The master thread forked an OpenMP parallel region.
-    Fork {
-        region: RegionId,
-        nthreads: u32,
-    },
+    Fork { region: RegionId, nthreads: u32 },
     /// The master thread joined an OpenMP parallel region.
-    JoinRegion {
-        region: RegionId,
-    },
+    JoinRegion { region: RegionId },
     /// This thread passed a barrier (epoch counts completions at that
     /// barrier object within the region instance).
-    Barrier {
-        barrier: BarrierId,
-        epoch: u64,
-    },
+    Barrier { barrier: BarrierId, epoch: u64 },
     /// An MPI call was issued (wrapper entry). Emitted in addition to the
     /// `MonitoredWrite`s for that call.
-    MpiCall {
-        call: MpiCallRecord,
-    },
+    MpiCall { call: MpiCallRecord },
     /// The process initialized MPI with the given thread level.
     MpiInit {
         level: ThreadLevel,
@@ -378,7 +381,15 @@ impl fmt::Display for Event {
         write!(f, "[{} {}.{}] ", self.seq, self.rank, self.tid)?;
         match &self.kind {
             EventKind::Access { loc, kind } => {
-                write!(f, "{} {loc}", if *kind == AccessKind::Read { "read" } else { "write" })
+                write!(
+                    f,
+                    "{} {loc}",
+                    if *kind == AccessKind::Read {
+                        "read"
+                    } else {
+                        "write"
+                    }
+                )
             }
             EventKind::MonitoredWrite { var, call } => write!(f, "monitored {var} ← {call}"),
             EventKind::Acquire { lock } => write!(f, "acquire {lock}"),
@@ -416,7 +427,14 @@ mod tests {
         let names: Vec<_> = MonitoredVar::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(
             names,
-            vec!["srctmp", "tagtmp", "commtmp", "requesttmp", "collectivetmp", "finalizetmp"]
+            vec![
+                "srctmp",
+                "tagtmp",
+                "commtmp",
+                "requesttmp",
+                "collectivetmp",
+                "finalizetmp"
+            ]
         );
     }
 

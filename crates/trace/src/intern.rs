@@ -90,7 +90,11 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let i = i.clone();
-                std::thread::spawn(move || (0..100).map(|k| i.intern(&format!("v{k}"))).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|k| i.intern(&format!("v{k}")))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -24,9 +24,7 @@ mod vc;
 pub use event::{
     AccessKind, Event, EventKind, MemLoc, MonitoredVar, MpiCallKind, MpiCallRecord, ThreadLevel,
 };
-pub use ids::{
-    BarrierId, CommId, LockId, Rank, RegionId, ReqId, SrcLoc, Tid, VarId, COMM_WORLD,
-};
+pub use ids::{BarrierId, CommId, LockId, Rank, RegionId, ReqId, SrcLoc, Tid, VarId, COMM_WORLD};
 pub use intern::Interner;
 pub use lockset::LockSet;
 pub use sink::{Collector, CountingSink, EventFilter, MemorySink, NullSink, TraceSink};

@@ -17,7 +17,6 @@ impl LockSet {
         LockSet::default()
     }
 
-
     /// Insert a lock; returns true if newly added.
     pub fn insert(&mut self, lock: LockId) -> bool {
         match self.locks.binary_search(&lock) {
@@ -152,7 +151,10 @@ mod tests {
         let b = LockSet::from_iter([l(2), l(4)]);
         assert!(a.disjoint(&b));
         assert!(a.intersect(&b).is_empty());
-        assert!(LockSet::new().disjoint(&a), "empty set is disjoint from all");
+        assert!(
+            LockSet::new().disjoint(&a),
+            "empty set is disjoint from all"
+        );
     }
 
     #[test]

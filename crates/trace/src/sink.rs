@@ -317,7 +317,10 @@ mod tests {
         let sink = Arc::new(MemorySink::new());
         let c = Collector::new(sink.clone(), EventFilter::MONITORED_AND_SYNC);
         let k = access_event_kind(&c);
-        assert!(!c.emit(Rank(0), Tid(0), None, 0, None, k), "accesses filtered");
+        assert!(
+            !c.emit(Rank(0), Tid(0), None, 0, None, k),
+            "accesses filtered"
+        );
         assert!(c.emit(
             Rank(0),
             Tid(0),

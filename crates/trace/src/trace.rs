@@ -54,16 +54,19 @@ impl Trace {
 
     /// Monitored writes touching one specific variable.
     pub fn monitored_writes_of(&self, var: MonitoredVar) -> impl Iterator<Item = &Event> {
-        self.events
-            .iter()
-            .filter(move |e| matches!(&e.kind, EventKind::MonitoredWrite { var: v, .. } if *v == var))
+        self.events.iter().filter(
+            move |e| matches!(&e.kind, EventKind::MonitoredWrite { var: v, .. } if *v == var),
+        )
     }
 
     /// All MPI call-entry events.
     pub fn mpi_calls(&self) -> impl Iterator<Item = &Event> {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::MpiCall { .. } | EventKind::MpiInit { .. }))
+        self.events.iter().filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::MpiCall { .. } | EventKind::MpiInit { .. }
+            )
+        })
     }
 
     /// Serialize to pretty JSON (for EXPERIMENTS.md artifacts and debugging).

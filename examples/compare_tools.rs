@@ -68,7 +68,10 @@ fn main() {
         ..CheckOptions::default()
     };
 
-    println!("{:<8} {:>17} {:>14} {:>16}", "tool", "recv violations", "latent found", "benign flagged");
+    println!(
+        "{:<8} {:>17} {:>14} {:>16}",
+        "tool", "recv violations", "latent found", "benign flagged"
+    );
     for tool in [Tool::Home, Tool::Marmot, Tool::Itc] {
         let report = run_tool(tool, &program, &options);
         let recvs = report.of_kind(ViolationKind::ConcurrentRecv);
@@ -91,13 +94,19 @@ fn main() {
 
         match tool {
             Tool::Home => {
-                assert!(manifest && latent && !benign, "HOME: predictive, lock-aware");
+                assert!(
+                    manifest && latent && !benign,
+                    "HOME: predictive, lock-aware"
+                );
             }
             Tool::Marmot => {
                 assert!(manifest && !latent && !benign, "Marmot: manifest-only");
             }
             Tool::Itc => {
-                assert!(manifest && latent && benign, "ITC: predictive but critical-blind");
+                assert!(
+                    manifest && latent && benign,
+                    "ITC: predictive but critical-blind"
+                );
             }
             Tool::Base => unreachable!(),
         }

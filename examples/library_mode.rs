@@ -8,8 +8,8 @@
 //! cargo run --example library_mode
 //! ```
 
-use home::dynamic::{detect, DetectorConfig};
 use home::core::match_violations;
+use home::dynamic::{detect, DetectorConfig};
 use home::mpi::{payload, MpiConfig, SrcSpec, TagSpec, World};
 use home::omp::{OmpCosts, OmpProc};
 use home::prelude::*;

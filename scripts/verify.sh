@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + test + formatting + lints, fully offline.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Everything resolves to path dependencies (shims/ for external crates), so
+# --offline must always work; it also guards against accidental network use.
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "verify: all checks passed"

@@ -1,0 +1,267 @@
+//! Offline shim for the `parking_lot` API subset used in this repository.
+//!
+//! The crates-io registry is unreachable in the build environment, so this
+//! workspace vendors a thin non-poisoning wrapper over `std::sync` under the
+//! `parking_lot` name. Semantics match what the callers rely on:
+//!
+//! * `Mutex::lock` / `RwLock::read` / `RwLock::write` return guards directly
+//!   (no `Result`); a poisoned std lock is recovered transparently, since
+//!   parking_lot has no poisoning.
+//! * `Condvar::wait` takes `&mut MutexGuard` (parking_lot's signature) and
+//!   re-acquires the same mutex before returning.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A non-poisoning mutual-exclusion lock.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            mutex: self,
+            inner: Some(guard),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                mutex: self,
+                inner: Some(g),
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                mutex: self,
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]. The inner `Option` exists so [`Condvar::wait`]
+/// can temporarily take ownership of the std guard (std's `wait` consumes
+/// it) while the caller keeps holding `&mut MutexGuard`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard active")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard active")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A condition variable pairing with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Block until notified, releasing the guard's mutex while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard active");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        let _ = guard.mutex; // keep the field used even if only wait() borrows it
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// A non-poisoning reader-writer lock.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+}

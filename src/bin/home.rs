@@ -1,12 +1,13 @@
 //! `home` — the command-line front end of the checker.
 //!
 //! ```text
-//! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
+//! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--jobs N] [--faithful]
 //! home static  <file.hmp>
 //! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
 //!                          [--trace-out trace.json]
 //! home analyze <trace.json>
 //! home fmt     <file.hmp>
+//! home help
 //! ```
 //!
 //! * `check`   — the full HOME pipeline; exits nonzero if violations found.
@@ -16,17 +17,59 @@
 //! * `analyze` — offline mode: run the dynamic phase + rule matching over a
 //!   previously dumped trace (the paper's offline analysis).
 //! * `fmt`     — parse and reprint in canonical form.
+//! * `help`    — print the command and option reference.
 
 use home::baselines::Tool;
 use home::prelude::*;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: home <check|static|run|analyze|fmt|help> <file> [options]";
+
+fn print_help() {
+    println!("home — detect thread-safety violations in hybrid OpenMP/MPI programs");
+    println!();
+    println!("{USAGE}");
+    println!();
+    println!("commands:");
+    println!("  check   <file.hmp>   full pipeline: static analysis, multi-seed simulation,");
+    println!("                       race detection, violation matching; exit 1 on findings");
+    println!("  static  <file.hmp>   compile-time phase only: per-site instrumentation decisions");
+    println!("  run     <file.hmp>   one simulated execution; report timing and events");
+    println!("  analyze <trace.json> offline dynamic phase over a previously dumped trace");
+    println!("  fmt     <file.hmp>   parse and reprint in canonical form");
+    println!("  help                 print this reference");
+    println!();
+    println!("check options:");
+    println!("  --procs N       MPI processes to simulate (default 2)");
+    println!("  --threads N     OpenMP threads per process (default 2)");
+    println!("  --seeds a,b,c   scheduler seeds to explore (default 1,2,3,4)");
+    println!("  --jobs N        worker threads for the seed/rank fan-out;");
+    println!("                  1 = serial, default = available parallelism.");
+    println!("                  The report is identical for every value.");
+    println!("  --faithful      time-faithful scheduling instead of randomized");
+    println!();
+    println!("run options:");
+    println!("  --procs N / --threads N   as above");
+    println!("  --seed S                  scheduler seed (default 7)");
+    println!("  --tool base|home|marmot|itc  instrumentation profile (default base)");
+    println!("  --trace-out trace.json    dump the recorded event trace as JSON");
+    println!();
+    println!("exit codes: 0 clean, 1 violations or deadlock found, 2 usage or input error");
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(
+        args.first().map(String::as_str),
+        Some("help") | Some("--help") | Some("-h")
+    ) {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) if !f.starts_with("--") => (c.as_str(), f.as_str()),
         _ => {
-            eprintln!("usage: home <check|static|run|fmt> <file.hmp> [options]");
+            eprintln!("{USAGE}");
             eprintln!("run `home help` for details");
             return ExitCode::from(2);
         }
@@ -65,37 +108,71 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Value of `name`, if the flag is present. A flag at the end of the
+/// argument list with no value following it is an error, not a silent miss.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.as_str())),
+            None => Err(format!("missing value for {name}")),
+        },
+    }
 }
 
-fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
-    flag_value(args, name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Parse `name`'s value as an unsigned integer, defaulting when absent.
+/// An unparseable value is an error (exit 2), never a silent default.
+fn usize_flag(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, name)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            format!("invalid value `{v}` for {name}: expected a non-negative integer")
+        }),
+    }
+}
+
+/// Print a usage error and yield exit code 2.
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("home: {message}");
+    eprintln!("run `home help` for details");
+    ExitCode::from(2)
 }
 
 fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
-    let mut options = CheckOptions::new(
-        usize_flag(args, "--procs", 2),
-        usize_flag(args, "--threads", 2),
-    );
-    if let Some(seeds) = flag_value(args, "--seeds") {
-        options.seeds = seeds
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .collect();
-        if options.seeds.is_empty() {
-            eprintln!("home: --seeds needs a comma-separated list of integers");
-            return ExitCode::from(2);
+    let parsed = (|| -> Result<CheckOptions, String> {
+        let mut options = CheckOptions::new(
+            usize_flag(args, "--procs", 2)?,
+            usize_flag(args, "--threads", 2)?,
+        );
+        if let Some(seeds) = flag_value(args, "--seeds")? {
+            let mut parsed_seeds = Vec::new();
+            for part in seeds.split(',') {
+                let part = part.trim();
+                parsed_seeds.push(part.parse::<u64>().map_err(|_| {
+                    format!(
+                        "invalid seed `{part}` in --seeds: expected a comma-separated list of integers"
+                    )
+                })?);
+            }
+            if parsed_seeds.is_empty() {
+                return Err("--seeds needs a comma-separated list of integers".into());
+            }
+            options.seeds = parsed_seeds;
         }
-    }
-    if args.iter().any(|a| a == "--faithful") {
-        options.sched_policy = SchedPolicy::EarliestClockFirst;
-    }
+        let jobs = usize_flag(args, "--jobs", home::dynamic::default_jobs())?;
+        if jobs == 0 {
+            return Err("invalid value `0` for --jobs: expected at least 1".into());
+        }
+        options = options.with_jobs(jobs);
+        if args.iter().any(|a| a == "--faithful") {
+            options.sched_policy = SchedPolicy::EarliestClockFirst;
+        }
+        Ok(options)
+    })();
+    let options = match parsed {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
     let report = check(program, &options);
     print!("{}", report.render());
     if report.violations.is_empty() && report.deadlocks.is_empty() {
@@ -133,7 +210,10 @@ fn cmd_static(program: &Program) -> ExitCode {
         println!("  line {:>3}  {:<16} [{marks}]", site.line, site.name);
     }
     if !report.checklist.monitored_vars.is_empty() {
-        println!("monitored variables: {}", report.checklist.monitored_vars.join(", "));
+        println!(
+            "monitored variables: {}",
+            report.checklist.monitored_vars.join(", ")
+        );
     }
     ExitCode::SUCCESS
 }
@@ -165,41 +245,52 @@ fn cmd_analyze(trace_json: &str) -> ExitCode {
 }
 
 fn cmd_run(program: &Program, args: &[String]) -> ExitCode {
-    let nprocs = usize_flag(args, "--procs", 2);
-    let tool = match flag_value(args, "--tool").unwrap_or("base") {
-        "base" => Tool::Base,
-        "home" => Tool::Home,
-        "marmot" => Tool::Marmot,
-        "itc" => Tool::Itc,
-        other => {
-            eprintln!("home: unknown tool `{other}`");
-            return ExitCode::from(2);
-        }
+    let parsed = (|| -> Result<(usize, usize, usize, Tool), String> {
+        let nprocs = usize_flag(args, "--procs", 2)?;
+        let threads = usize_flag(args, "--threads", 2)?;
+        let seed = usize_flag(args, "--seed", 7)?;
+        let tool = match flag_value(args, "--tool")?.unwrap_or("base") {
+            "base" => Tool::Base,
+            "home" => Tool::Home,
+            "marmot" => Tool::Marmot,
+            "itc" => Tool::Itc,
+            other => return Err(format!("unknown tool `{other}`")),
+        };
+        Ok((nprocs, threads, seed, tool))
+    })();
+    let (nprocs, threads, seed, tool) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
     };
     let checklist = std::sync::Arc::new(analyze(program).checklist.clone());
-    let mut cfg = RunConfig::cluster(nprocs, usize_flag(args, "--seed", 7) as u64)
+    let mut cfg = RunConfig::cluster(nprocs, seed as u64)
         .with_instrumentation(tool.instrumentation_scaled(nprocs))
         .with_checklist(checklist);
-    cfg.threads_per_proc = usize_flag(args, "--threads", 2);
+    cfg.threads_per_proc = threads;
     let result = run(program, &cfg);
     println!(
         "tool={} procs={nprocs} threads={} simulated time {}  events {}",
         result.tool, cfg.threads_per_proc, result.makespan, result.events_recorded
     );
     for i in &result.mpi_errors {
-        println!("incident: rank {} line {} {}: {}", i.rank, i.line, i.call, i.error);
+        println!(
+            "incident: rank {} line {} {}: {}",
+            i.rank, i.line, i.call, i.error
+        );
     }
     for (r, e) in &result.runtime_errors {
         println!("runtime error: rank {r}: {e}");
     }
-    if let Some(path) = flag_value(args, "--trace-out") {
-        match std::fs::write(path, result.trace.to_json()) {
+    match flag_value(args, "--trace-out") {
+        Ok(Some(path)) => match std::fs::write(path, result.trace.to_json()) {
             Ok(()) => println!("trace written to {path}"),
             Err(e) => {
                 eprintln!("home: cannot write {path}: {e}");
                 return ExitCode::from(2);
             }
-        }
+        },
+        Ok(None) => {}
+        Err(e) => return usage_error(&e),
     }
     match &result.deadlock {
         Some(d) => {

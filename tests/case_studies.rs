@@ -37,7 +37,11 @@ program case2 {
 #[test]
 fn figure_1_initialization_violation_detected() {
     let report = check(&parse(FIGURE_1).unwrap(), &CheckOptions::default());
-    assert!(report.has(ViolationKind::Initialization), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::Initialization),
+        "{}",
+        report.render()
+    );
     // The report points into the program.
     let v = &report.of_kind(ViolationKind::Initialization)[0];
     assert!(v.locations.iter().all(|l| l.file == "case1.hmp"));
@@ -57,7 +61,11 @@ fn figure_1_fixed_with_thread_multiple() {
 #[test]
 fn figure_2_concurrent_recv_violation_detected() {
     let report = check(&parse(FIGURE_2).unwrap(), &CheckOptions::default());
-    assert!(report.has(ViolationKind::ConcurrentRecv), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::ConcurrentRecv),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -109,5 +117,9 @@ fn unbalanced_recv_deadlock_is_diagnosed() {
     assert!(info.involves("recv") || info.involves("MPI"), "{info}");
     // And the underlying same-tag violation is still reported from the
     // events recorded before the deadlock.
-    assert!(report.has(ViolationKind::ConcurrentRecv), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::ConcurrentRecv),
+        "{}",
+        report.render()
+    );
 }

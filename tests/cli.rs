@@ -83,8 +83,8 @@ fn fmt_roundtrips() {
     let (stdout, _, code) = home_cli(&["fmt", "programs/figure1.hmp"]);
     assert_eq!(code, Some(0));
     // Canonically formatted output reparses to the same statement count.
-    let original = home::ir::parse(&std::fs::read_to_string("programs/figure1.hmp").unwrap())
-        .unwrap();
+    let original =
+        home::ir::parse(&std::fs::read_to_string("programs/figure1.hmp").unwrap()).unwrap();
     let reparsed = home::ir::parse(&stdout).unwrap();
     assert_eq!(original.stmt_count(), reparsed.stmt_count());
 }
@@ -100,6 +100,63 @@ fn bad_usage_exits_2() {
     let (_, stderr, code) = home_cli(&["bogus", "programs/figure1.hmp"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn help_lists_all_commands() {
+    for invocation in [&["help"][..], &["--help"], &["-h"]] {
+        let (stdout, _, code) = home_cli(invocation);
+        assert_eq!(code, Some(0), "{invocation:?}");
+        for cmd in ["check", "static", "run", "analyze", "fmt", "help"] {
+            assert!(stdout.contains(cmd), "help must mention `{cmd}`: {stdout}");
+        }
+        assert!(stdout.contains("--jobs"), "{stdout}");
+    }
+}
+
+#[test]
+fn usage_line_mentions_every_command() {
+    let (_, stderr, code) = home_cli(&[]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("analyze"),
+        "usage must list analyze: {stderr}"
+    );
+    assert!(stderr.contains("help"), "usage must list help: {stderr}");
+}
+
+#[test]
+fn invalid_flag_values_exit_2_not_silently_default() {
+    let cases: &[&[&str]] = &[
+        &["check", "programs/figure1.hmp", "--procs", "two"],
+        &["check", "programs/figure1.hmp", "--threads", "-1"],
+        &["check", "programs/figure1.hmp", "--seeds", "1,x,3"],
+        &["check", "programs/figure1.hmp", "--jobs", "fast"],
+        &["check", "programs/figure1.hmp", "--jobs", "0"],
+        &["check", "programs/figure1.hmp", "--seeds"],
+        &["run", "programs/figure1.hmp", "--seed", "abc"],
+        &["run", "programs/figure1.hmp", "--procs", "2.5"],
+    ];
+    for case in cases {
+        let (_, stderr, code) = home_cli(case);
+        assert_eq!(code, Some(2), "{case:?} must exit 2: {stderr}");
+        assert!(
+            stderr.contains("invalid") || stderr.contains("missing") || stderr.contains("--seeds"),
+            "{case:?} must explain the error: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn jobs_flag_is_accepted_and_deterministic() {
+    // Same program, same seeds: serial and parallel runs must produce
+    // byte-identical reports and the same exit code.
+    for program in ["programs/figure2.hmp", "programs/figure2_fixed.hmp"] {
+        let (out_1, _, code_1) = home_cli(&["check", program, "--jobs", "1"]);
+        let (out_4, _, code_4) = home_cli(&["check", program, "--jobs", "4"]);
+        assert_eq!(code_1, code_4, "{program}");
+        assert_eq!(out_1, out_4, "{program}: --jobs must not change the report");
+    }
 }
 
 #[test]

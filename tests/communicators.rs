@@ -83,7 +83,11 @@ fn same_communicator_still_violates() {
         }
     "#;
     let report = check(&parse(src).unwrap(), &CheckOptions::default());
-    assert!(report.has(ViolationKind::ConcurrentRecv), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::ConcurrentRecv),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -124,7 +128,11 @@ fn concurrent_collectives_on_one_dup_comm_still_violate() {
         }
     "#;
     let report = check(&parse(src).unwrap(), &CheckOptions::default());
-    assert!(report.has(ViolationKind::CollectiveCall), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::CollectiveCall),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]

@@ -33,12 +33,19 @@ fn function_called_from_region_is_instrumented() {
         .iter()
         .find(|s| s.name == "mpi_recv")
         .expect("recv site found inside the function");
-    assert!(recv.in_hybrid_region, "hybrid context propagates into callee");
+    assert!(
+        recv.in_hybrid_region,
+        "hybrid context propagates into callee"
+    );
     assert!(recv.instrument);
 
     // And the violation is detected end to end through the call.
     let report = check(&p, &CheckOptions::default());
-    assert!(report.has(ViolationKind::ConcurrentRecv), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::ConcurrentRecv),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -99,7 +106,11 @@ fn transitive_hybrid_context_propagates() {
     // Both threads execute g's barrier concurrently → collective violation,
     // reported with the *function's* source line.
     let report = check(&p, &CheckOptions::default());
-    assert!(report.has(ViolationKind::CollectiveCall), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::CollectiveCall),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -171,7 +182,10 @@ fn unknown_function_is_a_runtime_error_and_recursion_is_bounded() {
         }
     "#;
     // Must terminate (depth guard), not overflow the stack.
-    let report = check(&parse(rec).unwrap(), &CheckOptions::default().with_seeds(vec![1]));
+    let report = check(
+        &parse(rec).unwrap(),
+        &CheckOptions::default().with_seeds(vec![1]),
+    );
     assert!(report.violations.is_empty());
 }
 

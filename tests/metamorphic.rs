@@ -1,12 +1,19 @@
 //! Metamorphic properties of the race detector: adding synchronization can
 //! only remove races, never create them, and the hybrid detector is the
-//! conjunction of its two parts.
+//! conjunction of its two parts. Cases are generated from a seeded in-repo
+//! ChaCha generator (the crates registry is unreachable, so proptest is
+//! unavailable); every case is deterministic.
 
+use home::dynamic::{detect, DetectorConfig};
 use home::trace::{
     AccessKind, BarrierId, Event, EventKind, LockId, MemLoc, Rank, RegionId, Tid, Trace, VarId,
 };
-use home::dynamic::{detect, DetectorConfig};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng_for(case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x4D45_5441 + case)
+}
 
 /// A tiny op language for two threads inside one region.
 #[derive(Debug, Clone, Copy)]
@@ -16,19 +23,20 @@ enum Op {
     Locked(u32, u32), // (lock, var): acquire; write var; release
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(u8, Op)>> {
-    // (thread, op) pairs; the pair order is the global interleaving.
-    proptest::collection::vec(
-        (
-            0u8..2,
-            prop_oneof![
-                (0u32..4).prop_map(Op::Write),
-                (0u32..4).prop_map(Op::Read),
-                ((0u32..2), (0u32..4)).prop_map(|(l, v)| Op::Locked(l, v)),
-            ],
-        ),
-        1..12,
-    )
+/// Random `(thread, op)` pairs; the pair order is the global interleaving.
+fn gen_ops(rng: &mut ChaCha8Rng) -> Vec<(u8, Op)> {
+    let len = rng.gen_range(1usize..12);
+    (0..len)
+        .map(|_| {
+            let t = rng.gen_range(0u8..2);
+            let op = match rng.gen_range(0u32..3) {
+                0 => Op::Write(rng.gen_range(0u32..4)),
+                1 => Op::Read(rng.gen_range(0u32..4)),
+                _ => Op::Locked(rng.gen_range(0u32..2), rng.gen_range(0u32..4)),
+            };
+            (t, op)
+        })
+        .collect()
 }
 
 /// Build a trace from the op sequence; `barrier_at` optionally inserts a
@@ -85,7 +93,12 @@ fn build_trace(ops: &[(u8, Op)], barrier_at: Option<usize>) -> Trace {
                 &mut seq,
             ),
             Op::Locked(l, v) => {
-                push(&mut events, tid, EventKind::Acquire { lock: LockId(l) }, &mut seq);
+                push(
+                    &mut events,
+                    tid,
+                    EventKind::Acquire { lock: LockId(l) },
+                    &mut seq,
+                );
                 push(
                     &mut events,
                     tid,
@@ -95,7 +108,12 @@ fn build_trace(ops: &[(u8, Op)], barrier_at: Option<usize>) -> Trace {
                     },
                     &mut seq,
                 );
-                push(&mut events, tid, EventKind::Release { lock: LockId(l) }, &mut seq);
+                push(
+                    &mut events,
+                    tid,
+                    EventKind::Release { lock: LockId(l) },
+                    &mut seq,
+                );
             }
         }
         if barrier_at == Some(i) {
@@ -141,37 +159,45 @@ fn pair_set(trace: &Trace, cfg: &DetectorConfig) -> std::collections::BTreeSet<(
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The hybrid detector reports a subset of each single-analysis mode
-    /// (it is their conjunction).
-    #[test]
-    fn hybrid_is_conjunction_of_modes(ops in arb_ops()) {
+/// The hybrid detector reports a subset of each single-analysis mode
+/// (it is their conjunction).
+#[test]
+fn hybrid_is_conjunction_of_modes() {
+    for case in 0..96 {
+        let mut rng = rng_for(case);
+        let ops = gen_ops(&mut rng);
         let trace = build_trace(&ops, None);
         let hybrid = pair_set(&trace, &DetectorConfig::hybrid());
         let lockset = pair_set(&trace, &DetectorConfig::lockset_only());
         let hb = pair_set(&trace, &DetectorConfig::hb_only());
-        prop_assert!(hybrid.is_subset(&lockset), "hybrid ⊄ lockset");
-        prop_assert!(hybrid.is_subset(&hb), "hybrid ⊄ hb");
+        assert!(hybrid.is_subset(&lockset), "case {case}: hybrid ⊄ lockset");
+        assert!(hybrid.is_subset(&hb), "case {case}: hybrid ⊄ hb");
     }
+}
 
-    /// Inserting a barrier anywhere never increases the hybrid race count.
-    #[test]
-    fn adding_a_barrier_never_adds_races(ops in arb_ops(), pos_frac in 0.0f64..1.0) {
+/// Inserting a barrier anywhere never increases the hybrid race count.
+#[test]
+fn adding_a_barrier_never_adds_races() {
+    for case in 0..96 {
+        let mut rng = rng_for(1_000 + case);
+        let ops = gen_ops(&mut rng);
         let trace = build_trace(&ops, None);
-        let pos = ((ops.len() as f64 * pos_frac) as usize).min(ops.len().saturating_sub(1));
+        let pos = rng.gen_range(0usize..ops.len());
         let trace_b = build_trace(&ops, Some(pos));
-        prop_assert!(
+        assert!(
             race_count(&trace_b, &DetectorConfig::hybrid())
                 <= race_count(&trace, &DetectorConfig::hybrid()),
-            "barrier added races"
+            "case {case}: barrier at {pos} added races"
         );
     }
+}
 
-    /// Wrapping every access in one common lock removes all hybrid races.
-    #[test]
-    fn common_lock_eliminates_all_races(ops in arb_ops()) {
+/// Wrapping every access in one common lock removes all hybrid races.
+#[test]
+fn common_lock_eliminates_all_races() {
+    for case in 0..96 {
+        let mut rng = rng_for(2_000 + case);
+        let ops = gen_ops(&mut rng);
         let locked: Vec<(u8, Op)> = ops
             .iter()
             .map(|&(t, op)| {
@@ -182,27 +208,48 @@ proptest! {
             })
             .collect();
         let trace = build_trace(&locked, None);
-        prop_assert_eq!(race_count(&trace, &DetectorConfig::hybrid()), 0);
+        assert_eq!(
+            race_count(&trace, &DetectorConfig::hybrid()),
+            0,
+            "case {case}"
+        );
     }
+}
 
-    /// Reads never race with reads, whatever the interleaving.
-    #[test]
-    fn read_only_histories_are_race_free(
-        pairs in proptest::collection::vec((0u8..2, 0u32..4), 1..12)
-    ) {
-        let ops: Vec<(u8, Op)> = pairs.into_iter().map(|(t, v)| (t, Op::Read(v))).collect();
+/// Reads never race with reads, whatever the interleaving.
+#[test]
+fn read_only_histories_are_race_free() {
+    for case in 0..96 {
+        let mut rng = rng_for(3_000 + case);
+        let len = rng.gen_range(1usize..12);
+        let ops: Vec<(u8, Op)> = (0..len)
+            .map(|_| (rng.gen_range(0u8..2), Op::Read(rng.gen_range(0u32..4))))
+            .collect();
         let trace = build_trace(&ops, None);
-        prop_assert_eq!(race_count(&trace, &DetectorConfig::hybrid()), 0);
-        prop_assert_eq!(race_count(&trace, &DetectorConfig::lockset_only()), 0);
+        assert_eq!(
+            race_count(&trace, &DetectorConfig::hybrid()),
+            0,
+            "case {case}"
+        );
+        assert_eq!(
+            race_count(&trace, &DetectorConfig::lockset_only()),
+            0,
+            "case {case}"
+        );
     }
+}
 
-    /// Determinism: detection is a pure function of the trace.
-    #[test]
-    fn detection_is_deterministic(ops in arb_ops()) {
+/// Determinism: detection is a pure function of the trace.
+#[test]
+fn detection_is_deterministic() {
+    for case in 0..96 {
+        let mut rng = rng_for(4_000 + case);
+        let ops = gen_ops(&mut rng);
         let trace = build_trace(&ops, None);
-        prop_assert_eq!(
+        assert_eq!(
             pair_set(&trace, &DetectorConfig::hybrid()),
-            pair_set(&trace, &DetectorConfig::hybrid())
+            pair_set(&trace, &DetectorConfig::hybrid()),
+            "case {case}"
         );
     }
 }

@@ -1,213 +1,306 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! language front-end.
+//! Randomized property tests over the core data structures and the language
+//! front-end. Uses a seeded in-repo ChaCha generator (the crates registry is
+//! unreachable, so proptest is unavailable); every case is deterministic and
+//! the failing seed is part of the assertion message.
 
 use home::ir::build as b;
 use home::ir::{parse, print_program, BinOp, Expr, IrReduceOp, MpiStmt, Stmt};
 use home::trace::{LockId, LockSet, VectorClock};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng_for(case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0xC0DE_0000 + case)
+}
 
 // ---- vector clock laws -----------------------------------------------------
 
-fn arb_vc() -> impl Strategy<Value = VectorClock> {
-    proptest::collection::vec(0u64..20, 0..6).prop_map(|vals| {
-        let mut vc = VectorClock::new();
-        for (i, v) in vals.into_iter().enumerate() {
-            vc.set(i, v);
-        }
-        vc
-    })
+fn gen_vc(rng: &mut ChaCha8Rng) -> VectorClock {
+    let mut vc = VectorClock::new();
+    for i in 0..rng.gen_range(0usize..6) {
+        vc.set(i, rng.gen_range(0u64..20));
+    }
+    vc
 }
 
-proptest! {
-    #[test]
-    fn vc_join_is_commutative(a in arb_vc(), c in arb_vc()) {
+#[test]
+fn vc_join_is_commutative() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let (a, c) = (gen_vc(&mut rng), gen_vc(&mut rng));
         let mut ac = a.clone();
         ac.join(&c);
         let mut ca = c.clone();
         ca.join(&a);
-        prop_assert_eq!(ac.partial_cmp_vc(&ca), Some(std::cmp::Ordering::Equal));
+        assert_eq!(
+            ac.partial_cmp_vc(&ca),
+            Some(std::cmp::Ordering::Equal),
+            "case {case}: {a:?} ⊔ {c:?}"
+        );
     }
+}
 
-    #[test]
-    fn vc_join_is_upper_bound(a in arb_vc(), c in arb_vc()) {
+#[test]
+fn vc_join_is_upper_bound() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let (a, c) = (gen_vc(&mut rng), gen_vc(&mut rng));
         let mut j = a.clone();
         j.join(&c);
-        prop_assert!(a.leq(&j));
-        prop_assert!(c.leq(&j));
+        assert!(a.leq(&j) && c.leq(&j), "case {case}: {a:?} ⊔ {c:?} = {j:?}");
     }
+}
 
-    #[test]
-    fn vc_join_is_idempotent(a in arb_vc()) {
+#[test]
+fn vc_join_is_idempotent() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let a = gen_vc(&mut rng);
         let mut j = a.clone();
         j.join(&a);
-        prop_assert!(j.leq(&a) && a.leq(&j));
+        assert!(j.leq(&a) && a.leq(&j), "case {case}: {a:?}");
     }
+}
 
-    #[test]
-    fn vc_leq_is_a_partial_order(a in arb_vc(), c in arb_vc(), d in arb_vc()) {
+#[test]
+fn vc_leq_is_a_partial_order() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let (a, c, d) = (gen_vc(&mut rng), gen_vc(&mut rng), gen_vc(&mut rng));
         // Reflexive.
-        prop_assert!(a.leq(&a));
+        assert!(a.leq(&a), "case {case}");
         // Antisymmetric (up to equality of components).
         if a.leq(&c) && c.leq(&a) {
-            prop_assert_eq!(a.partial_cmp_vc(&c), Some(std::cmp::Ordering::Equal));
+            assert_eq!(
+                a.partial_cmp_vc(&c),
+                Some(std::cmp::Ordering::Equal),
+                "case {case}"
+            );
         }
         // Transitive.
         if a.leq(&c) && c.leq(&d) {
-            prop_assert!(a.leq(&d));
+            assert!(a.leq(&d), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn vc_tick_strictly_increases(a in arb_vc(), slot in 0usize..8) {
-        let before = a.clone();
-        let mut after = a;
+#[test]
+fn vc_tick_strictly_increases() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let before = gen_vc(&mut rng);
+        let slot = rng.gen_range(0usize..8);
+        let mut after = before.clone();
         after.tick(slot);
-        prop_assert!(before.happens_before(&after));
+        assert!(before.happens_before(&after), "case {case}: slot {slot}");
     }
+}
 
-    #[test]
-    fn vc_concurrent_is_symmetric_and_irreflexive(a in arb_vc(), c in arb_vc()) {
-        prop_assert_eq!(a.concurrent_with(&c), c.concurrent_with(&a));
-        prop_assert!(!a.concurrent_with(&a));
+#[test]
+fn vc_concurrent_is_symmetric_and_irreflexive() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let (a, c) = (gen_vc(&mut rng), gen_vc(&mut rng));
+        assert_eq!(a.concurrent_with(&c), c.concurrent_with(&a), "case {case}");
+        assert!(!a.concurrent_with(&a), "case {case}");
     }
 }
 
 // ---- lockset laws ----------------------------------------------------------
 
-fn arb_lockset() -> impl Strategy<Value = LockSet> {
-    proptest::collection::btree_set(0u32..12, 0..6)
-        .prop_map(|s| LockSet::from_iter(s.into_iter().map(LockId)))
+fn gen_lockset(rng: &mut ChaCha8Rng) -> LockSet {
+    let mut set = LockSet::new();
+    for _ in 0..rng.gen_range(0usize..6) {
+        set.insert(LockId(rng.gen_range(0u32..12)));
+    }
+    set
 }
 
-proptest! {
-    #[test]
-    fn lockset_intersect_commutes(a in arb_lockset(), c in arb_lockset()) {
-        prop_assert_eq!(a.intersect(&c), c.intersect(&a));
+#[test]
+fn lockset_intersect_commutes() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let (a, c) = (gen_lockset(&mut rng), gen_lockset(&mut rng));
+        assert_eq!(a.intersect(&c), c.intersect(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn lockset_intersection_is_subset(a in arb_lockset(), c in arb_lockset()) {
+#[test]
+fn lockset_intersection_is_subset() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let (a, c) = (gen_lockset(&mut rng), gen_lockset(&mut rng));
         let i = a.intersect(&c);
         for l in i.iter() {
-            prop_assert!(a.contains(l) && c.contains(l));
+            assert!(a.contains(l) && c.contains(l), "case {case}: {l:?}");
         }
-        prop_assert_eq!(i.is_empty(), a.disjoint(&c));
+        assert_eq!(i.is_empty(), a.disjoint(&c), "case {case}");
     }
+}
 
-    #[test]
-    fn lockset_insert_remove_roundtrip(a in arb_lockset(), l in 0u32..12) {
-        let lock = LockId(l);
+#[test]
+fn lockset_insert_remove_roundtrip() {
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let a = gen_lockset(&mut rng);
+        let lock = LockId(rng.gen_range(0u32..12));
         let had = a.contains(lock);
         let mut m = a.clone();
         m.insert(lock);
-        prop_assert!(m.contains(lock));
+        assert!(m.contains(lock), "case {case}");
         m.remove(lock);
-        prop_assert!(!m.contains(lock));
+        assert!(!m.contains(lock), "case {case}");
         if !had {
-            prop_assert_eq!(m, a);
+            assert_eq!(m, a, "case {case}");
         }
     }
 }
 
 // ---- DSL parse ∘ print round-trip -------------------------------------------
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..100).prop_map(Expr::Int),
-        Just(Expr::Rank),
-        Just(Expr::Size),
-        Just(Expr::ThreadId),
-        Just(Expr::NumThreads),
-        Just(Expr::Any),
-        "[a-z][a-z0-9_]{0,5}".prop_map(Expr::Var),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Add, a, c)),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Mul, a, c)),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Eq, a, c)),
-            (inner.clone(), inner.clone()).prop_map(|(a, c)| Expr::bin(BinOp::Lt, a, c)),
-            inner.clone().prop_map(|a| Expr::Neg(Box::new(a))),
-            inner.prop_map(|a| Expr::Not(Box::new(a))),
-        ]
-    })
+fn gen_name(rng: &mut ChaCha8Rng) -> String {
+    // Lowercase identifiers that cannot collide with DSL keywords.
+    format!("v{}", rng.gen_range(0u32..40))
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        ( "[a-z][a-z0-9_]{0,5}", arb_expr()).prop_map(|(n, e)| b::decl(&n, e)),
-        ( "[a-z][a-z0-9_]{0,5}", arb_expr()).prop_map(|(n, e)| b::shared_decl(&n, e)),
-        arb_expr().prop_map(b::compute),
-        (arb_expr(), arb_expr(), arb_expr()).prop_map(|(d, t, c)| b::send(d, t, c)),
-        (arb_expr(), arb_expr()).prop_map(|(s, t)| b::recv(s, t)),
-        Just(b::mpi(MpiStmt::Barrier { comm: None })),
-        arb_expr().prop_map(|c| b::mpi(MpiStmt::Allreduce { op: IrReduceOp::Max, count: c, comm: None })),
-        (arb_expr(), arb_expr()).prop_map(|(s, t)| b::mpi(MpiStmt::Probe { src: s, tag: t, comm: None })),
-        Just(b::omp_barrier()),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        let block = proptest::collection::vec(inner.clone(), 1..4);
-        prop_oneof![
-            (arb_expr(), block.clone()).prop_map(|(c, blk)| b::if_then(c, blk)),
-            (arb_expr(), block.clone(), proptest::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(c, t, e)| b::if_else(c, t, e)),
-            ("[a-z][a-z0-9_]{0,3}", arb_expr(), arb_expr(), block.clone())
-                .prop_map(|(v, lo, hi, blk)| b::seq_for(&v, lo, hi, blk)),
-            (arb_expr(), block.clone()).prop_map(|(n, blk)| b::omp_parallel(n, blk)),
-            ("[a-z][a-z0-9_]{0,3}", arb_expr(), arb_expr(), block.clone())
-                .prop_map(|(v, lo, hi, blk)| b::omp_for(&v, lo, hi, blk)),
-            block.clone().prop_map(b::omp_single),
-            block.clone().prop_map(b::omp_master),
-            ("[a-z][a-z0-9_]{0,3}", block.clone()).prop_map(|(n, blk)| b::omp_critical(&n, blk)),
-            proptest::collection::vec(block, 1..3).prop_map(b::omp_sections),
-        ]
-    })
+fn gen_expr(rng: &mut ChaCha8Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0u32..7) {
+            0 => Expr::Int(rng.gen_range(0i64..100)),
+            1 => Expr::Rank,
+            2 => Expr::Size,
+            3 => Expr::ThreadId,
+            4 => Expr::NumThreads,
+            5 => Expr::Any,
+            _ => Expr::Var(gen_name(rng)),
+        };
+    }
+    match rng.gen_range(0u32..6) {
+        0 => Expr::bin(
+            BinOp::Add,
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        1 => Expr::bin(
+            BinOp::Mul,
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        2 => Expr::bin(
+            BinOp::Eq,
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        3 => Expr::bin(
+            BinOp::Lt,
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1),
+        ),
+        4 => Expr::Neg(Box::new(gen_expr(rng, depth - 1))),
+        _ => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_block(rng: &mut ChaCha8Rng, depth: usize, max_len: usize) -> Vec<Stmt> {
+    let len = rng.gen_range(1usize..max_len.max(2));
+    (0..len).map(|_| gen_stmt(rng, depth)).collect()
+}
 
-    /// print ∘ parse ∘ print is the identity on printed form (canonical
-    /// printer is a fixpoint), and parse succeeds on everything the
-    /// builder can produce.
-    #[test]
-    fn printed_programs_reparse_and_print_identically(
-        body in proptest::collection::vec(arb_stmt(), 1..6)
-    ) {
+fn gen_stmt(rng: &mut ChaCha8Rng, depth: usize) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.5) {
+        return match rng.gen_range(0u32..9) {
+            0 => b::decl(&gen_name(rng), gen_expr(rng, 2)),
+            1 => b::shared_decl(&gen_name(rng), gen_expr(rng, 2)),
+            2 => b::compute(gen_expr(rng, 2)),
+            3 => b::send(gen_expr(rng, 1), gen_expr(rng, 1), gen_expr(rng, 1)),
+            4 => b::recv(gen_expr(rng, 1), gen_expr(rng, 1)),
+            5 => b::mpi(MpiStmt::Barrier { comm: None }),
+            6 => b::mpi(MpiStmt::Allreduce {
+                op: IrReduceOp::Max,
+                count: gen_expr(rng, 1),
+                comm: None,
+            }),
+            7 => b::mpi(MpiStmt::Probe {
+                src: gen_expr(rng, 1),
+                tag: gen_expr(rng, 1),
+                comm: None,
+            }),
+            _ => b::omp_barrier(),
+        };
+    }
+    match rng.gen_range(0u32..9) {
+        0 => b::if_then(gen_expr(rng, 2), gen_block(rng, depth - 1, 4)),
+        1 => b::if_else(
+            gen_expr(rng, 2),
+            gen_block(rng, depth - 1, 4),
+            gen_block(rng, depth - 1, 3),
+        ),
+        2 => b::seq_for(
+            &gen_name(rng),
+            gen_expr(rng, 1),
+            gen_expr(rng, 1),
+            gen_block(rng, depth - 1, 4),
+        ),
+        3 => b::omp_parallel(gen_expr(rng, 1), gen_block(rng, depth - 1, 4)),
+        4 => b::omp_for(
+            &gen_name(rng),
+            gen_expr(rng, 1),
+            gen_expr(rng, 1),
+            gen_block(rng, depth - 1, 4),
+        ),
+        5 => b::omp_single(gen_block(rng, depth - 1, 4)),
+        6 => b::omp_master(gen_block(rng, depth - 1, 4)),
+        7 => b::omp_critical(&gen_name(rng), gen_block(rng, depth - 1, 4)),
+        _ => {
+            let sections = (0..rng.gen_range(1usize..3))
+                .map(|_| gen_block(rng, depth - 1, 3))
+                .collect();
+            b::omp_sections(sections)
+        }
+    }
+}
+
+/// print ∘ parse ∘ print is the identity on printed form (canonical printer
+/// is a fixpoint), and parse succeeds on everything the builder can produce.
+#[test]
+fn printed_programs_reparse_and_print_identically() {
+    for case in 0..64 {
+        let mut rng = rng_for(1_000 + case);
+        let body = gen_block(&mut rng, 3, 6);
         let program = home::ir::build::finalize("prop", body);
         let printed = print_program(&program);
-        let reparsed = parse(&printed).expect("printed program must parse");
-        prop_assert_eq!(reparsed.stmt_count(), program.stmt_count());
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: printed program must parse: {e}\n{printed}"));
+        assert_eq!(reparsed.stmt_count(), program.stmt_count(), "case {case}");
         let printed2 = print_program(&reparsed);
-        prop_assert_eq!(printed, printed2);
+        assert_eq!(printed, printed2, "case {case}");
     }
 }
 
 // ---- static analysis invariants ---------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Algorithm 1's marking is exactly "syntactically inside an
-    /// omp parallel region": instrumented ⇒ in-region, and outside-region
-    /// reachable calls are never instrumented.
-    #[test]
-    fn checklist_instruments_only_hybrid_sites(
-        body in proptest::collection::vec(arb_stmt(), 1..6)
-    ) {
+/// Algorithm 1's marking is exactly "syntactically inside an omp parallel
+/// region": instrumented ⇒ in-region, and outside-region reachable calls are
+/// never instrumented.
+#[test]
+fn checklist_instruments_only_hybrid_sites() {
+    for case in 0..64 {
+        let mut rng = rng_for(2_000 + case);
+        let body = gen_block(&mut rng, 3, 6);
         let program = home::ir::build::finalize("prop", body);
         let report = home::static_analysis::analyze(&program);
         for site in &report.checklist.sites {
             if site.instrument {
-                prop_assert!(site.in_hybrid_region && site.reachable);
+                assert!(site.in_hybrid_region && site.reachable, "case {case}");
             }
             if !site.in_hybrid_region {
-                prop_assert!(!site.instrument);
+                assert!(!site.instrument, "case {case}");
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             report.stats.instrumented + report.stats.skipped,
-            report.stats.total_mpi_calls
+            report.stats.total_mpi_calls,
+            "case {case}"
         );
     }
 }

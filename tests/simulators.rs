@@ -1,13 +1,20 @@
 //! Cross-crate integration tests of the simulated substrates through the
 //! direct (non-DSL) API: MPI world + OpenMP runtime on the deterministic
-//! scheduler, including property-based checks of messaging invariants.
+//! scheduler, including randomized checks of messaging invariants driven by
+//! a seeded in-repo ChaCha generator (the crates registry is unreachable,
+//! so proptest is unavailable); every case is deterministic.
 
 use home::mpi::{payload, MpiConfig, SrcSpec, TagSpec, World};
 use home::omp::{OmpCosts, OmpProc};
 use home::sched::{Runtime, SchedConfig};
 use home::trace::{Collector, Rank, COMM_WORLD};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
+
+fn rng_for(case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x51_4D50 + case)
+}
 
 /// Hybrid direct-API smoke test: each rank forks OpenMP threads which do
 /// thread-distinct-tag self-exchanges, then all ranks allreduce.
@@ -27,11 +34,16 @@ fn hybrid_direct_api_end_to_end() {
             let p2 = proc_mpi.clone();
             omp.parallel(2, move |ctx| {
                 let tag = 500 + ctx.tid().0 as i32;
-                p2.send(p2.rank(), tag, COMM_WORLD, payload(vec![ctx.tid().0 as f64]))
-                    .map_err(|e| match e {
-                        home::mpi::MpiError::Sched(s) => s,
-                        other => panic!("{other}"),
-                    })?;
+                p2.send(
+                    p2.rank(),
+                    tag,
+                    COMM_WORLD,
+                    payload(vec![ctx.tid().0 as f64]),
+                )
+                .map_err(|e| match e {
+                    home::mpi::MpiError::Sched(s) => s,
+                    other => panic!("{other}"),
+                })?;
                 let (data, _) = p2
                     .recv(SrcSpec::Rank(p2.rank()), TagSpec::Tag(tag), COMM_WORLD)
                     .map_err(|e| match e {
@@ -91,16 +103,16 @@ fn identical_seeds_identical_traces() {
     assert_eq!(run_once(99), run_once(99));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Per-channel FIFO: whatever tags/counts a sender uses, a receiver
-    /// draining one (src, tag) channel sees payloads in send order.
-    #[test]
-    fn messages_never_overtake_on_a_channel(
-        counts in proptest::collection::vec(1usize..5, 1..8),
-        seed in 0u64..50,
-    ) {
+/// Per-channel FIFO: whatever tags/counts a sender uses, a receiver
+/// draining one (src, tag) channel sees payloads in send order.
+#[test]
+fn messages_never_overtake_on_a_channel() {
+    for case in 0..24 {
+        let mut rng = rng_for(case);
+        let counts: Vec<usize> = (0..rng.gen_range(1usize..8))
+            .map(|_| rng.gen_range(1usize..5))
+            .collect();
+        let seed = rng.gen_range(0u64..50);
         let rt = Runtime::new(SchedConfig::deterministic(seed));
         let world = World::new(rt.clone(), 2, MpiConfig::test());
         let n = counts.len();
@@ -110,7 +122,8 @@ proptest! {
             rt.spawn("sender", move || {
                 p.init_thread(home::trace::ThreadLevel::Multiple).unwrap();
                 for (i, c) in counts.iter().enumerate() {
-                    p.send(1, 7, COMM_WORLD, payload(vec![i as f64; *c])).unwrap();
+                    p.send(1, 7, COMM_WORLD, payload(vec![i as f64; *c]))
+                        .unwrap();
                 }
                 p.finalize().unwrap();
             });
@@ -130,15 +143,17 @@ proptest! {
             });
         }
         rt.run().unwrap();
-        prop_assert_eq!(world.undelivered_messages(), 0);
+        assert_eq!(world.undelivered_messages(), 0, "case {case}");
     }
+}
 
-    /// Collectives compute correct values for arbitrary contributions.
-    #[test]
-    fn allreduce_sum_matches_reference(
-        vals in proptest::collection::vec(-100i32..100, 3),
-        seed in 0u64..20,
-    ) {
+/// Collectives compute correct values for arbitrary contributions.
+#[test]
+fn allreduce_sum_matches_reference() {
+    for case in 0..20 {
+        let mut rng = rng_for(1_000 + case);
+        let vals: Vec<i32> = (0..3).map(|_| rng.gen_range(-100i32..100)).collect();
+        let seed = rng.gen_range(0u64..20);
         let rt = Runtime::new(SchedConfig::deterministic(seed));
         let world = World::new(rt.clone(), 3, MpiConfig::test());
         let expected: f64 = vals.iter().map(|&v| v as f64).sum();
@@ -161,14 +176,18 @@ proptest! {
         }
         rt.run().unwrap();
     }
+}
 
-    /// A blocking wildcard receive always returns one of the actually-sent
-    /// envelopes, and every message is delivered exactly once.
-    #[test]
-    fn wildcard_matching_is_a_permutation(
-        tags in proptest::collection::vec(0i32..5, 2..6),
-        seed in 0u64..30,
-    ) {
+/// A blocking wildcard receive always returns one of the actually-sent
+/// envelopes, and every message is delivered exactly once.
+#[test]
+fn wildcard_matching_is_a_permutation() {
+    for case in 0..30 {
+        let mut rng = rng_for(2_000 + case);
+        let tags: Vec<i32> = (0..rng.gen_range(2usize..6))
+            .map(|_| rng.gen_range(0i32..5))
+            .collect();
+        let seed = rng.gen_range(0u64..30);
         let rt = Runtime::new(SchedConfig::deterministic(seed));
         let world = World::new(rt.clone(), 2, MpiConfig::test());
         let n = tags.len();
@@ -200,6 +219,6 @@ proptest! {
         let mut got = received.lock().clone();
         got.sort_unstable();
         let expected: Vec<(usize, i32)> = tags.iter().copied().enumerate().collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
 }
