@@ -96,11 +96,14 @@ pub fn manifest_races(trace: &Trace) -> Vec<Race> {
                         if !seen.insert(key) {
                             continue;
                         }
+                        let (Some(first), Some(second)) = (access_of(ev_a), access_of(ev_b)) else {
+                            continue; // not an access event: nothing to report
+                        };
                         races.push(Race {
                             rank,
                             loc: *loc_a,
-                            first: access_of(ev_a),
-                            second: access_of(ev_b),
+                            first,
+                            second,
                         });
                     }
                 }
@@ -130,10 +133,13 @@ fn call_blocks<'a>(events: &[&'a Event]) -> Vec<CallBlock<'a>> {
         while i < events.len() && events[i].tid == tid {
             match &events[i].kind {
                 EventKind::MpiCall { .. } if i == start => {}
-                EventKind::MonitoredWrite { .. } => {
-                    let (loc, _) = events[i].kind.access().expect("write access");
-                    writes.push((loc, events[i]));
-                }
+                EventKind::MonitoredWrite { .. } => match events[i].kind.access() {
+                    Some((loc, _)) => writes.push((loc, events[i])),
+                    // A monitored write always carries an access; tolerate
+                    // a malformed event by ending the block instead of
+                    // panicking.
+                    None => break,
+                },
                 _ => break,
             }
             i += 1;
@@ -148,16 +154,16 @@ fn call_blocks<'a>(events: &[&'a Event]) -> Vec<CallBlock<'a>> {
     blocks
 }
 
-fn access_of(e: &Event) -> RaceAccess {
-    let (_, kind) = e.kind.access().expect("monitored write is an access");
-    RaceAccess {
+fn access_of(e: &Event) -> Option<RaceAccess> {
+    let (_, kind) = e.kind.access()?;
+    Some(RaceAccess {
         seq: e.seq,
         tid: e.tid,
         region: e.region,
         kind,
         loc: e.loc.clone(),
         mpi: e.kind.mpi_call().cloned(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! interface: HOME, Marmot, and an Intel-Thread-Checker (ITC) model.
 
 use crate::marmot::manifest_races;
-use home_core::{match_violations, CheckOptions, HomeReport};
+use home_core::{match_violations, CheckOptions, HomeReport, SeedRun, SeedStatus};
 use home_dynamic::{detect, DetectorConfig, DetectorMode};
 use home_interp::{run, Instrumentation, RunConfig};
 use home_ir::Program;
@@ -131,10 +131,35 @@ pub fn run_tool(tool: Tool, program: &Program, options: &CheckOptions) -> HomeRe
                 let result = run(program, &cfg);
                 let races = match tool {
                     Tool::Marmot => manifest_races(&result.trace),
-                    Tool::Itc => detect(&result.trace, &tool.detector().expect("itc detector")),
+                    Tool::Itc => {
+                        let detector = tool.detector().unwrap_or_else(DetectorConfig::hybrid);
+                        match detect(&result.trace, &detector) {
+                            Ok(r) => r,
+                            // A detector failure poisons only this seed:
+                            // record it and keep the remaining seeds.
+                            Err(e) => {
+                                report.partial = true;
+                                report.seed_runs.push(SeedRun {
+                                    seed,
+                                    status: SeedStatus::Failed {
+                                        error: e.to_string(),
+                                    },
+                                });
+                                continue;
+                            }
+                        }
+                    }
                     _ => unreachable!(),
                 };
                 let violations = match_violations(&result.trace, &races, &result.mpi_errors);
+                report.seed_runs.push(SeedRun {
+                    seed,
+                    status: SeedStatus::Ok {
+                        events: result.events_recorded,
+                        races: races.len(),
+                        violations: violations.len(),
+                    },
+                });
                 report.runs += 1;
                 report.total_events += result.events_recorded;
                 if let Some(d) = result.deadlock {

@@ -131,7 +131,7 @@ fn bench_detector(c: &mut Criterion) {
         ("4t_x_2k", synthetic_trace(4, 2_000, 64)),
     ] {
         group.bench_with_input(BenchmarkId::new("hybrid", label), &trace, |b, t| {
-            b.iter(|| detect(t, &DetectorConfig::hybrid()))
+            b.iter(|| detect(t, &DetectorConfig::hybrid()).expect("well-formed synthetic trace"))
         });
     }
     group.finish();

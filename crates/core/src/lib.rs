@@ -17,10 +17,15 @@
 //!
 //! Entry point: [`check`].
 
+// Fallible paths return `HomeError` instead of panicking: a poisoned seed
+// or trace must degrade into a partial report, never abort the pipeline.
+// Tests are exempt (the attribute is off under cfg(test)).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod pipeline;
 mod report;
 mod rules;
 
 pub use pipeline::{check, CheckOptions};
-pub use report::{HomeReport, Violation, ViolationKind};
-pub use rules::match_violations;
+pub use report::{HomeReport, SeedRun, SeedStatus, Violation, ViolationKind};
+pub use rules::{match_rules, match_violations, RuleOutcome};

@@ -1,12 +1,14 @@
 //! The end-to-end HOME pipeline: static analysis → instrumented execution →
 //! dynamic concurrency detection → violation matching → merged report.
 
-use crate::report::HomeReport;
-use crate::rules::match_violations;
+use crate::report::{HomeReport, SeedRun, SeedStatus};
+use crate::rules::match_rules;
 use home_dynamic::{detect, DetectorConfig};
 use home_interp::{run, Instrumentation, RunConfig};
 use home_ir::Program;
 use home_static::analyze;
+use home_trace::HomeError;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 /// Options for one HOME check.
@@ -35,6 +37,12 @@ pub struct CheckOptions {
     /// order, so the report is identical for every value. `1` is exactly
     /// the serial path; the default is the machine's available parallelism.
     pub jobs: usize,
+    /// Fault-injection hook: seeds in this list panic at the start of
+    /// their chain. Exercises the per-seed fault isolation (a failed seed
+    /// becomes a [`SeedStatus::Failed`] entry and sets
+    /// [`HomeReport::partial`], never poisoning the other seeds). Exposed
+    /// on the CLI as `--fail-seed`.
+    pub inject_panic_seeds: Vec<u64>,
 }
 
 impl Default for CheckOptions {
@@ -47,6 +55,7 @@ impl Default for CheckOptions {
             instrumentation: Instrumentation::home(),
             sched_policy: home_sched::SchedPolicy::Random,
             jobs: home_dynamic::default_jobs(),
+            inject_panic_seeds: Vec::new(),
         }
     }
 }
@@ -73,6 +82,25 @@ impl CheckOptions {
         self.jobs = jobs;
         self.detector.jobs = jobs;
         self
+    }
+
+    /// Inject a deliberate panic into the listed seeds' chains (fault
+    /// isolation testing; see [`CheckOptions::inject_panic_seeds`]).
+    pub fn with_fail_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.inject_panic_seeds = seeds;
+        self
+    }
+}
+
+/// Render a caught panic payload as text (panics carry `&str` or `String`
+/// in practice; anything else gets a stable placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -104,63 +132,102 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
     };
 
     // One seed's simulate→detect→match chain. Pure in `program` and the
-    // shared checklist, so seeds may run on separate threads.
+    // shared checklist, so seeds may run on separate threads. The whole
+    // chain is fault-isolated: a panic (or typed error) anywhere inside it
+    // becomes an `Err` slot attributed to the seed, never a poisoned join.
     let run_seed = |seed: u64| -> SeedOutcome {
-        let mut cfg = RunConfig::test(options.nprocs, seed)
-            .with_instrumentation(options.instrumentation.clone())
-            .with_checklist(Arc::clone(&checklist));
-        cfg.threads_per_proc = options.threads_per_proc;
-        cfg.sched.policy = options.sched_policy;
-        let result = run(program, &cfg);
-
-        let races = detect(&result.trace, &options.detector);
-        let violations = match_violations(&result.trace, &races, &result.mpi_errors);
-        SeedOutcome {
-            seed,
-            events_recorded: result.events_recorded,
-            deadlock: result.deadlock,
-            incidents: result.mpi_errors,
-            races,
-            violations,
-        }
-    };
-
-    let jobs = options.jobs.max(1).min(options.seeds.len().max(1));
-    let outcomes: Vec<SeedOutcome> = if jobs <= 1 {
-        options.seeds.iter().map(|&seed| run_seed(seed)).collect()
-    } else {
-        // Indexed slots keep the merge in seed-list order regardless of
-        // which worker finishes first, so the report is byte-identical to
-        // the serial path.
-        let mut slots: Vec<Option<SeedOutcome>> = Vec::new();
-        slots.resize_with(options.seeds.len(), || None);
-        let chunk = options.seeds.len().div_ceil(jobs);
-        let run_seed = &run_seed;
-        std::thread::scope(|scope| {
-            for (slot_chunk, seed_chunk) in slots.chunks_mut(chunk).zip(options.seeds.chunks(chunk))
-            {
-                scope.spawn(move || {
-                    for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
-                        *slot = Some(run_seed(seed));
-                    }
-                });
+        let chain = || -> Result<SeedData, HomeError> {
+            if options.inject_panic_seeds.contains(&seed) {
+                panic!("injected failure (--fail-seed {seed})");
             }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("worker filled slot"))
-            .collect()
+            let mut cfg = RunConfig::test(options.nprocs, seed)
+                .with_instrumentation(options.instrumentation.clone())
+                .with_checklist(Arc::clone(&checklist));
+            cfg.threads_per_proc = options.threads_per_proc;
+            cfg.sched.policy = options.sched_policy;
+            let result = run(program, &cfg);
+
+            let races = detect(&result.trace, &options.detector)?;
+            let outcome = match_rules(&result.trace, &races, &result.mpi_errors);
+            Ok(SeedData {
+                events_recorded: result.events_recorded,
+                deadlock: result.deadlock,
+                incidents: result.mpi_errors,
+                races,
+                unclassified: outcome.unclassified,
+                violations: outcome.violations,
+            })
+        };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(chain))
+            .unwrap_or_else(|payload| Err(HomeError::seed(seed, panic_message(payload.as_ref()))))
+            .map_err(|e| match e {
+                seeded @ HomeError::Seed { .. } => seeded,
+                other => HomeError::seed(seed, other.to_string()),
+            });
+        SeedOutcome { seed, result }
     };
+
+    // Indexed slots keep the merge in seed-list order regardless of which
+    // worker finishes first, so the report is byte-identical for every
+    // `jobs` value. Even `jobs == 1` goes through a spawned scoped thread:
+    // that keeps side channels (the panic hook's thread name on stderr)
+    // identical between the serial and parallel paths.
+    let jobs = options.jobs.max(1).min(options.seeds.len().max(1));
+    let mut slots: Vec<Option<SeedOutcome>> = Vec::new();
+    slots.resize_with(options.seeds.len(), || None);
+    let chunk = options.seeds.len().div_ceil(jobs).max(1);
+    let run_seed = &run_seed;
+    std::thread::scope(|scope| {
+        for (slot_chunk, seed_chunk) in slots.chunks_mut(chunk).zip(options.seeds.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
+                    *slot = Some(run_seed(seed));
+                }
+            });
+        }
+    });
+    let outcomes = slots.into_iter().zip(&options.seeds).map(|(slot, &seed)| {
+        // A worker cannot leave its slot empty (the chain is caught), but
+        // stay panic-free even if that invariant ever breaks.
+        slot.unwrap_or_else(|| SeedOutcome {
+            seed,
+            result: Err(HomeError::seed(seed, "worker produced no result")),
+        })
+    });
 
     for outcome in outcomes {
-        report.runs += 1;
-        report.total_events += outcome.events_recorded;
-        if let Some(d) = outcome.deadlock {
-            report.deadlocks.push((outcome.seed, d));
+        match outcome.result {
+            Ok(data) => {
+                report.runs += 1;
+                report.total_events += data.events_recorded;
+                report.seed_runs.push(SeedRun {
+                    seed: outcome.seed,
+                    status: SeedStatus::Ok {
+                        events: data.events_recorded,
+                        races: data.races.len(),
+                        violations: data.violations.len(),
+                    },
+                });
+                if let Some(d) = data.deadlock {
+                    report.deadlocks.push((outcome.seed, d));
+                }
+                report.incidents.extend(data.incidents);
+                report.races.extend(data.races);
+                report.unclassified.extend(data.unclassified);
+                report.violations.extend(data.violations);
+            }
+            Err(e) => {
+                report.partial = true;
+                let error = match e {
+                    HomeError::Seed { message, .. } => message,
+                    other => other.to_string(),
+                };
+                report.seed_runs.push(SeedRun {
+                    seed: outcome.seed,
+                    status: SeedStatus::Failed { error },
+                });
+            }
         }
-        report.incidents.extend(outcome.incidents);
-        report.races.extend(outcome.races);
-        report.violations.extend(outcome.violations);
     }
 
     // Merge: dedupe violations across seeds by (kind, rank, locations).
@@ -171,17 +238,25 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
     report
 }
 
-/// Everything one seed's chain contributes to the merged report.
+/// Everything one seed's chain contributes to the merged report, or the
+/// typed error that took it down.
 struct SeedOutcome {
     seed: u64,
+    result: Result<SeedData, HomeError>,
+}
+
+/// One completed seed's results.
+struct SeedData {
     events_recorded: u64,
     deadlock: Option<home_sched::DeadlockInfo>,
     incidents: Vec<home_interp::MpiIncident>,
     races: Vec<home_dynamic::Race>,
+    unclassified: Vec<home_dynamic::Race>,
     violations: Vec<crate::report::Violation>,
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::report::ViolationKind;
@@ -507,6 +582,104 @@ mod tests {
             );
         }
         assert!(serial.has(ViolationKind::ConcurrentRecv));
+    }
+
+    #[test]
+    fn failing_seed_is_isolated_and_marks_report_partial() {
+        // One injected failure among four seeds: the other three must
+        // still contribute, the failed seed gets a Failed entry, and the
+        // report is flagged partial.
+        let program = parse(
+            r#"
+            program iso {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) { mpi_barrier(); }
+                mpi_finalize();
+            }
+            "#,
+        )
+        .unwrap();
+        let opts = CheckOptions::default()
+            .with_seeds(vec![1, 2, 3, 4])
+            .with_fail_seeds(vec![3]);
+        let r = check(&program, &opts);
+        assert!(r.partial);
+        assert_eq!(r.runs, 3, "three of four seeds completed");
+        assert_eq!(r.seed_runs.len(), 4, "every seed has a status entry");
+        let failed: Vec<&SeedRun> = r.seed_runs.iter().filter(|s| !s.is_ok()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].seed, 3);
+        match &failed[0].status {
+            SeedStatus::Failed { error } => {
+                assert!(error.contains("injected failure"), "{error}")
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+        // The surviving seeds still find the violation.
+        assert!(r.has(ViolationKind::CollectiveCall), "{}", r.render());
+        let text = r.render();
+        assert!(text.contains("PARTIAL RESULTS"), "{text}");
+        assert!(text.contains("seed 3: FAILED"), "{text}");
+    }
+
+    #[test]
+    fn partial_report_is_byte_identical_across_jobs() {
+        let program = parse(
+            r#"
+            program isopar {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) { mpi_barrier(); }
+                mpi_finalize();
+            }
+            "#,
+        )
+        .unwrap();
+        let seeds = vec![1, 2, 3, 4, 5, 6];
+        let serial = check(
+            &program,
+            &CheckOptions::default()
+                .with_seeds(seeds.clone())
+                .with_fail_seeds(vec![2, 5])
+                .with_jobs(1),
+        );
+        assert!(serial.partial);
+        assert_eq!(serial.runs, 4);
+        for jobs in [2, 3, 4, 8] {
+            let parallel = check(
+                &program,
+                &CheckOptions::default()
+                    .with_seeds(seeds.clone())
+                    .with_fail_seeds(vec![2, 5])
+                    .with_jobs(jobs),
+            );
+            assert_eq!(serial.render(), parallel.render(), "render at jobs={jobs}");
+            assert_eq!(
+                format!("{:?}", serial.seed_runs),
+                format!("{:?}", parallel.seed_runs),
+                "seed status at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_seeds_failing_yields_empty_partial_report() {
+        let program = parse(
+            r#"
+            program allfail {
+                mpi_init_thread(multiple);
+                mpi_finalize();
+            }
+            "#,
+        )
+        .unwrap();
+        let opts = CheckOptions::default()
+            .with_seeds(vec![7, 8])
+            .with_fail_seeds(vec![7, 8]);
+        let r = check(&program, &opts);
+        assert!(r.partial);
+        assert_eq!(r.runs, 0);
+        assert!(r.violations.is_empty());
+        assert!(r.seed_runs.iter().all(|s| !s.is_ok()));
     }
 
     #[test]

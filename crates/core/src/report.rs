@@ -91,6 +91,42 @@ impl fmt::Display for Violation {
     }
 }
 
+/// What happened to one scheduler seed's simulate→detect→match chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedStatus {
+    /// The chain completed and its results are merged into the report.
+    Ok {
+        /// Instrumentation events the run recorded.
+        events: u64,
+        /// Monitored-variable races the dynamic phase found.
+        races: usize,
+        /// Violations matched (before cross-seed deduplication).
+        violations: usize,
+    },
+    /// The chain panicked or returned a typed error; its results are
+    /// missing from the report and [`HomeReport::partial`] is set.
+    Failed {
+        /// Failure description (panic payload or error message).
+        error: String,
+    },
+}
+
+/// Per-seed status entry, in seed-list order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedRun {
+    /// The scheduler seed.
+    pub seed: u64,
+    /// How its chain ended.
+    pub status: SeedStatus,
+}
+
+impl SeedRun {
+    /// Did this seed's chain complete?
+    pub fn is_ok(&self) -> bool {
+        matches!(self.status, SeedStatus::Ok { .. })
+    }
+}
+
 /// Final output of a HOME check: merged violations plus supporting data.
 #[derive(Debug, Default)]
 pub struct HomeReport {
@@ -99,13 +135,22 @@ pub struct HomeReport {
     /// Raw concurrency results on monitored variables (the dynamic phase's
     /// output before rule matching).
     pub races: Vec<Race>,
+    /// Monitored-variable races the rules could not classify because one or
+    /// both accesses carry no MPI call record (degraded diagnostics, not
+    /// violations — see `home_core::RuleOutcome`).
+    pub unclassified: Vec<Race>,
     /// Static-phase statistics.
     pub static_stats: StaticStats,
     /// Deadlocks observed, with the seed that produced them.
     pub deadlocks: Vec<(u64, DeadlockInfo)>,
     /// Non-fatal MPI misuse incidents across runs.
     pub incidents: Vec<MpiIncident>,
-    /// Number of schedules executed.
+    /// Per-seed status, one entry per requested seed in seed-list order.
+    pub seed_runs: Vec<SeedRun>,
+    /// True when at least one seed's chain failed: the report covers only
+    /// the seeds that completed. `home check` exits with code 3.
+    pub partial: bool,
+    /// Number of schedules executed (completed seeds only).
     pub runs: usize,
     /// Total instrumentation events recorded across runs.
     pub total_events: u64,
@@ -151,6 +196,41 @@ impl HomeReport {
             self.total_events,
             self.races.len()
         );
+        if !self.seed_runs.is_empty() {
+            let ok = self.seed_runs.iter().filter(|r| r.is_ok()).count();
+            let _ = writeln!(out, "seeds: {ok} ok, {} failed", self.seed_runs.len() - ok);
+            for r in &self.seed_runs {
+                match &r.status {
+                    SeedStatus::Ok {
+                        events,
+                        races,
+                        violations,
+                    } => {
+                        let _ = writeln!(
+                            out,
+                            "  seed {}: ok ({events} events, {races} race(s), {violations} violation(s))",
+                            r.seed
+                        );
+                    }
+                    SeedStatus::Failed { error } => {
+                        let _ = writeln!(out, "  seed {}: FAILED ({error})", r.seed);
+                    }
+                }
+            }
+        }
+        if self.partial {
+            let _ = writeln!(
+                out,
+                "PARTIAL RESULTS: the report covers only the seeds that completed"
+            );
+        }
+        if !self.unclassified.is_empty() {
+            let _ = writeln!(
+                out,
+                "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
+                self.unclassified.len()
+            );
+        }
         if self.violations.is_empty() {
             let _ = writeln!(out, "no thread-safety violations detected");
         } else {
@@ -190,6 +270,33 @@ mod tests {
                 "isCollectiveCallViolation",
             ]
         );
+    }
+
+    #[test]
+    fn partial_report_renders_seed_section() {
+        let mut r = HomeReport {
+            runs: 1,
+            partial: true,
+            ..HomeReport::default()
+        };
+        r.seed_runs.push(SeedRun {
+            seed: 1,
+            status: SeedStatus::Ok {
+                events: 10,
+                races: 0,
+                violations: 0,
+            },
+        });
+        r.seed_runs.push(SeedRun {
+            seed: 2,
+            status: SeedStatus::Failed {
+                error: "injected failure".into(),
+            },
+        });
+        let text = r.render();
+        assert!(text.contains("seeds: 1 ok, 1 failed"), "{text}");
+        assert!(text.contains("seed 2: FAILED (injected failure)"), "{text}");
+        assert!(text.contains("PARTIAL RESULTS"), "{text}");
     }
 
     #[test]

@@ -14,14 +14,48 @@ use home_trace::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Match rules over one run's evidence.
+/// What one rule-matching pass produced: the classified violations plus
+/// the races the rules could *not* classify (monitored-variable races whose
+/// accesses lack MPI call metadata — possible with hand-built or corrupted
+/// offline traces). Unclassifiable races are reported, not unwrapped: they
+/// surface in the report as degraded diagnostics instead of a panic.
+#[derive(Debug, Clone, Default)]
+pub struct RuleOutcome {
+    /// Concrete violations, matched and deduplicated.
+    pub violations: Vec<Violation>,
+    /// Monitored-variable races the rules had to skip because one or both
+    /// accesses carry no MPI call record.
+    pub unclassified: Vec<Race>,
+}
+
+/// Match rules over one run's evidence, returning only the violations.
+///
+/// Convenience wrapper over [`match_rules`] for callers that do not care
+/// about unclassifiable races.
 pub fn match_violations(
     trace: &Trace,
     races: &[Race],
     incidents: &[MpiIncident],
 ) -> Vec<Violation> {
+    match_rules(trace, races, incidents).violations
+}
+
+/// Match rules over one run's evidence.
+///
+/// Races on monitored variables whose accesses lack MPI metadata cannot be
+/// matched against any rule; they are collected into
+/// [`RuleOutcome::unclassified`] rather than panicking mid-pipeline.
+pub fn match_rules(trace: &Trace, races: &[Race], incidents: &[MpiIncident]) -> RuleOutcome {
     let mut out = Vec::new();
     let ctx = RuleCtx::gather(trace);
+
+    // A monitored-location race is only matchable when both sides carry
+    // their MPI call records; partition the rest off up front.
+    let unclassified: Vec<Race> = races
+        .iter()
+        .filter(|r| matches!(r.loc, MemLoc::Monitored(_)) && !r.is_monitored())
+        .cloned()
+        .collect();
 
     initialization_rule(&ctx, races, &mut out);
     finalization_rule(&ctx, races, incidents, &mut out);
@@ -30,7 +64,10 @@ pub fn match_violations(
     probe_rule(races, &mut out);
     collective_rule(races, incidents, &mut out);
 
-    dedupe(out)
+    RuleOutcome {
+        violations: dedupe(out),
+        unclassified,
+    }
 }
 
 /// Ordered maps throughout: rules iterate these, and violation order must
@@ -106,6 +143,14 @@ fn monitored_race_on(races: &[Race], var: MonitoredVar) -> impl Iterator<Item = 
     races
         .iter()
         .filter(move |r| r.loc == MemLoc::Monitored(var) && r.is_monitored())
+}
+
+/// Both sides' MPI call records, or `None` when the race carries no MPI
+/// metadata and cannot be matched against any rule. Rule matchers skip
+/// such races (they were already classified as [`RuleOutcome::unclassified`]
+/// by `match_rules`) instead of unwrapping.
+fn mpi_pair(race: &Race) -> Option<(&MpiCallRecord, &MpiCallRecord)> {
+    Some((race.first.mpi.as_ref()?, race.second.mpi.as_ref()?))
 }
 
 fn initialization_rule(ctx: &RuleCtx, races: &[Race], out: &mut Vec<Violation>) {
@@ -219,10 +264,9 @@ fn finalization_rule(
 
 fn concurrent_recv_rule(races: &[Race], out: &mut Vec<Violation>) {
     for race in monitored_race_on(races, MonitoredVar::Tag) {
-        let (a, b) = (
-            race.first.mpi.as_ref().unwrap(),
-            race.second.mpi.as_ref().unwrap(),
-        );
+        let Some((a, b)) = mpi_pair(race) else {
+            continue;
+        };
         if a.kind.is_recv() && b.kind.is_recv() && envelope_collides(a, b) {
             out.push(Violation {
                 kind: ViolationKind::ConcurrentRecv,
@@ -239,10 +283,9 @@ fn concurrent_recv_rule(races: &[Race], out: &mut Vec<Violation>) {
 
 fn concurrent_request_rule(races: &[Race], out: &mut Vec<Violation>) {
     for race in monitored_race_on(races, MonitoredVar::Request) {
-        let (a, b) = (
-            race.first.mpi.as_ref().unwrap(),
-            race.second.mpi.as_ref().unwrap(),
-        );
+        let Some((a, b)) = mpi_pair(race) else {
+            continue;
+        };
         if let (true, true, Some(request)) =
             (a.kind.is_completion(), b.kind.is_completion(), a.request)
         {
@@ -264,10 +307,9 @@ fn concurrent_request_rule(races: &[Race], out: &mut Vec<Violation>) {
 
 fn probe_rule(races: &[Race], out: &mut Vec<Violation>) {
     for race in monitored_race_on(races, MonitoredVar::Tag) {
-        let (a, b) = (
-            race.first.mpi.as_ref().unwrap(),
-            race.second.mpi.as_ref().unwrap(),
-        );
+        let Some((a, b)) = mpi_pair(race) else {
+            continue;
+        };
         let probe_pair = (a.kind.is_probe() && (b.kind.is_probe() || b.kind.is_recv()))
             || (b.kind.is_probe() && (a.kind.is_probe() || a.kind.is_recv()));
         if probe_pair && envelope_collides(a, b) {
@@ -286,10 +328,9 @@ fn probe_rule(races: &[Race], out: &mut Vec<Violation>) {
 
 fn collective_rule(races: &[Race], incidents: &[MpiIncident], out: &mut Vec<Violation>) {
     for race in monitored_race_on(races, MonitoredVar::Collective) {
-        let (a, b) = (
-            race.first.mpi.as_ref().unwrap(),
-            race.second.mpi.as_ref().unwrap(),
-        );
+        let Some((a, b)) = mpi_pair(race) else {
+            continue;
+        };
         if a.kind.is_collective() && b.kind.is_collective() && a.comm == b.comm {
             out.push(Violation {
                 kind: ViolationKind::CollectiveCall,
@@ -328,9 +369,10 @@ fn dedupe(violations: Vec<Violation>) -> Vec<Violation> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    use home_trace::{MpiCallKind, COMM_WORLD};
+    use home_trace::{AccessKind, MpiCallKind, Tid, COMM_WORLD};
 
     fn record(kind: MpiCallKind, tag: Option<i32>, main: bool) -> MpiCallRecord {
         MpiCallRecord {
@@ -356,6 +398,36 @@ mod tests {
         let mut other_comm = record(MpiCallKind::Recv, Some(0), false);
         other_comm.comm = home_trace::CommId(1);
         assert!(!envelope_collides(&a, &other_comm));
+    }
+
+    #[test]
+    fn non_mpi_monitored_race_is_unclassified_not_a_panic() {
+        // A hand-built race on a monitored variable whose accesses carry no
+        // MPI call records (possible with corrupted or synthetic offline
+        // traces). Every rule must skip it; match_rules reports it as
+        // unclassified instead of unwrapping.
+        let access = |seq| RaceAccess {
+            seq,
+            tid: Tid(seq as u32),
+            region: None,
+            kind: AccessKind::Write,
+            loc: None,
+            mpi: None,
+        };
+        let race = Race {
+            rank: Rank(0),
+            loc: MemLoc::Monitored(MonitoredVar::Tag),
+            first: access(1),
+            second: access(2),
+        };
+        let outcome = match_rules(&Trace::default(), std::slice::from_ref(&race), &[]);
+        assert!(outcome.violations.is_empty());
+        assert_eq!(outcome.unclassified.len(), 1);
+        assert_eq!(outcome.unclassified[0], race);
+
+        // The convenience wrapper drops the unclassified set silently.
+        let vs = match_violations(&Trace::default(), &[race], &[]);
+        assert!(vs.is_empty());
     }
 
     #[test]

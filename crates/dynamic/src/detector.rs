@@ -18,8 +18,8 @@
 
 use crate::races::{Race, RaceAccess};
 use home_trace::{
-    AccessKind, BarrierId, Event, EventKind, LockId, LockSet, MemLoc, Rank, RegionId, Tid, Trace,
-    VectorClock,
+    AccessKind, BarrierId, Event, EventKind, HomeError, LockId, LockSet, MemLoc, Rank, RegionId,
+    Tid, Trace, VectorClock,
 };
 use std::collections::HashMap;
 
@@ -146,20 +146,21 @@ impl RankState {
         *self.slots.entry(seg).or_insert(next)
     }
 
-    /// Current VC of a segment, initializing region threads from the fork.
+    /// Current VC of a segment, lazily initialized on first sight (region
+    /// threads inherit the fork VC when one was recorded). Unknown segment
+    /// ids — possible in hand-built or corrupted offline traces — therefore
+    /// get a fresh clock instead of a lookup failure.
     fn vc_mut(&mut self, seg: SegKey) -> &mut VectorClock {
         if !self.vcs.contains_key(&seg) {
-            let mut vc = VectorClock::new();
-            if let Some(region) = seg.0 {
-                if let Some(fvc) = self.fork_vc.get(&region) {
-                    vc = fvc.clone();
-                }
-            }
+            let mut vc = match seg.0.and_then(|region| self.fork_vc.get(&region)) {
+                Some(fork_vc) => fork_vc.clone(),
+                None => VectorClock::new(),
+            };
             let slot = self.slot(seg);
             vc.tick(slot);
             self.vcs.insert(seg, vc);
         }
-        self.vcs.get_mut(&seg).unwrap()
+        self.vcs.entry(seg).or_default()
     }
 
     fn lockset_mut(&mut self, seg: SegKey) -> &mut LockSet {
@@ -182,6 +183,10 @@ pub struct DetectStats {
 
 /// Run the detector over a trace.
 ///
+/// Structurally inconsistent input — e.g. a join event referencing a
+/// region no fork ever announced, which a hand-built or corrupted offline
+/// trace can contain — yields [`HomeError::CorruptTrace`], never a panic.
+///
 /// ```
 /// use home_dynamic::{detect, DetectorConfig};
 /// use home_trace::{AccessKind, Event, EventKind, MemLoc, Rank, RegionId, Tid, Trace, VarId};
@@ -197,11 +202,11 @@ pub struct DetectStats {
 ///     kind: EventKind::Access { loc: MemLoc::Var(VarId(0)), kind: AccessKind::Write },
 /// };
 /// let trace = Trace::from_events(vec![write(0, 0), write(1, 1)]);
-/// let races = detect(&trace, &DetectorConfig::hybrid());
+/// let races = detect(&trace, &DetectorConfig::hybrid()).unwrap();
 /// assert_eq!(races.len(), 1);
 /// ```
-pub fn detect(trace: &Trace, config: &DetectorConfig) -> Vec<Race> {
-    detect_with_stats(trace, config).0
+pub fn detect(trace: &Trace, config: &DetectorConfig) -> Result<Vec<Race>, HomeError> {
+    Ok(detect_with_stats(trace, config)?.0)
 }
 
 /// [`detect`], additionally returning coverage statistics (so harnesses can
@@ -212,17 +217,21 @@ pub fn detect(trace: &Trace, config: &DetectorConfig) -> Vec<Race> {
 /// scoped worker threads. Each rank's result lands in its own indexed slot
 /// and the slots are merged in rank order, so the returned races and stats
 /// are identical for every `jobs` value.
-pub fn detect_with_stats(trace: &Trace, config: &DetectorConfig) -> (Vec<Race>, DetectStats) {
+pub fn detect_with_stats(
+    trace: &Trace,
+    config: &DetectorConfig,
+) -> Result<(Vec<Race>, DetectStats), HomeError> {
     let ranks = trace.ranks();
     let jobs = config.jobs.max(1).min(ranks.len().max(1));
 
-    let per_rank: Vec<(Vec<Race>, DetectStats)> = if jobs <= 1 {
+    type RankResult = Result<(Vec<Race>, DetectStats), HomeError>;
+    let per_rank: Vec<RankResult> = if jobs <= 1 {
         ranks
             .iter()
             .map(|&rank| detect_rank(trace, rank, config))
             .collect()
     } else {
-        let mut slots: Vec<Option<(Vec<Race>, DetectStats)>> = Vec::new();
+        let mut slots: Vec<Option<RankResult>> = Vec::new();
         slots.resize_with(ranks.len(), || None);
         let chunk = ranks.len().div_ceil(jobs);
         std::thread::scope(|scope| {
@@ -234,21 +243,32 @@ pub fn detect_with_stats(trace: &Trace, config: &DetectorConfig) -> (Vec<Race>, 
                 });
             }
         });
+        // Every worker fills its whole chunk before the scope joins; an
+        // empty slot would mean a lost worker, reported as an error rather
+        // than a panic.
         slots
             .into_iter()
-            .map(|s| s.expect("worker filled slot"))
+            .zip(&ranks)
+            .map(|(slot, &rank)| {
+                slot.unwrap_or_else(|| {
+                    Err(HomeError::corrupt_trace(format!(
+                        "detector worker produced no result for {rank}"
+                    )))
+                })
+            })
             .collect()
     };
 
     let mut races = Vec::new();
     let mut stats = DetectStats::default();
-    for (rank_races, rank_stats) in per_rank {
+    for rank_result in per_rank {
+        let (rank_races, rank_stats) = rank_result?;
         races.extend(rank_races);
         stats.history_overflow |= rank_stats.history_overflow;
         stats.locations += rank_stats.locations;
         stats.accesses += rank_stats.accesses;
     }
-    (races, stats)
+    Ok((races, stats))
 }
 
 /// Participants of each barrier epoch and of each region, gathered in a
@@ -285,8 +305,14 @@ fn pre_scan(trace: &Trace, rank: Rank) -> PreScan {
 }
 
 /// Analyze one rank's events, returning its races and coverage stats.
-/// Pure in `trace` — callers may run ranks on separate threads.
-fn detect_rank(trace: &Trace, rank: Rank, config: &DetectorConfig) -> (Vec<Race>, DetectStats) {
+/// Pure in `trace` — callers may run ranks on separate threads. A trace
+/// that violates the recording-order invariants (join of a region never
+/// forked and never populated) is reported as [`HomeError::CorruptTrace`].
+fn detect_rank(
+    trace: &Trace,
+    rank: Rank,
+    config: &DetectorConfig,
+) -> Result<(Vec<Race>, DetectStats), HomeError> {
     let mut races = Vec::new();
     let scan = pre_scan(trace, rank);
     let mut st = RankState::new();
@@ -303,6 +329,16 @@ fn detect_rank(trace: &Trace, rank: Rank, config: &DetectorConfig) -> (Vec<Race>
                 st.vc_mut(seg).tick(slot);
             }
             EventKind::JoinRegion { region } => {
+                // A join must refer to a region the trace knows about —
+                // either its fork was recorded or some thread ran in it.
+                // Anything else is a hand-built/corrupted trace.
+                if !st.fork_vc.contains_key(region) && !scan.region_threads.contains_key(region) {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "join event at seq {} on {rank} references unknown segment {region} \
+                         (no fork recorded and no thread events)",
+                        e.seq
+                    )));
+                }
                 // Join all region threads' final VCs into the spine.
                 let joined: Vec<VectorClock> = scan
                     .region_threads
@@ -321,24 +357,27 @@ fn detect_rank(trace: &Trace, rank: Rank, config: &DetectorConfig) -> (Vec<Race>
             EventKind::Barrier { barrier, epoch } => {
                 if let Some(region) = e.region {
                     let key = (region, *barrier, *epoch);
-                    if !st.barrier_join.contains_key(&key) {
-                        // First arrival processed: every participant's
-                        // pre-barrier events are already folded into its
-                        // current VC (recording-order guarantee), so the
-                        // epoch join is computable now.
-                        let mut join = VectorClock::new();
-                        let participants = scan
-                            .barrier_participants
-                            .get(&key)
-                            .cloned()
-                            .unwrap_or_default();
-                        for p in participants {
-                            let vc = st.vc_mut(p).clone();
-                            join.join(&vc);
+                    let join = match st.barrier_join.get(&key) {
+                        Some(join) => join.clone(),
+                        None => {
+                            // First arrival processed: every participant's
+                            // pre-barrier events are already folded into its
+                            // current VC (recording-order guarantee), so the
+                            // epoch join is computable now.
+                            let mut join = VectorClock::new();
+                            let participants = scan
+                                .barrier_participants
+                                .get(&key)
+                                .cloned()
+                                .unwrap_or_default();
+                            for p in participants {
+                                let vc = st.vc_mut(p).clone();
+                                join.join(&vc);
+                            }
+                            st.barrier_join.insert(key, join.clone());
+                            join
                         }
-                        st.barrier_join.insert(key, join);
-                    }
-                    let join = st.barrier_join[&key].clone();
+                    };
                     let vc = st.vc_mut(seg);
                     vc.join(&join);
                     let slot = st.slot(seg);
@@ -399,7 +438,7 @@ fn detect_rank(trace: &Trace, rank: Rank, config: &DetectorConfig) -> (Vec<Race>
         locations: st.history.len(),
         accesses: st.history.values().map(Vec::len).sum::<usize>(),
     };
-    (races, stats)
+    Ok((races, stats))
 }
 
 fn race_access(e: &Event, kind: AccessKind) -> RaceAccess {
@@ -476,6 +515,7 @@ fn check_and_insert(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use home_trace::{MonitoredVar, MpiCallKind, MpiCallRecord, SrcLoc, VarId};
@@ -595,7 +635,7 @@ mod tests {
     }
 
     fn hybrid(trace: &Trace) -> Vec<Race> {
-        detect(trace, &DetectorConfig::hybrid())
+        detect(trace, &DetectorConfig::hybrid()).unwrap()
     }
 
     #[test]
@@ -716,8 +756,11 @@ mod tests {
             .write(1, Some(0), 7)
             .join(0);
         let t = tb.trace();
-        assert!(detect(&t, &DetectorConfig::hybrid()).is_empty());
-        assert_eq!(detect(&t, &DetectorConfig::lockset_only()).len(), 1);
+        assert!(detect(&t, &DetectorConfig::hybrid()).unwrap().is_empty());
+        assert_eq!(
+            detect(&t, &DetectorConfig::lockset_only()).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -734,7 +777,7 @@ mod tests {
             .release(1, 0, 1)
             .join(0);
         let t = tb.trace();
-        assert!(detect(&t, &DetectorConfig::hb_only()).is_empty());
+        assert!(detect(&t, &DetectorConfig::hb_only()).unwrap().is_empty());
     }
 
     #[test]
@@ -755,7 +798,7 @@ mod tests {
             ..DetectorConfig::hybrid()
         };
         assert_eq!(
-            detect(&t, &cfg).len(),
+            detect(&t, &cfg).unwrap().len(),
             1,
             "critical-blind detector flags it"
         );
@@ -824,7 +867,7 @@ mod tests {
             dedupe_pairs: false,
             ..DetectorConfig::hybrid()
         };
-        assert!(detect(&t, &cfg).len() > 1);
+        assert!(detect(&t, &cfg).unwrap().len() > 1);
     }
 
     #[test]
@@ -861,12 +904,40 @@ mod tests {
             history_cap: 4,
             ..DetectorConfig::hybrid()
         };
-        let (_, stats) = detect_with_stats(&t, &tight);
+        let (_, stats) = detect_with_stats(&t, &tight).unwrap();
         assert!(stats.history_overflow, "cap of 4 must overflow");
-        let (_, stats) = detect_with_stats(&t, &DetectorConfig::hybrid());
+        let (_, stats) = detect_with_stats(&t, &DetectorConfig::hybrid()).unwrap();
         assert!(!stats.history_overflow);
         assert!(stats.locations >= 1);
         assert!(stats.accesses >= 4);
+    }
+
+    #[test]
+    fn join_of_unknown_segment_is_a_typed_error_not_a_panic() {
+        // A hand-built (or corrupted) offline trace whose join event
+        // references a region that was never forked and has no thread
+        // events: the detector must degrade to a CorruptTrace error.
+        let mut tb = TB::new();
+        tb.write(0, None, 7).ev(
+            0,
+            None,
+            EventKind::JoinRegion {
+                region: RegionId(42),
+            },
+        );
+        let err = detect(&tb.trace(), &DetectorConfig::hybrid()).unwrap_err();
+        assert_eq!(err.category(), "corrupt-trace");
+        assert!(err.to_string().contains("unknown segment"), "{err}");
+        assert!(err.to_string().contains("region42"), "{err}");
+    }
+
+    #[test]
+    fn join_of_forked_empty_region_is_fine() {
+        // Fork immediately followed by join (no thread events) is a legal
+        // recording of an empty region — not corruption.
+        let mut tb = TB::new();
+        tb.fork(3, 2).join(3);
+        assert!(hybrid(&tb.trace()).is_empty());
     }
 
     #[test]
@@ -910,13 +981,13 @@ mod tests {
             jobs: 1,
             ..DetectorConfig::hybrid()
         };
-        let (races_1, stats_1) = detect_with_stats(&t, &serial);
+        let (races_1, stats_1) = detect_with_stats(&t, &serial).unwrap();
         for jobs in [2, 3, 4, 8] {
             let parallel = DetectorConfig {
                 jobs,
                 ..DetectorConfig::hybrid()
             };
-            let (races_n, stats_n) = detect_with_stats(&t, &parallel);
+            let (races_n, stats_n) = detect_with_stats(&t, &parallel).unwrap();
             assert_eq!(stats_1, stats_n, "stats differ at jobs={jobs}");
             assert_eq!(races_1.len(), races_n.len(), "race count at jobs={jobs}");
             for (a, b) in races_1.iter().zip(&races_n) {

@@ -12,6 +12,11 @@
 //! the Intel-Thread-Checker baseline's `omp critical` blindness
 //! ([`DetectorConfig::ignore_locks`]).
 
+// Fallible paths return `HomeError` instead of panicking: a structurally
+// inconsistent trace must become a typed error the pipeline can attach to
+// a partial report. Tests are exempt (the attribute is off under cfg(test)).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod detector;
 mod races;
 

@@ -34,6 +34,15 @@ impl std::fmt::Display for ExecError {
     }
 }
 
+impl From<ExecError> for home_trace::HomeError {
+    fn from(e: ExecError) -> Self {
+        home_trace::HomeError::Exec {
+            rank: None,
+            message: e.to_string(),
+        }
+    }
+}
+
 impl From<SchedError> for ExecError {
     fn from(e: SchedError) -> Self {
         ExecError::Sched(e)
@@ -277,13 +286,20 @@ fn exec_stmt(st: &mut ExecState<'_>, stmt: &Stmt) -> Result<(), ExecError> {
             let region_stmt = stmt.id;
             let result = st.shared.omp.parallel(n as usize, move |ctx| {
                 let program = Arc::clone(&shared.program);
-                let body = match &program
-                    .stmt(region_stmt)
-                    .expect("region statement exists")
-                    .kind
-                {
-                    StmtKind::OmpParallel { body, .. } => body,
-                    _ => unreachable!("node is a parallel region"),
+                // The region statement id comes from this very program, so
+                // the lookup only misses on a malformed IR — report it as a
+                // per-rank runtime error instead of panicking the worker.
+                let body = match program.stmt(region_stmt).map(|s| &s.kind) {
+                    Some(StmtKind::OmpParallel { body, .. }) => body,
+                    _ => {
+                        shared.runtime_errors.lock().push((
+                            shared.mpi.rank(),
+                            format!(
+                                "malformed IR: statement {region_stmt:?} is not a parallel region"
+                            ),
+                        ));
+                        return Ok(());
+                    }
                 };
                 let mut worker = ExecState {
                     shared: shared.clone(),

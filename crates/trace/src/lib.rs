@@ -11,8 +11,11 @@
 //! * [`Collector`]/[`TraceSink`] — how events get out of the runtime, with
 //!   an [`EventFilter`] implementing each tool's instrumentation scope
 //!   (the paper's selective-monitoring idea);
-//! * [`Trace`] — a finished recording with query helpers and JSON dumps.
+//! * [`Trace`] — a finished recording with query helpers and JSON dumps;
+//! * [`HomeError`] — the workspace-wide typed error taxonomy (this is the
+//!   lowest crate of the dependency DAG, so every layer can return it).
 
+mod error;
 mod event;
 mod ids;
 mod intern;
@@ -21,6 +24,7 @@ mod sink;
 mod trace;
 mod vc;
 
+pub use error::{HomeError, HomeResult};
 pub use event::{
     AccessKind, Event, EventKind, MemLoc, MonitoredVar, MpiCallKind, MpiCallRecord, ThreadLevel,
 };

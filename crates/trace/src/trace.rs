@@ -1,5 +1,6 @@
 //! A finished trace and query helpers.
 
+use crate::error::HomeError;
 use crate::event::{Event, EventKind, MonitoredVar};
 use crate::ids::Rank;
 use serde::{Deserialize, Serialize};
@@ -74,9 +75,11 @@ impl Trace {
         serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
     }
 
-    /// Parse a trace back from JSON.
-    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parse a trace back from JSON. Malformed or truncated input yields a
+    /// typed [`HomeError::TraceParse`] carrying the byte offset when the
+    /// parser knows it — never a panic.
+    pub fn from_json(s: &str) -> Result<Trace, HomeError> {
+        serde_json::from_str(s).map_err(|e| HomeError::trace_parse(e.to_string()))
     }
 }
 
@@ -148,6 +151,16 @@ mod tests {
         assert_eq!(t.monitored_writes_of(MonitoredVar::Tag).count(), 1);
         assert_eq!(t.monitored_writes_of(MonitoredVar::Src).count(), 0);
         assert_eq!(t.mpi_calls().count(), 1);
+    }
+
+    #[test]
+    fn truncated_json_is_a_typed_parse_error() {
+        let t = sample();
+        let json = t.to_json();
+        let truncated = &json[..json.len() / 2];
+        let err = Trace::from_json(truncated).unwrap_err();
+        assert_eq!(err.category(), "trace-parse");
+        assert!(err.byte_offset().is_some(), "{err}");
     }
 
     #[test]

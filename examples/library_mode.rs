@@ -74,7 +74,8 @@ fn main() {
 
     // The same dynamic phase + rule matcher the DSL pipeline uses.
     let trace = sink.drain();
-    let races = detect(&trace, &DetectorConfig::hybrid());
+    let races = detect(&trace, &DetectorConfig::hybrid())
+        .expect("trace straight from the collector is well-formed");
     let violations = match_violations(&trace, &races, &[]);
 
     println!("{} events, {} monitored races", trace.len(), races.len());

@@ -19,4 +19,15 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Panic-free gate: the pipeline (home-core), the detector (home-dynamic),
+# and the CLI must not unwrap/expect on fallible paths — failures become
+# typed HomeErrors and partial reports. --no-deps keeps the lints scoped to
+# exactly these crates; no --all-targets, so #[cfg(test)] code is exempt.
+# (The same policy is pinned in-source via crate-root deny attributes.)
+echo "==> clippy unwrap/expect gate (home-core, home-dynamic, CLI)"
+cargo clippy --offline --no-deps -p home-core -p home-dynamic \
+    -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+cargo clippy --offline --no-deps -p home --bins \
+    -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
 echo "verify: all checks passed"

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--jobs N] [--faithful]
+//!                          [--fail-seed a,b]
 //! home static  <file.hmp>
 //! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
 //!                          [--trace-out trace.json]
@@ -18,6 +19,10 @@
 //!   previously dumped trace (the paper's offline analysis).
 //! * `fmt`     — parse and reprint in canonical form.
 //! * `help`    — print the command and option reference.
+
+// The CLI never panics on user input: every failure is a diagnostic plus a
+// documented exit code (0 clean, 1 findings, 2 usage/input, 3 partial).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use home::baselines::Tool;
 use home::prelude::*;
@@ -47,6 +52,9 @@ fn print_help() {
     println!("                  1 = serial, default = available parallelism.");
     println!("                  The report is identical for every value.");
     println!("  --faithful      time-faithful scheduling instead of randomized");
+    println!("  --fail-seed a,b inject a deliberate failure into the listed seeds");
+    println!("                  (fault-isolation testing; the other seeds still run");
+    println!("                  and the partial report exits with code 3)");
     println!();
     println!("run options:");
     println!("  --procs N / --threads N   as above");
@@ -54,7 +62,8 @@ fn print_help() {
     println!("  --tool base|home|marmot|itc  instrumentation profile (default base)");
     println!("  --trace-out trace.json    dump the recorded event trace as JSON");
     println!();
-    println!("exit codes: 0 clean, 1 violations or deadlock found, 2 usage or input error");
+    println!("exit codes: 0 clean, 1 violations or deadlock found, 2 usage or input error,");
+    println!("            3 partial results (one or more seeds failed; see the report)");
 }
 
 fn main() -> ExitCode {
@@ -83,7 +92,7 @@ fn main() -> ExitCode {
         }
     };
     if cmd == "analyze" {
-        return cmd_analyze(&source);
+        return cmd_analyze(file, &source);
     }
     let program = match parse(&source) {
         Ok(p) => p,
@@ -167,6 +176,18 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
         if args.iter().any(|a| a == "--faithful") {
             options.sched_policy = SchedPolicy::EarliestClockFirst;
         }
+        if let Some(fails) = flag_value(args, "--fail-seed")? {
+            let mut parsed_fails = Vec::new();
+            for part in fails.split(',') {
+                let part = part.trim();
+                parsed_fails.push(part.parse::<u64>().map_err(|_| {
+                    format!(
+                        "invalid seed `{part}` in --fail-seed: expected a comma-separated list of integers"
+                    )
+                })?);
+            }
+            options.inject_panic_seeds = parsed_fails;
+        }
         Ok(options)
     })();
     let options = match parsed {
@@ -175,7 +196,12 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
     };
     let report = check(program, &options);
     print!("{}", report.render());
-    if report.violations.is_empty() && report.deadlocks.is_empty() {
+    // Exit-code precedence: usage errors returned 2 above; partial results
+    // (a failed seed) trump a violation verdict because the verdict is
+    // incomplete; then 1 for findings, 0 for a clean full run.
+    if report.partial {
+        ExitCode::from(3)
+    } else if report.violations.is_empty() && report.deadlocks.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -218,26 +244,45 @@ fn cmd_static(program: &Program) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_analyze(trace_json: &str) -> ExitCode {
+fn cmd_analyze(file: &str, trace_json: &str) -> ExitCode {
     let trace = match home::trace::Trace::from_json(trace_json) {
         Ok(t) => t,
+        // One line naming the file and, when the parser knows it, the byte
+        // offset of the problem — greppable and stable for scripting.
         Err(e) => {
-            eprintln!("home: invalid trace JSON: {e}");
+            match e.byte_offset() {
+                Some(off) => eprintln!("home: {file}: byte {off}: {e}"),
+                None => eprintln!("home: {file}: {e}"),
+            }
             return ExitCode::from(2);
         }
     };
-    let races = home::dynamic::detect(&trace, &home::dynamic::DetectorConfig::hybrid());
-    let violations = home::core::match_violations(&trace, &races, &[]);
+    // Structurally inconsistent traces (parseable JSON, impossible events)
+    // surface as typed detector errors, same diagnostic shape as above.
+    let races = match home::dynamic::detect(&trace, &home::dynamic::DetectorConfig::hybrid()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("home: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = home::core::match_rules(&trace, &races, &[]);
     println!(
         "offline analysis: {} events, {} monitored race(s), {} violation(s)",
         trace.len(),
         races.len(),
-        violations.len()
+        outcome.violations.len()
     );
-    for v in &violations {
+    if !outcome.unclassified.is_empty() {
+        println!(
+            "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
+            outcome.unclassified.len()
+        );
+    }
+    for v in &outcome.violations {
         println!("  - {v}");
     }
-    if violations.is_empty() {
+    if outcome.violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

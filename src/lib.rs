@@ -38,6 +38,8 @@
 //! println!("{}", report.render());
 //! ```
 
+pub use home_trace::{HomeError, HomeResult};
+
 pub use home_baselines as baselines;
 pub use home_core as core;
 pub use home_dynamic as dynamic;
@@ -60,5 +62,5 @@ pub mod prelude {
     pub use home_npb::{accuracy_row, build_injected, generate, Benchmark, Class};
     pub use home_sched::{Runtime, SchedConfig, SchedPolicy, SimTime};
     pub use home_static::analyze;
-    pub use home_trace::{MonitoredVar, ThreadLevel, Trace};
+    pub use home_trace::{HomeError, HomeResult, MonitoredVar, ThreadLevel, Trace};
 }

@@ -214,3 +214,94 @@ fn analyze_rejects_garbage() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("invalid trace"));
 }
+
+#[test]
+fn analyze_names_file_and_byte_offset_on_truncated_trace() {
+    // Dump a real trace, truncate it mid-stream, and check the diagnostic:
+    // one stderr line naming the file and the byte offset, exit code 2.
+    let dir = std::env::temp_dir().join("home_cli_truncated");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("whole.json");
+    let (_, _, code) = home_cli(&[
+        "run",
+        "programs/figure2.hmp",
+        "--tool",
+        "home",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    let json = std::fs::read_to_string(&trace_path).unwrap();
+    let cut = dir.join("truncated.json");
+    std::fs::write(&cut, &json[..json.len() / 2]).unwrap();
+
+    let (_, stderr, code) = home_cli(&["analyze", cut.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let diagnostic = stderr.lines().next().unwrap_or_default();
+    assert!(
+        diagnostic.contains("truncated.json"),
+        "diagnostic must name the file: {stderr}"
+    );
+    assert!(
+        diagnostic.contains("byte "),
+        "diagnostic must carry the byte offset: {stderr}"
+    );
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+}
+
+#[test]
+fn fail_seed_produces_partial_report_and_exit_3() {
+    let (stdout, _, code) = home_cli(&[
+        "check",
+        "programs/figure2.hmp",
+        "--seeds",
+        "1,2,3,4",
+        "--fail-seed",
+        "3",
+    ]);
+    assert_eq!(code, Some(3), "partial results exit 3: {stdout}");
+    assert!(stdout.contains("3 schedule(s)"), "{stdout}");
+    assert!(stdout.contains("seeds: 3 ok, 1 failed"), "{stdout}");
+    assert!(stdout.contains("seed 3: FAILED"), "{stdout}");
+    assert!(stdout.contains("PARTIAL RESULTS"), "{stdout}");
+    // The surviving seeds still report the violation.
+    assert!(stdout.contains("isConcurrentRecvViolation"), "{stdout}");
+}
+
+#[test]
+fn partial_report_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        home_cli(&[
+            "check",
+            "programs/figure2.hmp",
+            "--seeds",
+            "1,2,3,4,5,6",
+            "--fail-seed",
+            "2,5",
+            "--jobs",
+            jobs,
+        ])
+    };
+    let (base_out, _, base_code) = run("1");
+    assert_eq!(base_code, Some(3), "{base_out}");
+    for jobs in ["2", "3", "4", "8"] {
+        let (out, _, code) = run(jobs);
+        assert_eq!(code, base_code, "exit code at --jobs {jobs}");
+        assert_eq!(out, base_out, "report bytes at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn invalid_fail_seed_exits_2() {
+    let (_, stderr, code) = home_cli(&["check", "programs/figure1.hmp", "--fail-seed", "one"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("invalid seed"), "{stderr}");
+}
+
+#[test]
+fn help_documents_exit_codes_and_fail_seed() {
+    let (stdout, _, code) = home_cli(&["help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("--fail-seed"), "{stdout}");
+    assert!(stdout.contains("3 partial results"), "{stdout}");
+}

@@ -149,11 +149,14 @@ fn build_trace(ops: &[(u8, Op)], barrier_at: Option<usize>) -> Trace {
 }
 
 fn race_count(trace: &Trace, cfg: &DetectorConfig) -> usize {
-    detect(trace, cfg).len()
+    detect(trace, cfg)
+        .expect("well-formed synthetic trace")
+        .len()
 }
 
 fn pair_set(trace: &Trace, cfg: &DetectorConfig) -> std::collections::BTreeSet<(String, u64, u64)> {
     detect(trace, cfg)
+        .expect("well-formed synthetic trace")
         .into_iter()
         .map(|r| (r.loc.to_string(), r.first.seq, r.second.seq))
         .collect()
