@@ -36,7 +36,7 @@ struct CallBlock<'a> {
 /// extending to the end of the trace.
 pub fn manifest_races(trace: &Trace) -> Vec<Race> {
     let mut races = Vec::new();
-    for rank in trace.ranks() {
+    for &rank in trace.ranks() {
         let events: Vec<&Event> = trace.by_rank(rank).collect();
         let calls = call_blocks(&events);
         // First event index of `tid` at or after `pos`.

@@ -26,6 +26,6 @@ mod pipeline;
 mod report;
 mod rules;
 
-pub use pipeline::{check, CheckOptions};
+pub use pipeline::{check, CheckOptions, Engine};
 pub use report::{HomeReport, SeedRun, SeedStatus, Violation, ViolationKind};
-pub use rules::{match_rules, match_violations, RuleOutcome};
+pub use rules::{match_rules, match_rules_ctx, match_violations, RuleCtx, RuleOutcome};

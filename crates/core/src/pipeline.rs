@@ -2,14 +2,31 @@
 //! dynamic concurrency detection → violation matching → merged report.
 
 use crate::report::{HomeReport, SeedRun, SeedStatus};
-use crate::rules::match_rules;
+use crate::rules::{match_rules, match_rules_ctx, RuleCtx};
 use home_dynamic::{detect, DetectorConfig};
-use home_interp::{run, Instrumentation, RunConfig};
+use home_interp::{run, run_with_sink, Instrumentation, RunConfig};
 use home_ir::Program;
 use home_static::analyze;
-use home_trace::HomeError;
+use home_stream::StreamDetector;
+use home_trace::{Event, HomeError, TraceSink};
 use std::panic::AssertUnwindSafe;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Which detection engine a [`check`] uses for each seed's chain.
+///
+/// Both engines produce byte-identical reports; they differ only in how the
+/// trace flows through detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Materialize the full trace, then run [`home_dynamic::detect`] over
+    /// it (the per-rank sharded batch detector).
+    #[default]
+    Batch,
+    /// Feed events into [`home_stream::StreamDetector`] as the simulator
+    /// emits them: no trace is materialized, dead segments are retired as
+    /// regions join, and peak memory is bounded by the live-segment count.
+    Stream,
+}
 
 /// Options for one HOME check.
 #[derive(Debug, Clone)]
@@ -43,6 +60,10 @@ pub struct CheckOptions {
     /// [`HomeReport::partial`], never poisoning the other seeds). Exposed
     /// on the CLI as `--fail-seed`.
     pub inject_panic_seeds: Vec<u64>,
+    /// Detection engine: batch (materialize the trace, then detect) or
+    /// streaming (detect online while the program runs). Verdicts and the
+    /// rendered report are identical; only memory behavior differs.
+    pub engine: Engine,
 }
 
 impl Default for CheckOptions {
@@ -56,6 +77,7 @@ impl Default for CheckOptions {
             sched_policy: home_sched::SchedPolicy::Random,
             jobs: home_dynamic::default_jobs(),
             inject_panic_seeds: Vec::new(),
+            engine: Engine::default(),
         }
     }
 }
@@ -89,6 +111,32 @@ impl CheckOptions {
     pub fn with_fail_seeds(mut self, seeds: Vec<u64>) -> Self {
         self.inject_panic_seeds = seeds;
         self
+    }
+
+    /// Select the detection engine (see [`Engine`]).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Per-seed sink for [`Engine::Stream`]: every event the simulator emits
+/// goes straight into the online detector and the incremental rule context,
+/// so no trace is ever materialized. The simulator's deterministic scheduler
+/// runs one virtual thread at a time, so `record` is effectively serial per
+/// run; the mutex is for the `TraceSink: Sync` bound, not contention.
+struct StreamingSeedSink {
+    detector: StreamDetector,
+    rules: Mutex<RuleCtx>,
+}
+
+impl TraceSink for StreamingSeedSink {
+    fn record(&self, event: Event) {
+        self.rules
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .observe(&event);
+        self.detector.consume(&event);
     }
 }
 
@@ -145,10 +193,31 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
                 .with_checklist(Arc::clone(&checklist));
             cfg.threads_per_proc = options.threads_per_proc;
             cfg.sched.policy = options.sched_policy;
-            let result = run(program, &cfg);
 
-            let races = detect(&result.trace, &options.detector)?;
-            let outcome = match_rules(&result.trace, &races, &result.mpi_errors);
+            let (result, races, outcome) = match options.engine {
+                Engine::Batch => {
+                    let result = run(program, &cfg);
+                    let races = detect(&result.trace, &options.detector)?;
+                    let outcome = match_rules(&result.trace, &races, &result.mpi_errors);
+                    (result, races, outcome)
+                }
+                Engine::Stream => {
+                    let sink = Arc::new(StreamingSeedSink {
+                        detector: StreamDetector::new(options.detector.clone()),
+                        rules: Mutex::new(RuleCtx::new()),
+                    });
+                    let result = run_with_sink(program, &cfg, sink.clone());
+                    let (races, _stats) = sink.detector.finish()?;
+                    let ctx = std::mem::take(
+                        &mut *sink
+                            .rules
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    );
+                    let outcome = match_rules_ctx(&ctx, &races, &result.mpi_errors);
+                    (result, races, outcome)
+                }
+            };
             Ok(SeedData {
                 events_recorded: result.events_recorded,
                 deadlock: result.deadlock,

@@ -10,7 +10,7 @@ use crate::report::{Violation, ViolationKind};
 use home_dynamic::{Race, RaceAccess};
 use home_interp::MpiIncident;
 use home_trace::{
-    EventKind, MemLoc, MonitoredVar, MpiCallRecord, Rank, SrcLoc, ThreadLevel, Trace,
+    Event, EventKind, MemLoc, MonitoredVar, MpiCallRecord, Rank, SrcLoc, ThreadLevel, Trace,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -46,8 +46,19 @@ pub fn match_violations(
 /// matched against any rule; they are collected into
 /// [`RuleOutcome::unclassified`] rather than panicking mid-pipeline.
 pub fn match_rules(trace: &Trace, races: &[Race], incidents: &[MpiIncident]) -> RuleOutcome {
+    let mut ctx = RuleCtx::new();
+    for e in trace.events() {
+        ctx.observe(e);
+    }
+    match_rules_ctx(&ctx, races, incidents)
+}
+
+/// Match rules against an incrementally-gathered [`RuleCtx`] — the
+/// streaming counterpart of [`match_rules`] for callers (the streaming
+/// check engine, `home replay`) that fed events through
+/// [`RuleCtx::observe`] instead of materializing a trace.
+pub fn match_rules_ctx(ctx: &RuleCtx, races: &[Race], incidents: &[MpiIncident]) -> RuleOutcome {
     let mut out = Vec::new();
-    let ctx = RuleCtx::gather(trace);
 
     // A monitored-location race is only matchable when both sides carry
     // their MPI call records; partition the rest off up front.
@@ -57,8 +68,8 @@ pub fn match_rules(trace: &Trace, races: &[Race], incidents: &[MpiIncident]) -> 
         .cloned()
         .collect();
 
-    initialization_rule(&ctx, races, &mut out);
-    finalization_rule(&ctx, races, incidents, &mut out);
+    initialization_rule(ctx, races, &mut out);
+    finalization_rule(ctx, races, incidents, &mut out);
     concurrent_recv_rule(races, &mut out);
     concurrent_request_rule(races, &mut out);
     probe_rule(races, &mut out);
@@ -70,9 +81,15 @@ pub fn match_rules(trace: &Trace, races: &[Race], incidents: &[MpiIncident]) -> 
     }
 }
 
+/// The evidence the rules need from a run, gathered event by event.
 /// Ordered maps throughout: rules iterate these, and violation order must
 /// be deterministic (it is part of the rendered report).
-struct RuleCtx {
+///
+/// Observing a trace's events in sequence order produces a context
+/// identical to batch-gathering the materialized trace, so rule matching
+/// is order-for-order the same in both engines.
+#[derive(Debug, Clone, Default)]
+pub struct RuleCtx {
     /// Thread level each rank initialized with.
     init_levels: BTreeMap<Rank, ThreadLevel>,
     /// Ranks that forked a multi-thread parallel region.
@@ -86,37 +103,34 @@ struct RuleCtx {
 }
 
 impl RuleCtx {
-    fn gather(trace: &Trace) -> RuleCtx {
-        let mut ctx = RuleCtx {
-            init_levels: BTreeMap::new(),
-            multi_threaded: BTreeSet::new(),
-            region_calls: Vec::new(),
-            finalizes: Vec::new(),
-            last_call_time: BTreeMap::new(),
-        };
-        for e in trace.events() {
-            match &e.kind {
-                EventKind::MpiInit { level, .. } => {
-                    ctx.init_levels.entry(e.rank).or_insert(*level);
-                }
-                EventKind::Fork { nthreads, .. } if *nthreads > 1 => {
-                    ctx.multi_threaded.insert(e.rank);
-                }
-                EventKind::MpiCall { call } => {
-                    if e.region.is_some() {
-                        ctx.region_calls.push((e.rank, call.clone(), e.loc.clone()));
-                    }
-                    let t = ctx.last_call_time.entry(e.rank).or_insert(0);
-                    *t = (*t).max(e.time_ns);
-                }
-                EventKind::MonitoredWrite { var, call } if *var == MonitoredVar::Finalize => {
-                    ctx.finalizes
-                        .push((e.rank, call.clone(), e.loc.clone(), e.time_ns));
-                }
-                _ => {}
+    /// An empty context.
+    pub fn new() -> RuleCtx {
+        RuleCtx::default()
+    }
+
+    /// Fold one event into the context.
+    pub fn observe(&mut self, e: &Event) {
+        match &e.kind {
+            EventKind::MpiInit { level, .. } => {
+                self.init_levels.entry(e.rank).or_insert(*level);
             }
+            EventKind::Fork { nthreads, .. } if *nthreads > 1 => {
+                self.multi_threaded.insert(e.rank);
+            }
+            EventKind::MpiCall { call } => {
+                if e.region.is_some() {
+                    self.region_calls
+                        .push((e.rank, call.clone(), e.loc.clone()));
+                }
+                let t = self.last_call_time.entry(e.rank).or_insert(0);
+                *t = (*t).max(e.time_ns);
+            }
+            EventKind::MonitoredWrite { var, call } if *var == MonitoredVar::Finalize => {
+                self.finalizes
+                    .push((e.rank, call.clone(), e.loc.clone(), e.time_ns));
+            }
+            _ => {}
         }
-        ctx
     }
 }
 

@@ -248,7 +248,7 @@ pub fn detect_with_stats(
         // than a panic.
         slots
             .into_iter()
-            .zip(&ranks)
+            .zip(ranks)
             .map(|(slot, &rank)| {
                 slot.unwrap_or_else(|| {
                     Err(HomeError::corrupt_trace(format!(

@@ -9,7 +9,7 @@ use home_omp::{OmpCtx, OmpProc};
 use home_sched::{DeadlockInfo, Runtime, SchedError, SimTime};
 use home_trace::{
     Collector, CommId, EventKind, MemorySink, MonitoredVar, MpiCallKind, MpiCallRecord, Rank,
-    ReqId, SrcLoc, ThreadLevel, Trace, COMM_WORLD,
+    ReqId, SrcLoc, ThreadLevel, Trace, TraceSink, COMM_WORLD,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -1020,12 +1020,22 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
 /// Execute `program` on `cfg.nprocs` simulated MPI processes and return the
 /// recorded trace plus run metadata.
 pub fn run(program: &Program, cfg: &RunConfig) -> RunResult {
+    let sink = Arc::new(MemorySink::new());
+    let mut result = run_with_sink(program, cfg, sink.clone());
+    result.trace = sink.drain();
+    result
+}
+
+/// [`run`], but streaming every recorded event into `sink` instead of
+/// materializing a trace: the returned [`RunResult::trace`] is empty and
+/// the sink sees events live, in recording (sequence) order — the hook the
+/// online detection engine (`home-stream`) plugs into.
+pub fn run_with_sink(program: &Program, cfg: &RunConfig, sink: Arc<dyn TraceSink>) -> RunResult {
     let program = Arc::new(program.clone());
     let cfg = Arc::new(cfg.clone());
     let rt = Runtime::new(cfg.sched.clone());
     let world = World::new(rt.clone(), cfg.nprocs, cfg.mpi.clone());
-    let sink = Arc::new(MemorySink::new());
-    let collector = Collector::new(sink.clone(), cfg.instrumentation.filter);
+    let collector = Collector::new(sink, cfg.instrumentation.filter);
     let incidents = Arc::new(Mutex::new(Vec::new()));
     let runtime_errors = Arc::new(Mutex::new(Vec::new()));
 
@@ -1071,7 +1081,7 @@ pub fn run(program: &Program, cfg: &RunConfig) -> RunResult {
     };
 
     RunResult {
-        trace: sink.drain(),
+        trace: Trace::default(),
         makespan: rt.makespan(),
         events_recorded: collector.events_recorded(),
         deadlock,

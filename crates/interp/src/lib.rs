@@ -16,7 +16,7 @@ mod exec;
 
 pub use config::{Instrumentation, RunConfig};
 pub use env::{Env, Slot};
-pub use exec::{run, ExecError, MpiIncident, RunResult};
+pub use exec::{run, run_with_sink, ExecError, MpiIncident, RunResult};
 
 #[cfg(test)]
 mod tests {

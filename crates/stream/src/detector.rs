@@ -1,0 +1,638 @@
+//! The online streaming race detector.
+//!
+//! [`StreamDetector`] consumes events one at a time (it implements both
+//! [`EventSink`] and [`home_trace::TraceSink`], so a simulation can feed it
+//! live through `interp::run_with_sink`) and runs the same incremental
+//! lockset + vector-clock analysis as `home_dynamic::detect`, producing the
+//! **same races in the same order** — the batch engine is the executable
+//! specification, and `tests/stream_parity.rs` enforces report-level byte
+//! identity on every bundled program, seed, and jobs value.
+//!
+//! Differences from the batch engine are purely operational:
+//!
+//! - **No pre-scan, no materialized trace.** The batch engine scans the
+//!   whole trace up front to learn each region's thread set and each
+//!   barrier epoch's participants. Streaming cannot look ahead, so it
+//!   derives both incrementally: region membership is accumulated in
+//!   first-seen order (exactly the order the batch pre-scan would record),
+//!   and barrier participants are *synthesized* from the region's `Fork`
+//!   event as threads `0..nthreads`. The runtime's barrier releases only
+//!   when the full team arrives, so the synthesized set equals the
+//!   pre-scanned set on every recorded trace; joining is commutative and a
+//!   never-seen participant contributes a fresh singleton clock exactly as
+//!   the batch engine's lazy `vc_mut` does, so verdicts are unchanged.
+//! - **Epoch-based retirement (pruning).** When a region joins, every
+//!   vector clock, lockset, and access-history record of its segments is
+//!   dead weight: the join folds the segments' final clocks into the
+//!   master spine, so every later access happens-after every retired
+//!   record and can never be HB-concurrent with one. The streaming engine
+//!   drops them, bounding live state by the *widest* region instead of the
+//!   whole trace. Retirement is disabled in `LocksetOnly` mode, which has
+//!   no happens-before edges to make it sound.
+//! - **Per-rank sharding.** Ranks share nothing (the analysis is
+//!   per-process); state lives in `RANK_SHARDS` mutex-guarded shards keyed
+//!   by rank, so concurrent producers contend only within a rank.
+//!
+//! Slot *numbers* assigned to segments can differ from the batch engine
+//! (synthesized barrier teams are created in thread order, the pre-scanned
+//! ones in first-arrival order), but a consistent renaming of clock slots
+//! preserves every ≤/concurrency verdict, and no output depends on slot
+//! numbers.
+
+use crate::EventSink;
+use home_dynamic::{DetectorConfig, DetectorMode, Race, RaceAccess};
+use home_trace::{
+    AccessKind, BarrierId, Event, EventKind, HomeError, LockId, LockSet, MemLoc, Rank, RegionId,
+    Tid, Trace, TraceSink, VectorClock,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Number of rank shards (ranks map to shards by `rank % RANK_SHARDS`).
+const RANK_SHARDS: usize = 16;
+
+/// A logical thread segment, as in the batch detector.
+type SegKey = (Option<RegionId>, Tid);
+
+/// Statistics from one streaming detection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamStats {
+    /// Events consumed.
+    pub events: u64,
+    /// Sum over ranks of the peak number of simultaneously live segments
+    /// (segments whose vector clocks were resident). With pruning this
+    /// stays proportional to the widest region, not the trace length.
+    pub peak_live_segments: usize,
+    /// Total distinct segments ever observed across ranks.
+    pub total_segments: usize,
+    /// Segments retired (clocks dropped) by region-join pruning.
+    pub retired_segments: usize,
+    /// True if some location's access history hit the configured cap.
+    pub history_overflow: bool,
+    /// Consumption throughput, measured from the first event to
+    /// [`StreamDetector::finish`].
+    pub events_per_sec: f64,
+}
+
+/// One remembered access, as in the batch detector.
+struct AccessRecord {
+    seg: SegKey,
+    vc: VectorClock,
+    lockset: LockSet,
+    kind: AccessKind,
+    access: RaceAccess,
+}
+
+/// Per-location access history. `pushed` counts records ever pushed and is
+/// never decremented by pruning, so cap/overflow decisions are identical to
+/// the batch engine's `history.len() < cap` check.
+#[derive(Default)]
+struct LocHistory {
+    records: Vec<AccessRecord>,
+    pushed: usize,
+}
+
+/// All mutable analysis state of one rank.
+struct RankStream {
+    slots: HashMap<SegKey, usize>,
+    vcs: HashMap<SegKey, VectorClock>,
+    locksets: HashMap<SegKey, LockSet>,
+    release_vc: HashMap<LockId, VectorClock>,
+    fork_vc: HashMap<RegionId, VectorClock>,
+    barrier_join: HashMap<(RegionId, BarrierId, u64), VectorClock>,
+    /// Team width announced by each region's `Fork` event; source of the
+    /// synthesized barrier participant set.
+    region_nthreads: HashMap<RegionId, u32>,
+    /// Segments seen per region so far, in first-seen order — the same
+    /// order the batch pre-scan records.
+    region_threads: HashMap<RegionId, Vec<SegKey>>,
+    history: HashMap<MemLoc, LocHistory>,
+    history_overflow: bool,
+    reported: HashSet<(MemLoc, SegKey, SegKey, u32, u32)>,
+    races: Vec<Race>,
+    last_seq: Option<u64>,
+    peak_live: usize,
+    retired: usize,
+}
+
+impl RankStream {
+    fn new() -> Self {
+        RankStream {
+            slots: HashMap::new(),
+            vcs: HashMap::new(),
+            locksets: HashMap::new(),
+            release_vc: HashMap::new(),
+            fork_vc: HashMap::new(),
+            barrier_join: HashMap::new(),
+            region_nthreads: HashMap::new(),
+            region_threads: HashMap::new(),
+            history: HashMap::new(),
+            history_overflow: false,
+            reported: HashSet::new(),
+            races: Vec::new(),
+            last_seq: None,
+            peak_live: 0,
+            retired: 0,
+        }
+    }
+
+    fn slot(&mut self, seg: SegKey) -> usize {
+        let next = self.slots.len();
+        *self.slots.entry(seg).or_insert(next)
+    }
+
+    fn vc_mut(&mut self, seg: SegKey) -> &mut VectorClock {
+        if !self.vcs.contains_key(&seg) {
+            let mut vc = match seg.0.and_then(|region| self.fork_vc.get(&region)) {
+                Some(fork_vc) => fork_vc.clone(),
+                None => VectorClock::new(),
+            };
+            let slot = self.slot(seg);
+            vc.tick(slot);
+            self.vcs.insert(seg, vc);
+        }
+        self.vcs.entry(seg).or_default()
+    }
+
+    fn lockset_mut(&mut self, seg: SegKey) -> &mut LockSet {
+        self.locksets.entry(seg).or_default()
+    }
+
+    /// Consume one event of this rank. Mirrors `detect_rank` arm for arm.
+    fn on_event(
+        &mut self,
+        rank: Rank,
+        e: &Event,
+        config: &DetectorConfig,
+    ) -> Result<(), HomeError> {
+        if let Some(prev) = self.last_seq {
+            if e.seq < prev {
+                return Err(HomeError::corrupt_trace(format!(
+                    "out-of-order event stream on {rank}: seq {} after seq {prev}",
+                    e.seq
+                )));
+            }
+        }
+        self.last_seq = Some(e.seq);
+
+        let seg: SegKey = (e.region, e.tid);
+        if let Some(region) = e.region {
+            let v = self.region_threads.entry(region).or_default();
+            if !v.contains(&seg) {
+                v.push(seg);
+            }
+        }
+
+        match &e.kind {
+            EventKind::Fork { region, nthreads } => {
+                self.region_nthreads.insert(*region, *nthreads);
+                let vc = self.vc_mut(seg).clone();
+                self.fork_vc.insert(*region, vc);
+                let slot = self.slot(seg);
+                self.vc_mut(seg).tick(slot);
+            }
+            EventKind::JoinRegion { region } => {
+                if !self.fork_vc.contains_key(region) && !self.region_threads.contains_key(region) {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "join event at seq {} on {rank} references unknown segment {region} \
+                         (no fork recorded and no thread events)",
+                        e.seq
+                    )));
+                }
+                let joined: Vec<VectorClock> = self
+                    .region_threads
+                    .get(region)
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|s| self.vcs.get(s).cloned())
+                    .collect();
+                let vc = self.vc_mut(seg);
+                for j in &joined {
+                    vc.join(j);
+                }
+                let slot = self.slot(seg);
+                self.vc_mut(seg).tick(slot);
+                // Retire only when no *other* region is still live: records
+                // of a region joined while another overlaps it would not be
+                // happens-before the overlapping region's later accesses,
+                // so dropping them could mask a race. The runtime never
+                // records overlapping regions on one rank (the spine blocks
+                // between fork and join), so in practice this always fires.
+                let overlapping = self.fork_vc.keys().any(|r| r != region)
+                    || self.region_threads.keys().any(|r| r != region);
+                if config.mode != DetectorMode::LocksetOnly && !overlapping {
+                    self.retire_region(*region);
+                }
+            }
+            EventKind::Barrier { barrier, epoch } => {
+                if let Some(region) = e.region {
+                    let key = (region, *barrier, *epoch);
+                    let join = match self.barrier_join.get(&key) {
+                        Some(join) => join.clone(),
+                        None => {
+                            // First arrival processed: the runtime emits
+                            // barrier events only after the whole team
+                            // arrived, so every participant's pre-barrier
+                            // events are already folded into its clock and
+                            // the epoch join is computable now. The team is
+                            // synthesized from the fork's width; a trace
+                            // missing the fork (hand-built) falls back to
+                            // the threads seen so far.
+                            let mut join = VectorClock::new();
+                            let participants: Vec<SegKey> = match self.region_nthreads.get(&region)
+                            {
+                                Some(&n) => (0..n).map(|t| (Some(region), Tid(t))).collect(),
+                                None => self
+                                    .region_threads
+                                    .get(&region)
+                                    .cloned()
+                                    .unwrap_or_default(),
+                            };
+                            for p in participants {
+                                let vc = self.vc_mut(p).clone();
+                                join.join(&vc);
+                            }
+                            self.barrier_join.insert(key, join.clone());
+                            join
+                        }
+                    };
+                    let vc = self.vc_mut(seg);
+                    vc.join(&join);
+                    let slot = self.slot(seg);
+                    self.vc_mut(seg).tick(slot);
+                }
+            }
+            EventKind::Acquire { lock } => {
+                if !config.ignore_locks {
+                    if let Some(rvc) = self.release_vc.get(lock).cloned() {
+                        self.vc_mut(seg).join(&rvc);
+                    }
+                    self.lockset_mut(seg).insert(*lock);
+                    let slot = self.slot(seg);
+                    self.vc_mut(seg).tick(slot);
+                }
+            }
+            EventKind::Release { lock } => {
+                if !config.ignore_locks {
+                    self.lockset_mut(seg).remove(*lock);
+                    let vc = self.vc_mut(seg).clone();
+                    self.release_vc.insert(*lock, vc);
+                    let slot = self.slot(seg);
+                    self.vc_mut(seg).tick(slot);
+                }
+            }
+            kind => {
+                if let Some((loc, akind)) = kind.access() {
+                    let slot = self.slot(seg);
+                    self.vc_mut(seg).tick(slot);
+                    let vc = self.vc_mut(seg).clone();
+                    let lockset = self.lockset_mut(seg).clone();
+                    let record = AccessRecord {
+                        seg,
+                        vc,
+                        lockset,
+                        kind: akind,
+                        access: race_access(e, akind),
+                    };
+                    self.check_and_insert(rank, loc, record, config);
+                } else {
+                    let slot = self.slot(seg);
+                    self.vc_mut(seg).tick(slot);
+                }
+            }
+        }
+        self.peak_live = self.peak_live.max(self.vcs.len());
+        Ok(())
+    }
+
+    /// Retire a joined region's segments: the join just folded their final
+    /// clocks into the spine, so every later access happens-after every
+    /// record of the region — dropping its clocks, locksets, and history
+    /// records cannot change any future verdict (in HB-aware modes).
+    fn retire_region(&mut self, region: RegionId) {
+        let mut segs: Vec<SegKey> = self.region_threads.remove(&region).unwrap_or_default();
+        if let Some(n) = self.region_nthreads.remove(&region) {
+            for t in 0..n {
+                let seg = (Some(region), Tid(t));
+                if !segs.contains(&seg) {
+                    segs.push(seg);
+                }
+            }
+        }
+        for seg in segs {
+            if self.vcs.remove(&seg).is_some() {
+                self.retired += 1;
+            }
+            self.locksets.remove(&seg);
+        }
+        self.fork_vc.remove(&region);
+        self.barrier_join.retain(|(r, _, _), _| *r != region);
+        for h in self.history.values_mut() {
+            h.records.retain(|r| r.seg.0 != Some(region));
+        }
+    }
+
+    fn check_and_insert(
+        &mut self,
+        rank: Rank,
+        loc: MemLoc,
+        record: AccessRecord,
+        config: &DetectorConfig,
+    ) {
+        let same_physical = |a: SegKey, b: SegKey| a.1 == b.1 && (a.1 == Tid(0) || a.0 == b.0);
+        let entry = self.history.entry(loc).or_default();
+        for prev in entry.records.iter() {
+            if prev.seg == record.seg || same_physical(prev.seg, record.seg) {
+                continue;
+            }
+            if prev.kind == AccessKind::Read && record.kind == AccessKind::Read {
+                continue;
+            }
+            let hb_concurrent = prev.vc.concurrent_with(&record.vc);
+            let lockset_disjoint = prev.lockset.disjoint(&record.lockset);
+            let is_race = match config.mode {
+                DetectorMode::Hybrid => hb_concurrent && lockset_disjoint,
+                DetectorMode::LocksetOnly => lockset_disjoint,
+                DetectorMode::HappensBeforeOnly => hb_concurrent,
+            };
+            if is_race {
+                let line = |a: &RaceAccess| a.loc.as_ref().map(|l| l.line).unwrap_or(0);
+                let (la, lb) = (line(&prev.access), line(&record.access));
+                let key = (
+                    loc,
+                    prev.seg.min(record.seg),
+                    prev.seg.max(record.seg),
+                    la.min(lb),
+                    la.max(lb),
+                );
+                if config.dedupe_pairs && !self.reported.insert(key) {
+                    continue;
+                }
+                self.races.push(Race {
+                    rank,
+                    loc,
+                    first: prev.access.clone(),
+                    second: record.access.clone(),
+                });
+            }
+        }
+        if entry.pushed < config.history_cap {
+            entry.records.push(record);
+            entry.pushed += 1;
+        } else {
+            self.history_overflow = true;
+        }
+    }
+}
+
+fn race_access(e: &Event, kind: AccessKind) -> RaceAccess {
+    RaceAccess {
+        seq: e.seq,
+        tid: e.tid,
+        region: e.region,
+        kind,
+        loc: e.loc.clone(),
+        mpi: e.kind.mpi_call().cloned(),
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    ranks: HashMap<Rank, RankStream>,
+}
+
+/// The online detector. Feed it events (in recording order per rank) via
+/// [`EventSink::on_event`] or [`home_trace::TraceSink::record`], then call
+/// [`StreamDetector::finish`] once to collect races and statistics.
+pub struct StreamDetector {
+    config: DetectorConfig,
+    shards: Vec<Mutex<Shard>>,
+    events: AtomicU64,
+    failed: AtomicBool,
+    error: Mutex<Option<HomeError>>,
+    start: OnceLock<Instant>,
+}
+
+impl StreamDetector {
+    /// Create a detector with the given configuration (`config.jobs` is
+    /// ignored — streaming parallelism comes from the producers).
+    pub fn new(config: DetectorConfig) -> Self {
+        StreamDetector {
+            config,
+            shards: (0..RANK_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            events: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            start: OnceLock::new(),
+        }
+    }
+
+    /// Consume one event. Infallible at the call site; the first structural
+    /// error (corrupt stream) is stashed and surfaced by `finish`, and all
+    /// further events are ignored.
+    pub fn consume(&self, e: &Event) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        self.start.get_or_init(Instant::now);
+        self.events.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[e.rank.index() % RANK_SHARDS];
+        let mut guard = shard.lock();
+        let st = guard.ranks.entry(e.rank).or_insert_with(RankStream::new);
+        if let Err(err) = st.on_event(e.rank, e, &self.config) {
+            drop(guard);
+            self.failed.store(true, Ordering::Relaxed);
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+    }
+
+    /// Finalize: drain all rank states and return the races (concatenated
+    /// in ascending rank order, matching the batch engine's merge) plus
+    /// run statistics. Call once; a second call sees an empty detector.
+    pub fn finish(&self) -> Result<(Vec<Race>, StreamStats), HomeError> {
+        if let Some(err) = self.error.lock().take() {
+            return Err(err);
+        }
+        let elapsed = self.start.get().map(Instant::elapsed).unwrap_or_default();
+        let mut per_rank: Vec<(Rank, RankStream)> = Vec::new();
+        for shard in &self.shards {
+            per_rank.extend(shard.lock().ranks.drain());
+        }
+        per_rank.sort_by_key(|(rank, _)| *rank);
+        let mut races = Vec::new();
+        let mut stats = StreamStats {
+            events: self.events.load(Ordering::Relaxed),
+            ..StreamStats::default()
+        };
+        for (_, st) in per_rank {
+            races.extend(st.races);
+            stats.peak_live_segments += st.peak_live;
+            stats.total_segments += st.slots.len();
+            stats.retired_segments += st.retired;
+            stats.history_overflow |= st.history_overflow;
+        }
+        let secs = elapsed.as_secs_f64();
+        stats.events_per_sec = if secs > 0.0 {
+            stats.events as f64 / secs
+        } else {
+            0.0
+        };
+        Ok((races, stats))
+    }
+}
+
+impl EventSink for StreamDetector {
+    fn on_event(&self, event: &Event) {
+        self.consume(event);
+    }
+}
+
+impl TraceSink for StreamDetector {
+    fn record(&self, event: Event) {
+        self.consume(&event);
+    }
+}
+
+/// Run the streaming detector over an already-materialized trace — the
+/// drop-in streaming counterpart of [`home_dynamic::detect`].
+pub fn detect_stream(
+    trace: &Trace,
+    config: &DetectorConfig,
+) -> Result<(Vec<Race>, StreamStats), HomeError> {
+    let detector = StreamDetector::new(config.clone());
+    for e in trace.events() {
+        detector.consume(e);
+    }
+    detector.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use home_dynamic::detect;
+    use home_trace::VarId;
+
+    fn ev(seq: u64, tid: u32, region: Option<u64>, kind: EventKind) -> Event {
+        Event {
+            seq,
+            rank: Rank(0),
+            tid: Tid(tid),
+            region: region.map(RegionId),
+            time_ns: seq,
+            loc: None,
+            kind,
+        }
+    }
+
+    fn write(seq: u64, tid: u32, region: Option<u64>, var: u32) -> Event {
+        ev(
+            seq,
+            tid,
+            region,
+            EventKind::Access {
+                loc: MemLoc::Var(VarId(var)),
+                kind: AccessKind::Write,
+            },
+        )
+    }
+
+    fn fork(seq: u64, region: u64, n: u32) -> Event {
+        ev(
+            seq,
+            0,
+            None,
+            EventKind::Fork {
+                region: RegionId(region),
+                nthreads: n,
+            },
+        )
+    }
+
+    fn join(seq: u64, region: u64) -> Event {
+        ev(
+            seq,
+            0,
+            None,
+            EventKind::JoinRegion {
+                region: RegionId(region),
+            },
+        )
+    }
+
+    #[test]
+    fn matches_batch_on_simple_race() {
+        let t = Trace::from_events(vec![
+            fork(0, 0, 2),
+            write(1, 0, Some(0), 7),
+            write(2, 1, Some(0), 7),
+            join(3, 0),
+        ]);
+        let cfg = DetectorConfig::hybrid();
+        let batch = detect(&t, &cfg).unwrap();
+        let (stream, stats) = detect_stream(&t, &cfg).unwrap();
+        assert_eq!(format!("{batch:?}"), format!("{stream:?}"));
+        assert_eq!(stats.events, 4);
+        assert!(stats.retired_segments >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn pruning_keeps_live_below_total_across_regions() {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for r in 0..4u64 {
+            events.push(fork(seq, r, 2));
+            seq += 1;
+            for tid in 0..2u32 {
+                events.push(write(seq, tid, Some(r), r as u32));
+                seq += 1;
+            }
+            events.push(join(seq, r));
+            seq += 1;
+        }
+        let t = Trace::from_events(events);
+        let cfg = DetectorConfig::hybrid();
+        let batch = detect(&t, &cfg).unwrap();
+        let (stream, stats) = detect_stream(&t, &cfg).unwrap();
+        assert_eq!(format!("{batch:?}"), format!("{stream:?}"));
+        assert!(stats.peak_live_segments < stats.total_segments, "{stats:?}");
+        assert_eq!(stats.retired_segments, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn no_pruning_in_lockset_only_mode() {
+        let t = Trace::from_events(vec![
+            fork(0, 0, 2),
+            write(1, 0, Some(0), 7),
+            write(2, 1, Some(0), 7),
+            join(3, 0),
+        ]);
+        let cfg = DetectorConfig::lockset_only();
+        let (_, stats) = detect_stream(&t, &cfg).unwrap();
+        assert_eq!(stats.retired_segments, 0);
+    }
+
+    #[test]
+    fn out_of_order_stream_is_a_typed_error() {
+        let d = StreamDetector::new(DetectorConfig::hybrid());
+        d.consume(&write(5, 0, None, 1));
+        d.consume(&write(3, 0, None, 1));
+        let err = d.finish().unwrap_err();
+        assert!(matches!(err, HomeError::CorruptTrace { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn join_of_unknown_region_is_a_typed_error() {
+        let t = Trace::from_events(vec![write(0, 0, None, 7), join(1, 42)]);
+        let err = detect_stream(&t, &DetectorConfig::hybrid()).unwrap_err();
+        assert!(matches!(err, HomeError::CorruptTrace { .. }), "{err:?}");
+        assert!(err.to_string().contains("region42"), "{err}");
+    }
+}

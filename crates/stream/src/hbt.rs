@@ -1,0 +1,903 @@
+//! HBT — the HOME Binary Trace format.
+//!
+//! A compact, streamable encoding of [`Event`] traces:
+//!
+//! ```text
+//! header  := magic(0x89 'H' 'B' 'T') version(u8 = 1)
+//! record  := varint(len) payload[len]        -- len > 0
+//! end     := varint(0)                        -- explicit end marker
+//! payload := kind(u8) body
+//!   kind 1 RUN      body = varint(seed)       -- starts a new trace section
+//!   kind 2 EVENT    body = encoded Event
+//!   kind 3 INCIDENT body = varint(rank) varint(line) string(call) string(error)
+//! ```
+//!
+//! Integers are LEB128 varints; signed values are zigzag-encoded; strings
+//! are varint-length-prefixed UTF-8. The explicit end marker means a stream
+//! truncated at *any* byte is detectable: decoding yields a typed
+//! [`HomeError::TraceParse`]/[`HomeError::CorruptTrace`] with the byte
+//! offset, never a panic and never a silently short trace.
+//!
+//! Readers and writers operate over [`io::Read`]/[`io::Write`] and never
+//! require the whole stream in memory.
+
+use home_trace::{
+    AccessKind, BarrierId, CommId, Event, EventKind, HomeError, LockId, MemLoc, MonitoredVar,
+    MpiCallKind, MpiCallRecord, Rank, RegionId, ReqId, SrcLoc, ThreadLevel, Tid, Trace, VarId,
+};
+use std::io::{self, Read, Write};
+
+/// The four magic bytes opening every HBT stream.
+pub const HBT_MAGIC: [u8; 4] = [0x89, b'H', b'B', b'T'];
+
+/// Current format version.
+pub const HBT_VERSION: u8 = 1;
+
+/// Hard ceiling on a single record's payload, to reject corrupt lengths
+/// before attempting a giant allocation.
+const MAX_RECORD_LEN: u64 = 1 << 28;
+
+const REC_RUN: u8 = 1;
+const REC_EVENT: u8 = 2;
+const REC_INCIDENT: u8 = 3;
+
+/// Does `bytes` start with the HBT magic? Used by the CLI to auto-detect
+/// HBT vs JSON input.
+pub fn is_hbt(bytes: &[u8]) -> bool {
+    bytes.len() >= HBT_MAGIC.len() && bytes[..HBT_MAGIC.len()] == HBT_MAGIC
+}
+
+/// A non-fatal MPI misuse incident carried alongside a recorded trace, so
+/// `home replay` can reproduce incident-based violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceIncident {
+    /// Rank the incident occurred on.
+    pub rank: u32,
+    /// Source line of the offending call (0 when unknown).
+    pub line: u32,
+    /// MPI function name.
+    pub call: String,
+    /// Human-readable description.
+    pub error: String,
+}
+
+/// One decoded HBT record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HbtRecord {
+    /// Starts a new trace section recorded under `seed`.
+    Run {
+        /// Scheduler seed of the section that follows.
+        seed: u64,
+    },
+    /// One runtime event.
+    Event(Event),
+    /// One runtime incident of the current section.
+    Incident(TraceIncident),
+}
+
+/// A trace section decoded from an HBT stream: everything between two `RUN`
+/// records (or the whole stream, when no `RUN` record is present).
+#[derive(Debug, Clone, Default)]
+pub struct HbtSection {
+    /// Scheduler seed, when the section was opened by a `RUN` record.
+    pub seed: Option<u64>,
+    /// The section's events.
+    pub trace: Trace,
+    /// The section's runtime incidents.
+    pub incidents: Vec<TraceIncident>,
+}
+
+// ---------------------------------------------------------------------------
+// primitive encoders
+// ---------------------------------------------------------------------------
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            break;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, b: bool) {
+    buf.push(u8::from(b));
+}
+
+// ---------------------------------------------------------------------------
+// payload encoding
+// ---------------------------------------------------------------------------
+
+fn level_byte(l: ThreadLevel) -> u8 {
+    match l {
+        ThreadLevel::Single => 0,
+        ThreadLevel::Funneled => 1,
+        ThreadLevel::Serialized => 2,
+        ThreadLevel::Multiple => 3,
+    }
+}
+
+fn var_byte(v: MonitoredVar) -> u8 {
+    match v {
+        MonitoredVar::Src => 0,
+        MonitoredVar::Tag => 1,
+        MonitoredVar::Comm => 2,
+        MonitoredVar::Request => 3,
+        MonitoredVar::Collective => 4,
+        MonitoredVar::Finalize => 5,
+    }
+}
+
+/// All MPI call kinds in wire-tag order (the declaration order of
+/// [`MpiCallKind`]); the wire tag is the index into this table.
+const CALL_KINDS: [MpiCallKind; 24] = [
+    MpiCallKind::Init,
+    MpiCallKind::InitThread,
+    MpiCallKind::Finalize,
+    MpiCallKind::Send,
+    MpiCallKind::Ssend,
+    MpiCallKind::Recv,
+    MpiCallKind::Isend,
+    MpiCallKind::Irecv,
+    MpiCallKind::Sendrecv,
+    MpiCallKind::Wait,
+    MpiCallKind::Test,
+    MpiCallKind::Waitall,
+    MpiCallKind::Probe,
+    MpiCallKind::Iprobe,
+    MpiCallKind::Barrier,
+    MpiCallKind::Bcast,
+    MpiCallKind::Reduce,
+    MpiCallKind::Allreduce,
+    MpiCallKind::Gather,
+    MpiCallKind::Scatter,
+    MpiCallKind::Allgather,
+    MpiCallKind::Alltoall,
+    MpiCallKind::CommDup,
+    MpiCallKind::CommSplit,
+];
+
+fn call_kind_byte(k: MpiCallKind) -> u8 {
+    // Exhaustive linear scan over 24 entries; the table is tiny and this
+    // keeps encode and decode driven by the same array.
+    #[allow(clippy::cast_possible_truncation)]
+    CALL_KINDS
+        .iter()
+        .position(|c| *c == k)
+        .map(|i| i as u8)
+        .unwrap_or(0)
+}
+
+fn put_call(buf: &mut Vec<u8>, c: &MpiCallRecord) {
+    buf.push(call_kind_byte(c.kind));
+    let mut flags = 0u8;
+    if c.peer.is_some() {
+        flags |= 1;
+    }
+    if c.tag.is_some() {
+        flags |= 2;
+    }
+    if c.request.is_some() {
+        flags |= 4;
+    }
+    if c.thread_level.is_some() {
+        flags |= 8;
+    }
+    if c.is_main_thread {
+        flags |= 16;
+    }
+    buf.push(flags);
+    if let Some(p) = c.peer {
+        put_varint(buf, zigzag(i64::from(p)));
+    }
+    if let Some(t) = c.tag {
+        put_varint(buf, zigzag(i64::from(t)));
+    }
+    put_varint(buf, u64::from(c.comm.raw()));
+    if let Some(r) = c.request {
+        put_varint(buf, r.raw());
+    }
+    if let Some(l) = c.thread_level {
+        buf.push(level_byte(l));
+    }
+}
+
+fn put_memloc(buf: &mut Vec<u8>, loc: &MemLoc) {
+    match loc {
+        MemLoc::Monitored(v) => {
+            buf.push(0);
+            buf.push(var_byte(*v));
+        }
+        MemLoc::Var(v) => {
+            buf.push(1);
+            put_varint(buf, u64::from(v.raw()));
+        }
+        MemLoc::Elem(v, i) => {
+            buf.push(2);
+            put_varint(buf, u64::from(v.raw()));
+            put_varint(buf, *i);
+        }
+    }
+}
+
+/// Encode one event into a record payload (kind byte included).
+fn event_payload(e: &Event) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.push(REC_EVENT);
+    let mut flags = 0u8;
+    if e.region.is_some() {
+        flags |= 1;
+    }
+    if e.loc.is_some() {
+        flags |= 2;
+    }
+    buf.push(flags);
+    put_varint(&mut buf, e.seq);
+    put_varint(&mut buf, u64::from(e.rank.raw()));
+    put_varint(&mut buf, u64::from(e.tid.raw()));
+    if let Some(r) = e.region {
+        put_varint(&mut buf, r.raw());
+    }
+    put_varint(&mut buf, e.time_ns);
+    if let Some(loc) = &e.loc {
+        put_string(&mut buf, &loc.file);
+        put_varint(&mut buf, u64::from(loc.line));
+    }
+    match &e.kind {
+        EventKind::Access { loc, kind } => {
+            buf.push(0);
+            put_memloc(&mut buf, loc);
+            buf.push(match kind {
+                AccessKind::Read => 0,
+                AccessKind::Write => 1,
+            });
+        }
+        EventKind::MonitoredWrite { var, call } => {
+            buf.push(1);
+            buf.push(var_byte(*var));
+            put_call(&mut buf, call);
+        }
+        EventKind::Acquire { lock } => {
+            buf.push(2);
+            put_varint(&mut buf, u64::from(lock.raw()));
+        }
+        EventKind::Release { lock } => {
+            buf.push(3);
+            put_varint(&mut buf, u64::from(lock.raw()));
+        }
+        EventKind::Fork { region, nthreads } => {
+            buf.push(4);
+            put_varint(&mut buf, region.raw());
+            put_varint(&mut buf, u64::from(*nthreads));
+        }
+        EventKind::JoinRegion { region } => {
+            buf.push(5);
+            put_varint(&mut buf, region.raw());
+        }
+        EventKind::Barrier { barrier, epoch } => {
+            buf.push(6);
+            put_varint(&mut buf, u64::from(barrier.raw()));
+            put_varint(&mut buf, *epoch);
+        }
+        EventKind::MpiCall { call } => {
+            buf.push(7);
+            put_call(&mut buf, call);
+        }
+        EventKind::MpiInit {
+            level,
+            requested_by_init_thread,
+        } => {
+            buf.push(8);
+            buf.push(level_byte(*level));
+            put_bool(&mut buf, *requested_by_init_thread);
+        }
+    }
+    buf
+}
+
+fn run_payload(seed: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(10);
+    buf.push(REC_RUN);
+    put_varint(&mut buf, seed);
+    buf
+}
+
+fn incident_payload(inc: &TraceIncident) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32);
+    buf.push(REC_INCIDENT);
+    put_varint(&mut buf, u64::from(inc.rank));
+    put_varint(&mut buf, u64::from(inc.line));
+    put_string(&mut buf, &inc.call);
+    put_string(&mut buf, &inc.error);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// writer
+// ---------------------------------------------------------------------------
+
+/// Streaming HBT writer over any [`io::Write`]. Writes the header on
+/// construction; call [`HbtWriter::finish`] to emit the end marker.
+#[derive(Debug)]
+pub struct HbtWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> HbtWriter<W> {
+    /// Open a writer, emitting the magic/version header.
+    pub fn new(mut w: W) -> io::Result<Self> {
+        w.write_all(&HBT_MAGIC)?;
+        w.write_all(&[HBT_VERSION])?;
+        Ok(HbtWriter { w })
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut len = Vec::with_capacity(5);
+        put_varint(&mut len, payload.len() as u64);
+        self.w.write_all(&len)?;
+        self.w.write_all(payload)
+    }
+
+    /// Start a new trace section recorded under `seed`.
+    pub fn begin_run(&mut self, seed: u64) -> io::Result<()> {
+        self.write_record(&run_payload(seed))
+    }
+
+    /// Append one event to the current section.
+    pub fn write_event(&mut self, e: &Event) -> io::Result<()> {
+        self.write_record(&event_payload(e))
+    }
+
+    /// Append one incident to the current section.
+    pub fn write_incident(&mut self, inc: &TraceIncident) -> io::Result<()> {
+        self.write_record(&incident_payload(inc))
+    }
+
+    /// Emit the end marker, flush, and return the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.write_all(&[0])?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reader
+// ---------------------------------------------------------------------------
+
+/// Streaming HBT reader over any [`io::Read`]. Tracks the absolute byte
+/// offset so every decode error points at the offending byte.
+#[derive(Debug)]
+pub struct HbtReader<R: Read> {
+    r: R,
+    offset: u64,
+    finished: bool,
+}
+
+impl<R: Read> HbtReader<R> {
+    /// Open a reader, validating the magic/version header.
+    pub fn new(r: R) -> Result<Self, HomeError> {
+        let mut reader = HbtReader {
+            r,
+            offset: 0,
+            finished: false,
+        };
+        let mut header = [0u8; 5];
+        reader.read_exact(&mut header, "HBT header")?;
+        if header[..4] != HBT_MAGIC {
+            return Err(HomeError::corrupt_trace(
+                "not an HBT stream: bad magic bytes",
+            ));
+        }
+        if header[4] != HBT_VERSION {
+            return Err(HomeError::corrupt_trace(format!(
+                "unsupported HBT version {} (expected {HBT_VERSION})",
+                header[4]
+            )));
+        }
+        Ok(reader)
+    }
+
+    fn truncated(&self, what: &str) -> HomeError {
+        HomeError::trace_parse(format!(
+            "truncated HBT stream: unexpected end of input in {what} at byte {}",
+            self.offset
+        ))
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], what: &str) -> Result<(), HomeError> {
+        match self.r.read_exact(buf) {
+            Ok(()) => {
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(self.truncated(what)),
+            Err(e) => Err(HomeError::trace_parse(format!(
+                "I/O error reading HBT stream at byte {}: {e}",
+                self.offset
+            ))),
+        }
+    }
+
+    fn read_varint(&mut self, what: &str) -> Result<u64, HomeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let mut b = [0u8; 1];
+            self.read_exact(&mut b, what)?;
+            if shift >= 64 || (shift == 63 && b[0] > 1) {
+                return Err(HomeError::corrupt_trace(format!(
+                    "varint overflow in {what} at byte {}",
+                    self.offset - 1
+                )));
+            }
+            v |= u64::from(b[0] & 0x7f) << shift;
+            if b[0] & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read the next record, or `Ok(None)` at the end marker. Every
+    /// malformed or truncated input yields a typed error.
+    pub fn next_record(&mut self) -> Result<Option<HbtRecord>, HomeError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let len = self.read_varint("record length (or missing end marker)")?;
+        if len == 0 {
+            self.finished = true;
+            return Ok(None);
+        }
+        if len > MAX_RECORD_LEN {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT record length {len} exceeds limit at byte {}",
+                self.offset
+            )));
+        }
+        let base = self.offset;
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact(&mut payload, "record payload")?;
+        let mut cur = Cur {
+            buf: &payload,
+            pos: 0,
+            base,
+        };
+        let record = decode_payload(&mut cur)?;
+        if cur.pos != payload.len() {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT record has {} trailing byte(s) at byte {}",
+                payload.len() - cur.pos,
+                base + cur.pos as u64
+            )));
+        }
+        Ok(Some(record))
+    }
+}
+
+/// Cursor over one record payload; `base` is the payload's absolute offset
+/// in the stream, so errors report stream positions.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: u64,
+}
+
+impl Cur<'_> {
+    fn at(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn truncated(&self, what: &str) -> HomeError {
+        HomeError::trace_parse(format!(
+            "truncated HBT record: unexpected end of payload in {what} at byte {}",
+            self.at()
+        ))
+    }
+
+    fn corrupt(&self, msg: String) -> HomeError {
+        HomeError::corrupt_trace(format!("{msg} at byte {}", self.at()))
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, HomeError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.truncated(what))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self, what: &str) -> Result<u64, HomeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8(what)?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(self.corrupt(format!("varint overflow in {what}")));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, HomeError> {
+        let v = self.varint(what)?;
+        u32::try_from(v).map_err(|_| self.corrupt(format!("{what} value {v} exceeds u32")))
+    }
+
+    fn i32(&mut self, what: &str) -> Result<i32, HomeError> {
+        let v = unzigzag(self.varint(what)?);
+        i32::try_from(v).map_err(|_| self.corrupt(format!("{what} value {v} exceeds i32")))
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, HomeError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.corrupt(format!("invalid boolean byte {b} in {what}"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, HomeError> {
+        let len = self.varint(what)? as usize;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.truncated(what))?;
+        let bytes = &self.buf[self.pos..end];
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| self.corrupt(format!("invalid UTF-8 in {what}")))?
+            .to_owned();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn level(&mut self, what: &str) -> Result<ThreadLevel, HomeError> {
+        match self.u8(what)? {
+            0 => Ok(ThreadLevel::Single),
+            1 => Ok(ThreadLevel::Funneled),
+            2 => Ok(ThreadLevel::Serialized),
+            3 => Ok(ThreadLevel::Multiple),
+            b => Err(self.corrupt(format!("invalid thread-level byte {b} in {what}"))),
+        }
+    }
+
+    fn monitored_var(&mut self, what: &str) -> Result<MonitoredVar, HomeError> {
+        match self.u8(what)? {
+            0 => Ok(MonitoredVar::Src),
+            1 => Ok(MonitoredVar::Tag),
+            2 => Ok(MonitoredVar::Comm),
+            3 => Ok(MonitoredVar::Request),
+            4 => Ok(MonitoredVar::Collective),
+            5 => Ok(MonitoredVar::Finalize),
+            b => Err(self.corrupt(format!("invalid monitored-variable byte {b} in {what}"))),
+        }
+    }
+
+    fn call(&mut self) -> Result<MpiCallRecord, HomeError> {
+        let tag = self.u8("MPI call kind")?;
+        let kind = *CALL_KINDS
+            .get(tag as usize)
+            .ok_or_else(|| self.corrupt(format!("invalid MPI call kind byte {tag}")))?;
+        let flags = self.u8("MPI call flags")?;
+        if flags & !0x1f != 0 {
+            return Err(self.corrupt(format!("invalid MPI call flag bits {flags:#x}")));
+        }
+        let peer = if flags & 1 != 0 {
+            Some(self.i32("MPI call peer")?)
+        } else {
+            None
+        };
+        let tag_arg = if flags & 2 != 0 {
+            Some(self.i32("MPI call tag")?)
+        } else {
+            None
+        };
+        let comm = CommId(self.u32("MPI call communicator")?);
+        let request = if flags & 4 != 0 {
+            Some(ReqId(self.varint("MPI call request")?))
+        } else {
+            None
+        };
+        let thread_level = if flags & 8 != 0 {
+            Some(self.level("MPI call thread level")?)
+        } else {
+            None
+        };
+        Ok(MpiCallRecord {
+            kind,
+            peer,
+            tag: tag_arg,
+            comm,
+            request,
+            is_main_thread: flags & 16 != 0,
+            thread_level,
+        })
+    }
+
+    fn memloc(&mut self) -> Result<MemLoc, HomeError> {
+        match self.u8("memory-location tag")? {
+            0 => Ok(MemLoc::Monitored(self.monitored_var("monitored variable")?)),
+            1 => Ok(MemLoc::Var(VarId(self.u32("variable id")?))),
+            2 => Ok(MemLoc::Elem(
+                VarId(self.u32("variable id")?),
+                self.varint("element index")?,
+            )),
+            b => Err(self.corrupt(format!("invalid memory-location tag {b}"))),
+        }
+    }
+
+    fn event(&mut self) -> Result<Event, HomeError> {
+        let flags = self.u8("event flags")?;
+        if flags & !0x03 != 0 {
+            return Err(self.corrupt(format!("invalid event flag bits {flags:#x}")));
+        }
+        let seq = self.varint("event seq")?;
+        let rank = Rank(self.u32("event rank")?);
+        let tid = Tid(self.u32("event tid")?);
+        let region = if flags & 1 != 0 {
+            Some(RegionId(self.varint("event region")?))
+        } else {
+            None
+        };
+        let time_ns = self.varint("event time")?;
+        let loc = if flags & 2 != 0 {
+            let file = self.string("source file")?;
+            let line = self.u32("source line")?;
+            Some(SrcLoc { file, line })
+        } else {
+            None
+        };
+        let kind = match self.u8("event kind tag")? {
+            0 => {
+                let mem = self.memloc()?;
+                let kind = match self.u8("access kind")? {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    b => return Err(self.corrupt(format!("invalid access kind byte {b}"))),
+                };
+                EventKind::Access { loc: mem, kind }
+            }
+            1 => EventKind::MonitoredWrite {
+                var: self.monitored_var("monitored variable")?,
+                call: self.call()?,
+            },
+            2 => EventKind::Acquire {
+                lock: LockId(self.u32("lock id")?),
+            },
+            3 => EventKind::Release {
+                lock: LockId(self.u32("lock id")?),
+            },
+            4 => EventKind::Fork {
+                region: RegionId(self.varint("fork region")?),
+                nthreads: self.u32("fork nthreads")?,
+            },
+            5 => EventKind::JoinRegion {
+                region: RegionId(self.varint("join region")?),
+            },
+            6 => EventKind::Barrier {
+                barrier: BarrierId(self.u32("barrier id")?),
+                epoch: self.varint("barrier epoch")?,
+            },
+            7 => EventKind::MpiCall { call: self.call()? },
+            8 => EventKind::MpiInit {
+                level: self.level("init thread level")?,
+                requested_by_init_thread: self.bool("init thread flag")?,
+            },
+            b => return Err(self.corrupt(format!("invalid event kind tag {b}"))),
+        };
+        Ok(Event {
+            seq,
+            rank,
+            tid,
+            region,
+            time_ns,
+            loc,
+            kind,
+        })
+    }
+}
+
+fn decode_payload(cur: &mut Cur<'_>) -> Result<HbtRecord, HomeError> {
+    match cur.u8("record kind")? {
+        REC_RUN => Ok(HbtRecord::Run {
+            seed: cur.varint("run seed")?,
+        }),
+        REC_EVENT => Ok(HbtRecord::Event(cur.event()?)),
+        REC_INCIDENT => Ok(HbtRecord::Incident(TraceIncident {
+            rank: cur.u32("incident rank")?,
+            line: cur.u32("incident line")?,
+            call: cur.string("incident call")?,
+            error: cur.string("incident error")?,
+        })),
+        b => Err(cur.corrupt(format!("invalid record kind byte {b}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// whole-trace helpers
+// ---------------------------------------------------------------------------
+
+/// Encode a whole trace as a single anonymous HBT section.
+pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + trace.events().len() * 24);
+    out.extend_from_slice(&HBT_MAGIC);
+    out.push(HBT_VERSION);
+    for e in trace.events() {
+        let payload = event_payload(e);
+        put_varint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+    out.push(0);
+    out
+}
+
+/// Decode an HBT byte stream into its trace sections. Records appearing
+/// before the first `RUN` record form an implicit anonymous section.
+pub fn decode_sections(bytes: &[u8]) -> Result<Vec<HbtSection>, HomeError> {
+    let mut reader = HbtReader::new(bytes)?;
+    let mut sections: Vec<HbtSection> = Vec::new();
+    let mut seed: Option<u64> = None;
+    let mut events: Vec<Event> = Vec::new();
+    let mut incidents: Vec<TraceIncident> = Vec::new();
+    let mut open = false;
+    let flush = |seed: &mut Option<u64>,
+                 events: &mut Vec<Event>,
+                 incidents: &mut Vec<TraceIncident>,
+                 sections: &mut Vec<HbtSection>| {
+        sections.push(HbtSection {
+            seed: seed.take(),
+            trace: Trace::from_events(std::mem::take(events)),
+            incidents: std::mem::take(incidents),
+        });
+    };
+    while let Some(record) = reader.next_record()? {
+        match record {
+            HbtRecord::Run { seed: s } => {
+                if open {
+                    flush(&mut seed, &mut events, &mut incidents, &mut sections);
+                }
+                seed = Some(s);
+                open = true;
+            }
+            HbtRecord::Event(e) => {
+                events.push(e);
+                open = true;
+            }
+            HbtRecord::Incident(i) => {
+                incidents.push(i);
+                open = true;
+            }
+        }
+    }
+    if open {
+        flush(&mut seed, &mut events, &mut incidents, &mut sections);
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(seq: u64) -> Event {
+        Event {
+            seq,
+            rank: Rank(1),
+            tid: Tid(2),
+            region: Some(RegionId(3)),
+            time_ns: 400,
+            loc: Some(SrcLoc::new("x.hmp", 9)),
+            kind: EventKind::Barrier {
+                barrier: BarrierId(0),
+                epoch: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut cur = Cur {
+                buf: &buf,
+                pos: 0,
+                base: 0,
+            };
+            assert_eq!(cur.varint("v").unwrap(), v);
+            assert_eq!(cur.pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, i64::from(i32::MIN), i64::from(i32::MAX)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let trace = Trace::from_events(vec![sample_event(0), sample_event(1)]);
+        let bytes = encode_trace(&trace);
+        assert!(is_hbt(&bytes));
+        let sections = decode_sections(&bytes).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].seed, None);
+        assert_eq!(sections[0].trace.events(), trace.events());
+    }
+
+    #[test]
+    fn multi_section_roundtrip() {
+        let mut w = HbtWriter::new(Vec::new()).unwrap();
+        w.begin_run(7).unwrap();
+        w.write_event(&sample_event(0)).unwrap();
+        w.write_incident(&TraceIncident {
+            rank: 1,
+            line: 12,
+            call: "MPI_Recv".into(),
+            error: "boom".into(),
+        })
+        .unwrap();
+        w.begin_run(8).unwrap();
+        w.write_event(&sample_event(1)).unwrap();
+        let bytes = w.finish().unwrap();
+        let sections = decode_sections(&bytes).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].seed, Some(7));
+        assert_eq!(sections[0].incidents.len(), 1);
+        assert_eq!(sections[1].seed, Some(8));
+        assert_eq!(sections[1].trace.events().len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_has_no_sections() {
+        let trace = Trace::default();
+        let bytes = encode_trace(&trace);
+        assert_eq!(decode_sections(&bytes).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_typed_error() {
+        let err = decode_sections(b"not hbt at all").unwrap_err();
+        assert!(matches!(err, HomeError::CorruptTrace { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let trace = Trace::from_events(vec![sample_event(0)]);
+        let bytes = encode_trace(&trace);
+        for cut in 0..bytes.len() {
+            let err = decode_sections(&bytes[..cut])
+                .err()
+                .unwrap_or_else(|| panic!("prefix of {cut} bytes decoded cleanly"));
+            assert!(
+                matches!(
+                    err,
+                    HomeError::TraceParse { .. } | HomeError::CorruptTrace { .. }
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+}

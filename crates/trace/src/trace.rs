@@ -3,19 +3,51 @@
 use crate::error::HomeError;
 use crate::event::{Event, EventKind, MonitoredVar};
 use crate::ids::Rank;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::sync::OnceLock;
 
 /// An immutable, sequence-ordered recording of one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// The rank list is computed lazily on first use and cached: traces are
+/// immutable after construction, and both the detector's shard planner and
+/// the baselines call [`Trace::ranks`] repeatedly, so the sort+dedup pass
+/// should happen once per trace, not once per call.
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<Event>,
+    ranks: OnceLock<Vec<Rank>>,
+}
+
+// Hand-written (de)serialization: the cache field is derived state and must
+// stay out of the wire format, so the JSON shape is exactly what
+// `#[derive]` produced before the cache existed: `{"events": [...]}`.
+impl Serialize for Trace {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![("events".to_string(), self.events.serialize())])
+    }
+}
+
+impl Deserialize for Trace {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "Trace", value))?;
+        let events: Vec<Event> = serde::field(object, "events", "Trace")?;
+        Ok(Trace {
+            events,
+            ranks: OnceLock::new(),
+        })
+    }
 }
 
 impl Trace {
     /// Build from events (will be sorted by sequence number).
     pub fn from_events(mut events: Vec<Event>) -> Self {
         events.sort_by_key(|e| e.seq);
-        Trace { events }
+        Trace {
+            events,
+            ranks: OnceLock::new(),
+        }
     }
 
     /// All events, in observation order.
@@ -34,11 +66,14 @@ impl Trace {
     }
 
     /// Ranks that appear in the trace, ascending and deduplicated.
-    pub fn ranks(&self) -> Vec<Rank> {
-        let mut rs: Vec<Rank> = self.events.iter().map(|e| e.rank).collect();
-        rs.sort_unstable();
-        rs.dedup();
-        rs
+    /// Computed once and cached (the trace is immutable).
+    pub fn ranks(&self) -> &[Rank] {
+        self.ranks.get_or_init(|| {
+            let mut rs: Vec<Rank> = self.events.iter().map(|e| e.rank).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            rs
+        })
     }
 
     /// Events of one rank, in observation order.

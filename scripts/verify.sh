@@ -13,19 +13,26 @@ cargo build --release --offline
 echo "==> cargo test --offline"
 cargo test -q --offline
 
+# The streaming engine's acceptance bar: byte-identical reports vs the
+# batch engine on every bundled program/seed/jobs combination. Part of the
+# suite above, but run explicitly so a parity break names itself.
+echo "==> engine parity (batch vs stream)"
+cargo test -q --offline --test stream_parity
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Panic-free gate: the pipeline (home-core), the detector (home-dynamic),
-# and the CLI must not unwrap/expect on fallible paths — failures become
-# typed HomeErrors and partial reports. --no-deps keeps the lints scoped to
-# exactly these crates; no --all-targets, so #[cfg(test)] code is exempt.
-# (The same policy is pinned in-source via crate-root deny attributes.)
-echo "==> clippy unwrap/expect gate (home-core, home-dynamic, CLI)"
-cargo clippy --offline --no-deps -p home-core -p home-dynamic \
+# Panic-free gate: the pipeline (home-core), the detectors (home-dynamic,
+# home-stream), and the CLI must not unwrap/expect on fallible paths —
+# failures become typed HomeErrors and partial reports. --no-deps keeps the
+# lints scoped to exactly these crates; no --all-targets, so #[cfg(test)]
+# code is exempt. (The same policy is pinned in-source via crate-root deny
+# attributes.)
+echo "==> clippy unwrap/expect gate (home-core, home-dynamic, home-stream, CLI)"
+cargo clippy --offline --no-deps -p home-core -p home-dynamic -p home-stream \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 cargo clippy --offline --no-deps -p home --bins \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--jobs N] [--faithful]
-//!                          [--fail-seed a,b]
+//!                          [--fail-seed a,b] [--engine batch|stream]
 //! home static  <file.hmp>
 //! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
 //!                          [--trace-out trace.json]
-//! home analyze <trace.json>
+//! home record  <file.hmp> -o trace.hbt [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
+//! home replay  <trace.hbt>
+//! home analyze <trace.json|trace.hbt|->
 //! home fmt     <file.hmp>
 //! home help
 //! ```
@@ -15,8 +17,14 @@
 //! * `static`  — compile-time phase only: per-site instrumentation decisions.
 //! * `run`     — execute once on the simulators and report timing/events;
 //!   `--trace-out` dumps the recorded event trace as JSON.
+//! * `record`  — run the check seeds, streaming every event into a compact
+//!   binary HBT trace file instead of detecting.
+//! * `replay`  — offline detection over a recorded HBT trace; same verdicts
+//!   and exit codes as `check` on the same program/seeds (deadlocks excepted:
+//!   a deadlocked run has no terminal event to replay).
 //! * `analyze` — offline mode: run the dynamic phase + rule matching over a
-//!   previously dumped trace (the paper's offline analysis).
+//!   previously dumped trace (the paper's offline analysis). Accepts JSON or
+//!   HBT, auto-detected by magic bytes; `-` reads from stdin.
 //! * `fmt`     — parse and reprint in canonical form.
 //! * `help`    — print the command and option reference.
 
@@ -28,7 +36,8 @@ use home::baselines::Tool;
 use home::prelude::*;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: home <check|static|run|analyze|fmt|help> <file> [options]";
+const USAGE: &str =
+    "usage: home <check|static|run|record|replay|analyze|fmt|help> <file> [options]";
 
 fn print_help() {
     println!("home — detect thread-safety violations in hybrid OpenMP/MPI programs");
@@ -40,7 +49,12 @@ fn print_help() {
     println!("                       race detection, violation matching; exit 1 on findings");
     println!("  static  <file.hmp>   compile-time phase only: per-site instrumentation decisions");
     println!("  run     <file.hmp>   one simulated execution; report timing and events");
-    println!("  analyze <trace.json> offline dynamic phase over a previously dumped trace");
+    println!("  record  <file.hmp>   run the check seeds and stream every event into a");
+    println!("                       compact binary HBT trace (-o trace.hbt)");
+    println!("  replay  <trace.hbt>  offline detection over a recorded trace; same");
+    println!("                       verdicts and exit codes as `check`");
+    println!("  analyze <trace>      offline dynamic phase over a previously dumped trace;");
+    println!("                       JSON or HBT auto-detected, `-` reads stdin");
     println!("  fmt     <file.hmp>   parse and reprint in canonical form");
     println!("  help                 print this reference");
     println!();
@@ -55,6 +69,14 @@ fn print_help() {
     println!("  --fail-seed a,b inject a deliberate failure into the listed seeds");
     println!("                  (fault-isolation testing; the other seeds still run");
     println!("                  and the partial report exits with code 3)");
+    println!("  --engine E      detection engine: `batch` (default) materializes each");
+    println!("                  seed's trace before detecting; `stream` detects online");
+    println!("                  while the program runs, retiring dead segments as");
+    println!("                  regions join. The report is identical either way.");
+    println!();
+    println!("record options:");
+    println!("  -o trace.hbt    output path for the binary trace (required)");
+    println!("  --procs N / --threads N / --seeds a,b,c / --faithful   as in check");
     println!();
     println!("run options:");
     println!("  --procs N / --threads N   as above");
@@ -84,6 +106,15 @@ fn main() -> ExitCode {
         }
     };
 
+    // Trace-consuming commands read raw bytes (HBT is binary and `-` means
+    // stdin), so they branch off before the program-source path.
+    if cmd == "analyze" {
+        return cmd_analyze(file);
+    }
+    if cmd == "replay" {
+        return cmd_replay(file);
+    }
+
     let source = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -91,9 +122,6 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if cmd == "analyze" {
-        return cmd_analyze(file, &source);
-    }
     let program = match parse(&source) {
         Ok(p) => p,
         Err(e) => {
@@ -106,6 +134,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&program, &args),
         "static" => cmd_static(&program),
         "run" => cmd_run(&program, &args),
+        "record" => cmd_record(&program, &args),
         "fmt" => {
             print!("{}", print_program(&program));
             ExitCode::SUCCESS
@@ -114,6 +143,18 @@ fn main() -> ExitCode {
             eprintln!("home: unknown command `{other}`");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Read a trace argument: a file path, or `-` for standard input.
+fn read_trace_bytes(file: &str) -> Result<Vec<u8>, String> {
+    if file == "-" {
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(file).map_err(|e| format!("cannot read {file}: {e}"))
     }
 }
 
@@ -147,6 +188,21 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Parse a comma-separated seed list (`--seeds` / `--fail-seed`).
+fn parse_seed_list(value: &str, flag: &str) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for part in value.split(',') {
+        let part = part.trim();
+        seeds.push(part.parse::<u64>().map_err(|_| {
+            format!("invalid seed `{part}` in {flag}: expected a comma-separated list of integers")
+        })?);
+    }
+    if seeds.is_empty() {
+        return Err(format!("{flag} needs a comma-separated list of integers"));
+    }
+    Ok(seeds)
+}
+
 fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
     let parsed = (|| -> Result<CheckOptions, String> {
         let mut options = CheckOptions::new(
@@ -154,19 +210,7 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
             usize_flag(args, "--threads", 2)?,
         );
         if let Some(seeds) = flag_value(args, "--seeds")? {
-            let mut parsed_seeds = Vec::new();
-            for part in seeds.split(',') {
-                let part = part.trim();
-                parsed_seeds.push(part.parse::<u64>().map_err(|_| {
-                    format!(
-                        "invalid seed `{part}` in --seeds: expected a comma-separated list of integers"
-                    )
-                })?);
-            }
-            if parsed_seeds.is_empty() {
-                return Err("--seeds needs a comma-separated list of integers".into());
-            }
-            options.seeds = parsed_seeds;
+            options.seeds = parse_seed_list(seeds, "--seeds")?;
         }
         let jobs = usize_flag(args, "--jobs", home::dynamic::default_jobs())?;
         if jobs == 0 {
@@ -177,17 +221,17 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
             options.sched_policy = SchedPolicy::EarliestClockFirst;
         }
         if let Some(fails) = flag_value(args, "--fail-seed")? {
-            let mut parsed_fails = Vec::new();
-            for part in fails.split(',') {
-                let part = part.trim();
-                parsed_fails.push(part.parse::<u64>().map_err(|_| {
-                    format!(
-                        "invalid seed `{part}` in --fail-seed: expected a comma-separated list of integers"
-                    )
-                })?);
-            }
-            options.inject_panic_seeds = parsed_fails;
+            options.inject_panic_seeds = parse_seed_list(fails, "--fail-seed")?;
         }
+        options.engine = match flag_value(args, "--engine")? {
+            None | Some("batch") => Engine::Batch,
+            Some("stream") => Engine::Stream,
+            Some(other) => {
+                return Err(format!(
+                    "unknown engine `{other}`: expected `batch` or `stream`"
+                ))
+            }
+        };
         Ok(options)
     })();
     let options = match parsed {
@@ -244,16 +288,169 @@ fn cmd_static(program: &Program) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_analyze(file: &str, trace_json: &str) -> ExitCode {
-    let trace = match home::trace::Trace::from_json(trace_json) {
-        Ok(t) => t,
-        // One line naming the file and, when the parser knows it, the byte
-        // offset of the problem — greppable and stable for scripting.
-        Err(e) => {
-            match e.byte_offset() {
-                Some(off) => eprintln!("home: {file}: byte {off}: {e}"),
-                None => eprintln!("home: {file}: {e}"),
+/// One line naming the input and, when the parser knows it, the byte offset
+/// of the problem — greppable and stable for scripting.
+fn print_trace_error(file: &str, e: &HomeError) {
+    match e.byte_offset() {
+        Some(off) => eprintln!("home: {file}: byte {off}: {e}"),
+        None => eprintln!("home: {file}: {e}"),
+    }
+}
+
+/// Combined offline verdict over the runs recorded in an HBT trace.
+struct OfflineOutcome {
+    sections: usize,
+    events: usize,
+    races: usize,
+    unclassified: usize,
+    violations: Vec<home::core::Violation>,
+}
+
+/// Run detection + rule matching over every recorded run in an HBT trace,
+/// deduplicating violations across runs exactly like [`check`] does across
+/// seeds. Uses the streaming engine (verdict-identical to batch).
+fn detect_sections(sections: &[home::stream::HbtSection]) -> Result<OfflineOutcome, HomeError> {
+    let config = home::dynamic::DetectorConfig::hybrid();
+    let mut out = OfflineOutcome {
+        sections: sections.len(),
+        events: 0,
+        races: 0,
+        unclassified: 0,
+        violations: Vec::new(),
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for section in sections {
+        let (races, _stats) = home::stream::detect_stream(&section.trace, &config)?;
+        let incidents: Vec<home::interp::MpiIncident> = section
+            .incidents
+            .iter()
+            .map(|i| home::interp::MpiIncident {
+                rank: i.rank,
+                line: i.line,
+                call: i.call.clone(),
+                error: i.error.clone(),
+            })
+            .collect();
+        let outcome = home::core::match_rules(&section.trace, &races, &incidents);
+        out.events += section.trace.len();
+        out.races += races.len();
+        out.unclassified += outcome.unclassified.len();
+        for v in outcome.violations {
+            if seen.insert((v.kind, v.rank, v.locations.clone())) {
+                out.violations.push(v);
             }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_replay(file: &str) -> ExitCode {
+    let bytes = match read_trace_bytes(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("home: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !home::stream::is_hbt(&bytes) {
+        eprintln!("home: {file}: not an HBT trace (bad magic); produce one with `home record`");
+        return ExitCode::from(2);
+    }
+    let sections = match home::stream::decode_sections(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            print_trace_error(file, &e);
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match detect_sections(&sections) {
+        Ok(o) => o,
+        Err(e) => {
+            print_trace_error(file, &e);
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replay: {} run(s), {} events, {} monitored race(s), {} violation(s)",
+        outcome.sections,
+        outcome.events,
+        outcome.races,
+        outcome.violations.len()
+    );
+    if outcome.unclassified > 0 {
+        println!(
+            "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
+            outcome.unclassified
+        );
+    }
+    for v in &outcome.violations {
+        println!("  - {v}");
+    }
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_analyze(file: &str) -> ExitCode {
+    let bytes = match read_trace_bytes(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("home: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Format auto-detection: HBT traces start with the 0x89 "HBT" magic,
+    // which can never open a JSON document.
+    if home::stream::is_hbt(&bytes) {
+        let sections = match home::stream::decode_sections(&bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                print_trace_error(file, &e);
+                return ExitCode::from(2);
+            }
+        };
+        let outcome = match detect_sections(&sections) {
+            Ok(o) => o,
+            Err(e) => {
+                print_trace_error(file, &e);
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "offline analysis: {} run(s), {} events, {} monitored race(s), {} violation(s)",
+            outcome.sections,
+            outcome.events,
+            outcome.races,
+            outcome.violations.len()
+        );
+        if outcome.unclassified > 0 {
+            println!(
+                "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
+                outcome.unclassified
+            );
+        }
+        for v in &outcome.violations {
+            println!("  - {v}");
+        }
+        return if outcome.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let trace_json = match String::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("home: {file}: not valid UTF-8 JSON (and not HBT): {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match home::trace::Trace::from_json(&trace_json) {
+        Ok(t) => t,
+        Err(e) => {
+            print_trace_error(file, &e);
             return ExitCode::from(2);
         }
     };
@@ -344,4 +541,137 @@ fn cmd_run(program: &Program, args: &[String]) -> ExitCode {
         }
         None => ExitCode::SUCCESS,
     }
+}
+
+/// Trace sink that streams every recorded event straight into an HBT writer.
+/// I/O failures are stashed (the sink trait cannot propagate errors) and
+/// surfaced once at the end; after the first failure the sink goes quiet.
+struct RecordSink<W: std::io::Write> {
+    writer: std::sync::Mutex<Option<home::stream::HbtWriter<W>>>,
+    error: std::sync::Mutex<Option<std::io::Error>>,
+}
+
+impl<W: std::io::Write> RecordSink<W> {
+    fn with_writer(&self, f: impl FnOnce(&mut home::stream::HbtWriter<W>) -> std::io::Result<()>) {
+        let mut error = self
+            .error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if error.is_some() {
+            return;
+        }
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(w) = writer.as_mut() {
+            if let Err(e) = f(w) {
+                *error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: std::io::Write + Send> home::trace::TraceSink for RecordSink<W> {
+    fn record(&self, event: home::trace::Event) {
+        self.with_writer(|w| w.write_event(&event));
+    }
+}
+
+fn cmd_record(program: &Program, args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(String, usize, usize, Vec<u64>, SchedPolicy), String> {
+        let out = flag_value(args, "-o")?
+            .ok_or_else(|| "record needs an output path: -o trace.hbt".to_string())?
+            .to_string();
+        let procs = usize_flag(args, "--procs", 2)?;
+        let threads = usize_flag(args, "--threads", 2)?;
+        let seeds = match flag_value(args, "--seeds")? {
+            Some(s) => parse_seed_list(s, "--seeds")?,
+            None => vec![1, 2, 3, 4],
+        };
+        let policy = if args.iter().any(|a| a == "--faithful") {
+            SchedPolicy::EarliestClockFirst
+        } else {
+            SchedPolicy::Random
+        };
+        Ok((out, procs, threads, seeds, policy))
+    })();
+    let (out, procs, threads, seeds, policy) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+
+    let file = match std::fs::File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("home: cannot create {out}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let writer = match home::stream::HbtWriter::new(std::io::BufWriter::new(file)) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("home: cannot write {out}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sink = std::sync::Arc::new(RecordSink {
+        writer: std::sync::Mutex::new(Some(writer)),
+        error: std::sync::Mutex::new(None),
+    });
+
+    // Same pipeline setup as `check`, so a recorded trace replays to the
+    // same verdicts: HOME instrumentation, static checklist, test topology.
+    let checklist = std::sync::Arc::new(analyze(program).checklist.clone());
+    let mut total_events = 0u64;
+    let mut total_incidents = 0usize;
+    for &seed in &seeds {
+        sink.with_writer(|w| w.begin_run(seed));
+        let mut cfg = RunConfig::test(procs, seed)
+            .with_instrumentation(Instrumentation::home())
+            .with_checklist(std::sync::Arc::clone(&checklist));
+        cfg.threads_per_proc = threads;
+        cfg.sched.policy = policy;
+        let result = run_with_sink(program, &cfg, sink.clone());
+        total_events += result.events_recorded;
+        total_incidents += result.mpi_errors.len();
+        for i in &result.mpi_errors {
+            let incident = home::stream::TraceIncident {
+                rank: i.rank,
+                line: i.line,
+                call: i.call.clone(),
+                error: i.error.clone(),
+            };
+            sink.with_writer(|w| w.write_incident(&incident));
+        }
+        if let Some(d) = &result.deadlock {
+            eprintln!(
+                "warning: seed {seed} deadlocked ({d}); replay cannot reproduce the deadlock verdict"
+            );
+        }
+    }
+
+    let writer = sink
+        .writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    let finish_result = match writer {
+        Some(w) => w.finish().map(|_| ()),
+        None => Ok(()),
+    };
+    let stashed = sink
+        .error
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(e) = stashed.or(finish_result.err()) {
+        eprintln!("home: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "recorded {} run(s), {total_events} events, {total_incidents} incident(s) to {out}",
+        seeds.len()
+    );
+    ExitCode::SUCCESS
 }

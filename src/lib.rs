@@ -13,6 +13,7 @@
 //! | language | [`ir`] | a C-like hybrid mini-language (DSL + builder) |
 //! | static | [`static_analysis`] | CFG + Algorithm 1 (selective instrumentation checklist) |
 //! | dynamic | [`dynamic`] | lockset + happens-before race detection |
+//! | streaming | [`stream`] | online (event-at-a-time) detection and the HBT binary trace format |
 //! | interpreter | [`interp`] | runs IR programs over the substrates with tool instrumentation |
 //! | tool | [`core`] | the HOME pipeline and the six violation rules |
 //! | baselines | [`baselines`] | Marmot and Intel-Thread-Checker models |
@@ -50,17 +51,19 @@ pub use home_npb as npb;
 pub use home_omp as omp;
 pub use home_sched as sched;
 pub use home_static as static_analysis;
+pub use home_stream as stream;
 pub use home_trace as trace;
 
 /// The most common surface: parse a program, check it, inspect violations.
 pub mod prelude {
     pub use home_baselines::{run_tool, Tool};
-    pub use home_core::{check, CheckOptions, HomeReport, Violation, ViolationKind};
+    pub use home_core::{check, CheckOptions, Engine, HomeReport, Violation, ViolationKind};
     pub use home_dynamic::{detect, DetectorConfig, DetectorMode, Race};
-    pub use home_interp::{run, Instrumentation, RunConfig};
+    pub use home_interp::{run, run_with_sink, Instrumentation, RunConfig};
     pub use home_ir::{parse, print_program, Program};
     pub use home_npb::{accuracy_row, build_injected, generate, Benchmark, Class};
     pub use home_sched::{Runtime, SchedConfig, SchedPolicy, SimTime};
     pub use home_static::analyze;
+    pub use home_stream::{detect_stream, StreamDetector, StreamStats};
     pub use home_trace::{HomeError, HomeResult, MonitoredVar, ThreadLevel, Trace};
 }

@@ -304,4 +304,156 @@ fn help_documents_exit_codes_and_fail_seed() {
     assert_eq!(code, Some(0));
     assert!(stdout.contains("--fail-seed"), "{stdout}");
     assert!(stdout.contains("3 partial results"), "{stdout}");
+    assert!(stdout.contains("record"), "{stdout}");
+    assert!(stdout.contains("replay"), "{stdout}");
+    assert!(stdout.contains("--engine"), "{stdout}");
+}
+
+/// Scratch directory inside the repo's target dir (provided by cargo for
+/// integration tests).
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The `  - <violation>` lines of a report, order-insensitive.
+fn violation_lines(report: &str) -> std::collections::BTreeSet<String> {
+    report
+        .lines()
+        .filter(|l| l.starts_with("  - "))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn record_then_replay_reproduces_check_verdicts_on_every_program() {
+    let dir = tmp_dir("record_replay");
+    for entry in std::fs::read_dir("programs").unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "hmp") {
+            continue;
+        }
+        let program = path.to_str().unwrap();
+        let trace = dir.join(path.with_extension("hbt").file_name().unwrap());
+        let trace = trace.to_str().unwrap();
+
+        let (stdout, stderr, code) = home_cli(&["record", program, "-o", trace]);
+        assert_eq!(code, Some(0), "{program}: {stderr}");
+        assert!(stdout.contains("recorded 4 run(s)"), "{program}: {stdout}");
+
+        let (check_out, _, check_code) = home_cli(&["check", program]);
+        let (replay_out, _, replay_code) = home_cli(&["replay", trace]);
+        assert_eq!(
+            replay_code, check_code,
+            "{program}: exit codes must agree\ncheck:\n{check_out}\nreplay:\n{replay_out}"
+        );
+        assert_eq!(
+            violation_lines(&check_out),
+            violation_lines(&replay_out),
+            "{program}: violations must agree"
+        );
+    }
+}
+
+#[test]
+fn check_engine_stream_is_byte_identical_to_batch() {
+    for program in ["programs/figure2.hmp", "programs/figure2_fixed.hmp"] {
+        for jobs in ["1", "4"] {
+            let (batch, _, batch_code) = home_cli(&["check", program, "--jobs", jobs]);
+            let (stream, _, stream_code) =
+                home_cli(&["check", program, "--jobs", jobs, "--engine", "stream"]);
+            assert_eq!(batch_code, stream_code, "{program} jobs={jobs}");
+            assert_eq!(batch, stream, "{program} jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn check_rejects_unknown_engine() {
+    let (_, stderr, code) = home_cli(&["check", "programs/figure1.hmp", "--engine", "turbo"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+}
+
+#[test]
+fn analyze_reads_hbt_from_stdin() {
+    use std::io::Write;
+    let dir = tmp_dir("analyze_stdin");
+    let trace = dir.join("fig2.hbt");
+    let (_, stderr, code) = home_cli(&[
+        "record",
+        "programs/figure2.hmp",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+
+    let bytes = std::fs::read(&trace).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_home"))
+        .args(["analyze", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&bytes).unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("offline analysis"), "{stdout}");
+    assert!(stdout.contains("isConcurrentRecvViolation"), "{stdout}");
+}
+
+#[test]
+fn analyze_autodetects_hbt_files() {
+    let dir = tmp_dir("analyze_hbt");
+    let trace = dir.join("fig1.hbt");
+    home_cli(&[
+        "record",
+        "programs/figure1.hmp",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    let (stdout, _, code) = home_cli(&["analyze", trace.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("isInitializationViolation"), "{stdout}");
+}
+
+#[test]
+fn replay_rejects_non_hbt_input() {
+    let dir = tmp_dir("replay_reject");
+    let bogus = dir.join("not_a_trace.hbt");
+    std::fs::write(&bogus, b"{\"events\": []}").unwrap();
+    let (_, stderr, code) = home_cli(&["replay", bogus.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("not an HBT trace"), "{stderr}");
+}
+
+#[test]
+fn replay_reports_truncated_trace_with_byte_offset() {
+    let dir = tmp_dir("replay_truncated");
+    let trace = dir.join("whole.hbt");
+    home_cli(&[
+        "record",
+        "programs/figure2.hmp",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    let bytes = std::fs::read(&trace).unwrap();
+    let cut = dir.join("truncated.hbt");
+    std::fs::write(&cut, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+    let (_, stderr, code) = home_cli(&["replay", cut.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    let diagnostic = stderr.lines().next().unwrap_or_default();
+    assert!(diagnostic.contains("truncated.hbt"), "{stderr}");
+    assert!(diagnostic.contains("byte "), "{stderr}");
+}
+
+#[test]
+fn record_without_output_path_exits_2() {
+    let (_, stderr, code) = home_cli(&["record", "programs/figure1.hmp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("-o"), "{stderr}");
 }

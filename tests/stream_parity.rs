@@ -1,0 +1,151 @@
+//! Engine parity: the online streaming detector must be observably
+//! indistinguishable from the batch detector — byte-identical rendered
+//! reports and identical merged fields for every bundled program, every
+//! seed list, and every `--jobs` value — while actually bounding memory
+//! (peak live segments strictly below the total) on region-sequential
+//! programs.
+
+use home::prelude::*;
+use std::sync::Arc;
+
+/// Every bundled sample program, in stable name order.
+fn programs() -> Vec<(String, Program)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir("programs").unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "hmp") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).unwrap();
+            out.push((name, parse(&src).unwrap()));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!out.is_empty(), "no bundled programs found");
+    out
+}
+
+fn assert_reports_identical(batch: &HomeReport, stream: &HomeReport, context: &str) {
+    assert_eq!(batch.render(), stream.render(), "render: {context}");
+    assert_eq!(batch.violations, stream.violations, "violations: {context}");
+    assert_eq!(
+        format!("{:?}", batch.races),
+        format!("{:?}", stream.races),
+        "races: {context}"
+    );
+    assert_eq!(
+        format!("{:?}", batch.seed_runs),
+        format!("{:?}", stream.seed_runs),
+        "seed statuses: {context}"
+    );
+    assert_eq!(
+        format!("{:?}", batch.deadlocks),
+        format!("{:?}", stream.deadlocks),
+        "deadlocks: {context}"
+    );
+    assert_eq!(batch.total_events, stream.total_events, "events: {context}");
+    assert_eq!(batch.partial, stream.partial, "partial: {context}");
+}
+
+/// The acceptance bar: for every program, seed set, and jobs value, the
+/// streaming engine's report is byte-identical to the batch engine's.
+#[test]
+fn stream_matches_batch_on_every_program_and_jobs_value() {
+    for (name, program) in &programs() {
+        for jobs in [1, 2, 4] {
+            let opts = CheckOptions::default()
+                .with_seeds(vec![1, 2, 3, 4, 5])
+                .with_jobs(jobs);
+            let batch = check(program, &opts.clone().with_engine(Engine::Batch));
+            let stream = check(program, &opts.clone().with_engine(Engine::Stream));
+            assert_reports_identical(&batch, &stream, &format!("{name} jobs={jobs}"));
+        }
+    }
+}
+
+/// Parity holds under the time-faithful scheduler too.
+#[test]
+fn stream_matches_batch_under_faithful_scheduling() {
+    for (name, program) in &programs() {
+        let mut opts = CheckOptions::default().with_seeds(vec![2, 9]);
+        opts.sched_policy = SchedPolicy::EarliestClockFirst;
+        let batch = check(program, &opts.clone().with_engine(Engine::Batch));
+        let stream = check(program, &opts.clone().with_engine(Engine::Stream));
+        assert_reports_identical(&batch, &stream, &format!("{name} faithful"));
+    }
+}
+
+/// Fault isolation behaves identically: an injected seed failure produces
+/// the same partial report under either engine.
+#[test]
+fn stream_matches_batch_with_failing_seeds() {
+    let (name, program) = &programs()[0];
+    let opts = CheckOptions::default()
+        .with_seeds(vec![1, 2, 3, 4])
+        .with_fail_seeds(vec![2])
+        .with_jobs(2);
+    let batch = check(program, &opts.clone().with_engine(Engine::Batch));
+    let stream = check(program, &opts.clone().with_engine(Engine::Stream));
+    assert!(batch.partial);
+    assert_reports_identical(&batch, &stream, &format!("{name} fail-seed"));
+}
+
+/// The streaming engine must actually stream: on a program whose parallel
+/// regions run one after another (pipeline.hmp has four region instances
+/// per iteration), dead segments are retired at every join, so the peak
+/// number of live segments stays strictly below the total ever created.
+#[test]
+fn streaming_peak_live_segments_stay_below_total_on_pipeline() {
+    let src = std::fs::read_to_string("programs/pipeline.hmp").unwrap();
+    let program = parse(&src).unwrap();
+    let checklist = Arc::new(analyze(&program).checklist.clone());
+    let mut cfg = RunConfig::test(2, 1)
+        .with_instrumentation(Instrumentation::home())
+        .with_checklist(checklist);
+    cfg.threads_per_proc = 2;
+    let result = run(&program, &cfg);
+
+    let (_, stats) = detect_stream(&result.trace, &DetectorConfig::hybrid()).unwrap();
+    assert!(stats.events > 0);
+    assert!(
+        stats.retired_segments > 0,
+        "joined regions must be retired: {stats:?}"
+    );
+    assert!(
+        stats.peak_live_segments < stats.total_segments,
+        "streaming must bound live state: {stats:?}"
+    );
+
+    // And retirement must not change the verdict: same races as batch.
+    let batch = detect(&result.trace, &DetectorConfig::hybrid()).unwrap();
+    let (stream_races, _) = detect_stream(&result.trace, &DetectorConfig::hybrid()).unwrap();
+    assert_eq!(format!("{batch:?}"), format!("{stream_races:?}"));
+}
+
+/// Race-level parity on raw traces: for every program and seed, feeding the
+/// recorded trace through the streaming detector yields exactly the batch
+/// detector's races.
+#[test]
+fn detect_stream_matches_detect_on_recorded_traces() {
+    for (name, program) in &programs() {
+        let checklist = Arc::new(analyze(program).checklist.clone());
+        for seed in [1u64, 2, 3] {
+            let mut cfg = RunConfig::test(2, seed)
+                .with_instrumentation(Instrumentation::home())
+                .with_checklist(Arc::clone(&checklist));
+            cfg.threads_per_proc = 2;
+            let result = run(program, &cfg);
+            let batch = detect(&result.trace, &DetectorConfig::hybrid()).unwrap();
+            let (stream, stats) = detect_stream(&result.trace, &DetectorConfig::hybrid()).unwrap();
+            assert_eq!(
+                format!("{batch:?}"),
+                format!("{stream:?}"),
+                "{name} seed {seed}"
+            );
+            assert_eq!(
+                stats.events as usize,
+                result.trace.len(),
+                "{name} seed {seed}"
+            );
+        }
+    }
+}
