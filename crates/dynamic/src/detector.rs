@@ -18,10 +18,9 @@
 
 use crate::races::{Race, RaceAccess};
 use home_trace::{
-    AccessKind, BarrierId, Event, EventKind, HomeError, LockId, LockSet, MemLoc, Rank, RegionId,
-    Tid, Trace, VectorClock,
+    AccessKind, BarrierId, Event, EventKind, FxHashMap, FxHashSet, HomeError, LockId, LocksetId,
+    LocksetTable, MemLoc, Rank, RegionId, Tid, Trace, VectorClock,
 };
-use std::collections::HashMap;
 
 /// Which predicate flags a conflicting access pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,66 +104,110 @@ impl Default for DetectorConfig {
 /// `(None, Tid(0))`; each thread of a region instance is `(Some(r), t)`.
 type SegKey = (Option<RegionId>, Tid);
 
+/// One remembered access, stored FastTrack-style.
+///
+/// Instead of a full vector-clock snapshot, a record keeps only its
+/// segment's *epoch* — `(slot, clock)`, the segment's own component at the
+/// access. That is enough to decide HB-concurrency against any later
+/// access exactly, because the detector's clocks obey two invariants:
+///
+/// 1. A slot's component only ever increases at its owning segment's
+///    `tick`; every cross-clock flow (fork snapshot, release→acquire,
+///    barrier join, region join, lazy fork inheritance) joins *full*
+///    snapshots of whole clocks. Hence any clock `C` with
+///    `C[slot] ≥ clock` has absorbed a snapshot of the owning segment
+///    taken at-or-after the access, so `C ≥` the access's full clock.
+///    Therefore `prev ≤ cur ⟺ prev.clock ≤ cur[prev.slot]`.
+/// 2. The later access's own component was freshly ticked, so no earlier
+///    record's clock can dominate it: `cur ≤ prev` is never true.
+///
+/// Together: `concurrent(prev, cur) ⟺ prev.clock > cur[prev.slot]` — an
+/// O(1) comparison with no per-access clock clone. Locksets are interned
+/// ids in the rank's [`LocksetTable`] for the same reason.
 struct AccessRecord {
     seg: SegKey,
-    vc: VectorClock,
-    lockset: LockSet,
+    /// The accessing segment's clock slot.
+    slot: usize,
+    /// The segment's own clock component at the access (post-tick).
+    clock: u64,
+    lockset: LocksetId,
     kind: AccessKind,
     access: RaceAccess,
 }
 
+/// All per-segment analysis state, held in one map entry so the hot path
+/// pays one hash lookup per event instead of one per parallel map.
+struct SegState {
+    /// The segment's clock slot (unique per segment, never reused).
+    slot: usize,
+    vc: VectorClock,
+    lockset: LocksetId,
+}
+
 struct RankState {
-    slots: HashMap<SegKey, usize>,
-    vcs: HashMap<SegKey, VectorClock>,
-    locksets: HashMap<SegKey, LockSet>,
+    segs: FxHashMap<SegKey, SegState>,
+    /// Next clock slot to assign (monotone — slots are never reused, so
+    /// remembered epochs can never alias another segment's component).
+    next_slot: usize,
+    lockset_table: LocksetTable,
     /// VC stored at the last release of each lock.
-    release_vc: HashMap<LockId, VectorClock>,
+    release_vc: FxHashMap<LockId, VectorClock>,
     /// Master's VC at each region fork.
-    fork_vc: HashMap<RegionId, VectorClock>,
+    fork_vc: FxHashMap<RegionId, VectorClock>,
     /// Join VC per barrier epoch, computed lazily on first arrival event.
-    barrier_join: HashMap<(RegionId, BarrierId, u64), VectorClock>,
-    history: HashMap<MemLoc, Vec<AccessRecord>>,
+    barrier_join: FxHashMap<(RegionId, BarrierId, u64), VectorClock>,
+    history: FxHashMap<MemLoc, Vec<AccessRecord>>,
     history_overflow: bool,
 }
 
 impl RankState {
     fn new() -> Self {
         RankState {
-            slots: HashMap::new(),
-            vcs: HashMap::new(),
-            locksets: HashMap::new(),
-            release_vc: HashMap::new(),
-            fork_vc: HashMap::new(),
-            barrier_join: HashMap::new(),
-            history: HashMap::new(),
+            segs: FxHashMap::default(),
+            next_slot: 0,
+            lockset_table: LocksetTable::new(),
+            release_vc: FxHashMap::default(),
+            fork_vc: FxHashMap::default(),
+            barrier_join: FxHashMap::default(),
+            history: FxHashMap::default(),
             history_overflow: false,
         }
     }
 
-    fn slot(&mut self, seg: SegKey) -> usize {
-        let next = self.slots.len();
-        *self.slots.entry(seg).or_insert(next)
-    }
-
-    /// Current VC of a segment, lazily initialized on first sight (region
-    /// threads inherit the fork VC when one was recorded). Unknown segment
-    /// ids — possible in hand-built or corrupted offline traces — therefore
-    /// get a fresh clock instead of a lookup failure.
-    fn vc_mut(&mut self, seg: SegKey) -> &mut VectorClock {
-        if !self.vcs.contains_key(&seg) {
-            let mut vc = match seg.0.and_then(|region| self.fork_vc.get(&region)) {
+    /// The segment's state, lazily initialized on first sight (region
+    /// threads inherit the fork VC when one was recorded, and the fresh
+    /// clock counts one local step). Unknown segment ids — possible in
+    /// hand-built or corrupted offline traces — therefore get a fresh
+    /// clock instead of a lookup failure.
+    fn seg_mut(&mut self, seg: SegKey) -> &mut SegState {
+        let RankState {
+            segs,
+            next_slot,
+            fork_vc,
+            ..
+        } = self;
+        segs.entry(seg).or_insert_with(|| {
+            let slot = *next_slot;
+            *next_slot += 1;
+            let mut vc = match seg.0.and_then(|region| fork_vc.get(&region)) {
                 Some(fork_vc) => fork_vc.clone(),
                 None => VectorClock::new(),
             };
-            let slot = self.slot(seg);
             vc.tick(slot);
-            self.vcs.insert(seg, vc);
-        }
-        self.vcs.entry(seg).or_default()
+            SegState {
+                slot,
+                vc,
+                lockset: LocksetTable::EMPTY,
+            }
+        })
     }
 
-    fn lockset_mut(&mut self, seg: SegKey) -> &mut LockSet {
-        self.locksets.entry(seg).or_default()
+    /// Advance the segment's clock one local step, returning
+    /// `(slot, new own component)`.
+    fn advance(&mut self, seg: SegKey) -> (usize, u64) {
+        let state = self.seg_mut(seg);
+        let value = state.vc.tick(state.slot);
+        (state.slot, value)
     }
 }
 
@@ -274,13 +317,14 @@ pub fn detect_with_stats(
 /// Participants of each barrier epoch and of each region, gathered in a
 /// pre-scan (needed to compute barrier joins on first arrival).
 struct PreScan {
-    barrier_participants: HashMap<(RegionId, BarrierId, u64), Vec<SegKey>>,
-    region_threads: HashMap<RegionId, Vec<SegKey>>,
+    barrier_participants: FxHashMap<(RegionId, BarrierId, u64), Vec<SegKey>>,
+    region_threads: FxHashMap<RegionId, Vec<SegKey>>,
 }
 
 fn pre_scan(trace: &Trace, rank: Rank) -> PreScan {
-    let mut barrier_participants: HashMap<(RegionId, BarrierId, u64), Vec<SegKey>> = HashMap::new();
-    let mut region_threads: HashMap<RegionId, Vec<SegKey>> = HashMap::new();
+    let mut barrier_participants: FxHashMap<(RegionId, BarrierId, u64), Vec<SegKey>> =
+        FxHashMap::default();
+    let mut region_threads: FxHashMap<RegionId, Vec<SegKey>> = FxHashMap::default();
     for e in trace.by_rank(rank) {
         let seg: SegKey = (e.region, e.tid);
         if let Some(region) = e.region {
@@ -316,17 +360,15 @@ fn detect_rank(
     let mut races = Vec::new();
     let scan = pre_scan(trace, rank);
     let mut st = RankState::new();
-    let mut reported: std::collections::HashSet<(MemLoc, SegKey, SegKey, u32, u32)> =
-        std::collections::HashSet::new();
+    let mut reported: FxHashSet<(MemLoc, SegKey, SegKey, u32, u32)> = FxHashSet::default();
 
     for e in trace.by_rank(rank) {
         let seg: SegKey = (e.region, e.tid);
         match &e.kind {
             EventKind::Fork { region, .. } => {
-                let vc = st.vc_mut(seg).clone();
+                let vc = st.seg_mut(seg).vc.clone();
                 st.fork_vc.insert(*region, vc);
-                let slot = st.slot(seg);
-                st.vc_mut(seg).tick(slot);
+                st.advance(seg);
             }
             EventKind::JoinRegion { region } => {
                 // A join must refer to a region the trace knows about —
@@ -339,96 +381,116 @@ fn detect_rank(
                         e.seq
                     )));
                 }
-                // Join all region threads' final VCs into the spine.
-                let joined: Vec<VectorClock> = scan
-                    .region_threads
-                    .get(region)
-                    .into_iter()
-                    .flatten()
-                    .filter_map(|s| st.vcs.get(s).cloned())
-                    .collect();
-                let vc = st.vc_mut(seg);
-                for j in &joined {
-                    vc.join(j);
+                // Join all region threads' final VCs into the spine. The
+                // spine state is temporarily detached so the sibling clocks
+                // can be borrowed in place instead of cloned.
+                st.seg_mut(seg);
+                if let Some(mut state) = st.segs.remove(&seg) {
+                    for s in scan.region_threads.get(region).into_iter().flatten() {
+                        if let Some(j) = st.segs.get(s) {
+                            state.vc.join(&j.vc);
+                        }
+                    }
+                    st.segs.insert(seg, state);
                 }
-                let slot = st.slot(seg);
-                st.vc_mut(seg).tick(slot);
+                st.advance(seg);
             }
             EventKind::Barrier { barrier, epoch } => {
                 if let Some(region) = e.region {
                     let key = (region, *barrier, *epoch);
-                    let join = match st.barrier_join.get(&key) {
-                        Some(join) => join.clone(),
-                        None => {
-                            // First arrival processed: every participant's
-                            // pre-barrier events are already folded into its
-                            // current VC (recording-order guarantee), so the
-                            // epoch join is computable now.
-                            let mut join = VectorClock::new();
-                            let participants = scan
-                                .barrier_participants
-                                .get(&key)
-                                .cloned()
-                                .unwrap_or_default();
-                            for p in participants {
-                                let vc = st.vc_mut(p).clone();
-                                join.join(&vc);
-                            }
-                            st.barrier_join.insert(key, join.clone());
-                            join
+                    if !st.barrier_join.contains_key(&key) {
+                        // First arrival processed: every participant's
+                        // pre-barrier events are already folded into its
+                        // current VC (recording-order guarantee), so the
+                        // epoch join is computable now, from borrowed
+                        // participant clocks.
+                        let mut join = VectorClock::new();
+                        for p in scan.barrier_participants.get(&key).into_iter().flatten() {
+                            join.join(&st.seg_mut(*p).vc);
                         }
-                    };
-                    let vc = st.vc_mut(seg);
-                    vc.join(&join);
-                    let slot = st.slot(seg);
-                    st.vc_mut(seg).tick(slot);
+                        st.barrier_join.insert(key, join);
+                    }
+                    st.seg_mut(seg);
+                    let RankState {
+                        segs, barrier_join, ..
+                    } = &mut st;
+                    if let (Some(join), Some(state)) = (barrier_join.get(&key), segs.get_mut(&seg))
+                    {
+                        state.vc.join(join);
+                    }
+                    st.advance(seg);
                 }
             }
             EventKind::Acquire { lock } => {
                 if !config.ignore_locks {
-                    if let Some(rvc) = st.release_vc.get(lock).cloned() {
-                        st.vc_mut(seg).join(&rvc);
+                    st.seg_mut(seg);
+                    let RankState {
+                        segs,
+                        release_vc,
+                        lockset_table,
+                        ..
+                    } = &mut st;
+                    if let Some(state) = segs.get_mut(&seg) {
+                        if let Some(rvc) = release_vc.get(lock) {
+                            state.vc.join(rvc);
+                        }
+                        state.lockset = lockset_table.with_insert(state.lockset, *lock);
+                        state.vc.tick(state.slot);
                     }
-                    st.lockset_mut(seg).insert(*lock);
-                    let slot = st.slot(seg);
-                    st.vc_mut(seg).tick(slot);
                 }
             }
             EventKind::Release { lock } => {
                 if !config.ignore_locks {
-                    st.lockset_mut(seg).remove(*lock);
-                    let vc = st.vc_mut(seg).clone();
-                    st.release_vc.insert(*lock, vc);
-                    let slot = st.slot(seg);
-                    st.vc_mut(seg).tick(slot);
+                    st.seg_mut(seg);
+                    let RankState {
+                        segs,
+                        release_vc,
+                        lockset_table,
+                        ..
+                    } = &mut st;
+                    if let Some(state) = segs.get_mut(&seg) {
+                        state.lockset = lockset_table.with_remove(state.lockset, *lock);
+                        release_vc.insert(*lock, state.vc.clone());
+                        state.vc.tick(state.slot);
+                    }
                 }
             }
             kind => {
                 if let Some((loc, akind)) = kind.access() {
-                    let slot = st.slot(seg);
-                    st.vc_mut(seg).tick(slot);
-                    let vc = st.vc_mut(seg).clone();
-                    let lockset = st.lockset_mut(seg).clone();
+                    let state = st.seg_mut(seg);
+                    let clock = state.vc.tick(state.slot);
                     let record = AccessRecord {
                         seg,
-                        vc,
-                        lockset,
+                        slot: state.slot,
+                        clock,
+                        lockset: state.lockset,
                         kind: akind,
                         access: race_access(e, akind),
                     };
-                    check_and_insert(
-                        &mut st,
-                        rank,
-                        loc,
-                        record,
-                        config,
-                        &mut reported,
-                        &mut races,
-                    );
+                    let RankState {
+                        history,
+                        lockset_table,
+                        history_overflow,
+                        segs,
+                        ..
+                    } = &mut st;
+                    if let Some(state) = segs.get(&seg) {
+                        check_and_insert(
+                            history,
+                            lockset_table,
+                            history_overflow,
+                            rank,
+                            loc,
+                            record,
+                            &state.vc,
+                            config,
+                            &mut reported,
+                            &mut races,
+                        );
+                    }
                 } else {
                     // MpiCall / MpiInit entries advance program order only.
-                    let slot = st.slot(seg);
-                    st.vc_mut(seg).tick(slot);
+                    st.advance(seg);
                 }
             }
         }
@@ -454,12 +516,15 @@ fn race_access(e: &Event, kind: AccessKind) -> RaceAccess {
 
 #[allow(clippy::too_many_arguments)]
 fn check_and_insert(
-    st: &mut RankState,
+    all_history: &mut FxHashMap<MemLoc, Vec<AccessRecord>>,
+    lockset_table: &mut LocksetTable,
+    history_overflow: &mut bool,
     rank: Rank,
     loc: MemLoc,
     record: AccessRecord,
+    cur_vc: &VectorClock,
     config: &DetectorConfig,
-    reported: &mut std::collections::HashSet<(MemLoc, SegKey, SegKey, u32, u32)>,
+    reported: &mut FxHashSet<(MemLoc, SegKey, SegKey, u32, u32)>,
     races: &mut Vec<Race>,
 ) {
     // Segments of the same physical thread: the spine (None, 0) and any
@@ -468,7 +533,7 @@ fn check_and_insert(
     // lockset-only mode.
     let same_physical = |a: SegKey, b: SegKey| a.1 == b.1 && (a.1 == Tid(0) || a.0 == b.0);
 
-    let history = st.history.entry(loc).or_default();
+    let history = all_history.entry(loc).or_default();
     for prev in history.iter() {
         if prev.seg == record.seg || same_physical(prev.seg, record.seg) {
             continue;
@@ -476,12 +541,16 @@ fn check_and_insert(
         if prev.kind == AccessKind::Read && record.kind == AccessKind::Read {
             continue;
         }
-        let hb_concurrent = prev.vc.concurrent_with(&record.vc);
-        let lockset_disjoint = prev.lockset.disjoint(&record.lockset);
+        // The FastTrack epoch check (see [`AccessRecord`]): `prev` is
+        // HB-concurrent with the current access iff its own clock component
+        // exceeds the current clock's entry for its slot.
+        let hb_concurrent = || prev.clock > cur_vc.get(prev.slot);
         let is_race = match config.mode {
-            DetectorMode::Hybrid => hb_concurrent && lockset_disjoint,
-            DetectorMode::LocksetOnly => lockset_disjoint,
-            DetectorMode::HappensBeforeOnly => hb_concurrent,
+            DetectorMode::Hybrid => {
+                hb_concurrent() && lockset_table.disjoint(prev.lockset, record.lockset)
+            }
+            DetectorMode::LocksetOnly => lockset_table.disjoint(prev.lockset, record.lockset),
+            DetectorMode::HappensBeforeOnly => hb_concurrent(),
         };
         if is_race {
             // Dedupe per (location, segment pair, call-site pair): repeated
@@ -510,7 +579,7 @@ fn check_and_insert(
     if history.len() < config.history_cap {
         history.push(record);
     } else {
-        st.history_overflow = true;
+        *history_overflow = true;
     }
 }
 

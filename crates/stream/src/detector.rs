@@ -42,11 +42,11 @@
 use crate::EventSink;
 use home_dynamic::{DetectorConfig, DetectorMode, Race, RaceAccess};
 use home_trace::{
-    AccessKind, BarrierId, Event, EventKind, HomeError, LockId, LockSet, MemLoc, Rank, RegionId,
-    Tid, Trace, TraceSink, VectorClock,
+    AccessKind, BarrierId, Event, EventKind, FxHashMap, FxHashSet, HomeError, LockId, LocksetId,
+    LocksetTable, MemLoc, Rank, RegionId, Tid, Trace, TraceSink, VectorClock,
 };
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -77,11 +77,14 @@ pub struct StreamStats {
     pub events_per_sec: f64,
 }
 
-/// One remembered access, as in the batch detector.
+/// One remembered access, stored FastTrack-style exactly as in the batch
+/// detector: the segment's `(slot, clock)` epoch plus an interned lockset
+/// id (see the batch `AccessRecord` for why the epoch check is exact).
 struct AccessRecord {
     seg: SegKey,
-    vc: VectorClock,
-    lockset: LockSet,
+    slot: usize,
+    clock: u64,
+    lockset: LocksetId,
     kind: AccessKind,
     access: RaceAccess,
 }
@@ -95,23 +98,36 @@ struct LocHistory {
     pushed: usize,
 }
 
+/// All per-segment analysis state, held in one map entry so the hot path
+/// pays one hash lookup per event instead of one per parallel map (the
+/// batch detector's `SegState` mirror).
+struct SegState {
+    /// The segment's clock slot (unique per segment, never reused — even
+    /// across retirement, so remembered epochs can never alias another
+    /// segment's component).
+    slot: usize,
+    vc: VectorClock,
+    lockset: LocksetId,
+}
+
 /// All mutable analysis state of one rank.
 struct RankStream {
-    slots: HashMap<SegKey, usize>,
-    vcs: HashMap<SegKey, VectorClock>,
-    locksets: HashMap<SegKey, LockSet>,
-    release_vc: HashMap<LockId, VectorClock>,
-    fork_vc: HashMap<RegionId, VectorClock>,
-    barrier_join: HashMap<(RegionId, BarrierId, u64), VectorClock>,
+    segs: FxHashMap<SegKey, SegState>,
+    /// Next clock slot to assign (monotone, never reused).
+    next_slot: usize,
+    lockset_table: LocksetTable,
+    release_vc: FxHashMap<LockId, VectorClock>,
+    fork_vc: FxHashMap<RegionId, VectorClock>,
+    barrier_join: FxHashMap<(RegionId, BarrierId, u64), VectorClock>,
     /// Team width announced by each region's `Fork` event; source of the
     /// synthesized barrier participant set.
-    region_nthreads: HashMap<RegionId, u32>,
+    region_nthreads: FxHashMap<RegionId, u32>,
     /// Segments seen per region so far, in first-seen order — the same
     /// order the batch pre-scan records.
-    region_threads: HashMap<RegionId, Vec<SegKey>>,
-    history: HashMap<MemLoc, LocHistory>,
+    region_threads: FxHashMap<RegionId, Vec<SegKey>>,
+    history: FxHashMap<MemLoc, LocHistory>,
     history_overflow: bool,
-    reported: HashSet<(MemLoc, SegKey, SegKey, u32, u32)>,
+    reported: FxHashSet<(MemLoc, SegKey, SegKey, u32, u32)>,
     races: Vec<Race>,
     last_seq: Option<u64>,
     peak_live: usize,
@@ -121,17 +137,17 @@ struct RankStream {
 impl RankStream {
     fn new() -> Self {
         RankStream {
-            slots: HashMap::new(),
-            vcs: HashMap::new(),
-            locksets: HashMap::new(),
-            release_vc: HashMap::new(),
-            fork_vc: HashMap::new(),
-            barrier_join: HashMap::new(),
-            region_nthreads: HashMap::new(),
-            region_threads: HashMap::new(),
-            history: HashMap::new(),
+            segs: FxHashMap::default(),
+            next_slot: 0,
+            lockset_table: LocksetTable::new(),
+            release_vc: FxHashMap::default(),
+            fork_vc: FxHashMap::default(),
+            barrier_join: FxHashMap::default(),
+            region_nthreads: FxHashMap::default(),
+            region_threads: FxHashMap::default(),
+            history: FxHashMap::default(),
             history_overflow: false,
-            reported: HashSet::new(),
+            reported: FxHashSet::default(),
             races: Vec::new(),
             last_seq: None,
             peak_live: 0,
@@ -139,26 +155,38 @@ impl RankStream {
         }
     }
 
-    fn slot(&mut self, seg: SegKey) -> usize {
-        let next = self.slots.len();
-        *self.slots.entry(seg).or_insert(next)
-    }
-
-    fn vc_mut(&mut self, seg: SegKey) -> &mut VectorClock {
-        if !self.vcs.contains_key(&seg) {
-            let mut vc = match seg.0.and_then(|region| self.fork_vc.get(&region)) {
+    /// The segment's state, lazily initialized on first sight (inheriting
+    /// the fork clock and counting one local step) — the batch engine's
+    /// `seg_mut`.
+    fn seg_mut(&mut self, seg: SegKey) -> &mut SegState {
+        let RankStream {
+            segs,
+            next_slot,
+            fork_vc,
+            ..
+        } = self;
+        segs.entry(seg).or_insert_with(|| {
+            let slot = *next_slot;
+            *next_slot += 1;
+            let mut vc = match seg.0.and_then(|region| fork_vc.get(&region)) {
                 Some(fork_vc) => fork_vc.clone(),
                 None => VectorClock::new(),
             };
-            let slot = self.slot(seg);
             vc.tick(slot);
-            self.vcs.insert(seg, vc);
-        }
-        self.vcs.entry(seg).or_default()
+            SegState {
+                slot,
+                vc,
+                lockset: LocksetTable::EMPTY,
+            }
+        })
     }
 
-    fn lockset_mut(&mut self, seg: SegKey) -> &mut LockSet {
-        self.locksets.entry(seg).or_default()
+    /// Advance the segment's clock one local step, returning
+    /// `(slot, new own component)`.
+    fn advance(&mut self, seg: SegKey) -> (usize, u64) {
+        let state = self.seg_mut(seg);
+        let value = state.vc.tick(state.slot);
+        (state.slot, value)
     }
 
     /// Consume one event of this rank. Mirrors `detect_rank` arm for arm.
@@ -189,10 +217,9 @@ impl RankStream {
         match &e.kind {
             EventKind::Fork { region, nthreads } => {
                 self.region_nthreads.insert(*region, *nthreads);
-                let vc = self.vc_mut(seg).clone();
+                let vc = self.seg_mut(seg).vc.clone();
                 self.fork_vc.insert(*region, vc);
-                let slot = self.slot(seg);
-                self.vc_mut(seg).tick(slot);
+                self.advance(seg);
             }
             EventKind::JoinRegion { region } => {
                 if !self.fork_vc.contains_key(region) && !self.region_threads.contains_key(region) {
@@ -202,19 +229,18 @@ impl RankStream {
                         e.seq
                     )));
                 }
-                let joined: Vec<VectorClock> = self
-                    .region_threads
-                    .get(region)
-                    .into_iter()
-                    .flatten()
-                    .filter_map(|s| self.vcs.get(s).cloned())
-                    .collect();
-                let vc = self.vc_mut(seg);
-                for j in &joined {
-                    vc.join(j);
+                // Detach the spine state so the sibling clocks can be
+                // borrowed in place instead of cloned.
+                self.seg_mut(seg);
+                if let Some(mut state) = self.segs.remove(&seg) {
+                    for s in self.region_threads.get(region).into_iter().flatten() {
+                        if let Some(j) = self.segs.get(s) {
+                            state.vc.join(&j.vc);
+                        }
+                    }
+                    self.segs.insert(seg, state);
                 }
-                let slot = self.slot(seg);
-                self.vc_mut(seg).tick(slot);
+                self.advance(seg);
                 // Retire only when no *other* region is still live: records
                 // of a region joined while another overlaps it would not be
                 // happens-before the overlapping region's later accesses,
@@ -230,81 +256,94 @@ impl RankStream {
             EventKind::Barrier { barrier, epoch } => {
                 if let Some(region) = e.region {
                     let key = (region, *barrier, *epoch);
-                    let join = match self.barrier_join.get(&key) {
-                        Some(join) => join.clone(),
-                        None => {
-                            // First arrival processed: the runtime emits
-                            // barrier events only after the whole team
-                            // arrived, so every participant's pre-barrier
-                            // events are already folded into its clock and
-                            // the epoch join is computable now. The team is
-                            // synthesized from the fork's width; a trace
-                            // missing the fork (hand-built) falls back to
-                            // the threads seen so far.
-                            let mut join = VectorClock::new();
-                            let participants: Vec<SegKey> = match self.region_nthreads.get(&region)
-                            {
-                                Some(&n) => (0..n).map(|t| (Some(region), Tid(t))).collect(),
-                                None => self
-                                    .region_threads
-                                    .get(&region)
-                                    .cloned()
-                                    .unwrap_or_default(),
-                            };
-                            for p in participants {
-                                let vc = self.vc_mut(p).clone();
-                                join.join(&vc);
-                            }
-                            self.barrier_join.insert(key, join.clone());
-                            join
+                    if !self.barrier_join.contains_key(&key) {
+                        // First arrival processed: the runtime emits
+                        // barrier events only after the whole team
+                        // arrived, so every participant's pre-barrier
+                        // events are already folded into its clock and
+                        // the epoch join is computable now, from borrowed
+                        // participant clocks. The team is synthesized from
+                        // the fork's width; a trace missing the fork
+                        // (hand-built) falls back to the threads seen so
+                        // far.
+                        let participants: Vec<SegKey> = match self.region_nthreads.get(&region) {
+                            Some(&n) => (0..n).map(|t| (Some(region), Tid(t))).collect(),
+                            None => self
+                                .region_threads
+                                .get(&region)
+                                .cloned()
+                                .unwrap_or_default(),
+                        };
+                        let mut join = VectorClock::new();
+                        for p in participants {
+                            join.join(&self.seg_mut(p).vc);
                         }
-                    };
-                    let vc = self.vc_mut(seg);
-                    vc.join(&join);
-                    let slot = self.slot(seg);
-                    self.vc_mut(seg).tick(slot);
+                        self.barrier_join.insert(key, join);
+                    }
+                    self.seg_mut(seg);
+                    let RankStream {
+                        segs, barrier_join, ..
+                    } = self;
+                    if let (Some(join), Some(state)) = (barrier_join.get(&key), segs.get_mut(&seg))
+                    {
+                        state.vc.join(join);
+                    }
+                    self.advance(seg);
                 }
             }
             EventKind::Acquire { lock } => {
                 if !config.ignore_locks {
-                    if let Some(rvc) = self.release_vc.get(lock).cloned() {
-                        self.vc_mut(seg).join(&rvc);
+                    self.seg_mut(seg);
+                    let RankStream {
+                        segs,
+                        release_vc,
+                        lockset_table,
+                        ..
+                    } = self;
+                    if let Some(state) = segs.get_mut(&seg) {
+                        if let Some(rvc) = release_vc.get(lock) {
+                            state.vc.join(rvc);
+                        }
+                        state.lockset = lockset_table.with_insert(state.lockset, *lock);
+                        state.vc.tick(state.slot);
                     }
-                    self.lockset_mut(seg).insert(*lock);
-                    let slot = self.slot(seg);
-                    self.vc_mut(seg).tick(slot);
                 }
             }
             EventKind::Release { lock } => {
                 if !config.ignore_locks {
-                    self.lockset_mut(seg).remove(*lock);
-                    let vc = self.vc_mut(seg).clone();
-                    self.release_vc.insert(*lock, vc);
-                    let slot = self.slot(seg);
-                    self.vc_mut(seg).tick(slot);
+                    self.seg_mut(seg);
+                    let RankStream {
+                        segs,
+                        release_vc,
+                        lockset_table,
+                        ..
+                    } = self;
+                    if let Some(state) = segs.get_mut(&seg) {
+                        state.lockset = lockset_table.with_remove(state.lockset, *lock);
+                        release_vc.insert(*lock, state.vc.clone());
+                        state.vc.tick(state.slot);
+                    }
                 }
             }
             kind => {
                 if let Some((loc, akind)) = kind.access() {
-                    let slot = self.slot(seg);
-                    self.vc_mut(seg).tick(slot);
-                    let vc = self.vc_mut(seg).clone();
-                    let lockset = self.lockset_mut(seg).clone();
+                    let state = self.seg_mut(seg);
+                    let clock = state.vc.tick(state.slot);
                     let record = AccessRecord {
                         seg,
-                        vc,
-                        lockset,
+                        slot: state.slot,
+                        clock,
+                        lockset: state.lockset,
                         kind: akind,
                         access: race_access(e, akind),
                     };
                     self.check_and_insert(rank, loc, record, config);
                 } else {
-                    let slot = self.slot(seg);
-                    self.vc_mut(seg).tick(slot);
+                    self.advance(seg);
                 }
             }
         }
-        self.peak_live = self.peak_live.max(self.vcs.len());
+        self.peak_live = self.peak_live.max(self.segs.len());
         Ok(())
     }
 
@@ -323,10 +362,9 @@ impl RankStream {
             }
         }
         for seg in segs {
-            if self.vcs.remove(&seg).is_some() {
+            if self.segs.remove(&seg).is_some() {
                 self.retired += 1;
             }
-            self.locksets.remove(&seg);
         }
         self.fork_vc.remove(&region);
         self.barrier_join.retain(|(r, _, _), _| *r != region);
@@ -343,7 +381,19 @@ impl RankStream {
         config: &DetectorConfig,
     ) {
         let same_physical = |a: SegKey, b: SegKey| a.1 == b.1 && (a.1 == Tid(0) || a.0 == b.0);
-        let entry = self.history.entry(loc).or_default();
+        let RankStream {
+            history,
+            lockset_table,
+            history_overflow,
+            reported,
+            races,
+            segs,
+            ..
+        } = self;
+        let Some(cur_vc) = segs.get(&record.seg).map(|s| &s.vc) else {
+            return; // unreachable: the access arm just advanced this clock
+        };
+        let entry = history.entry(loc).or_default();
         for prev in entry.records.iter() {
             if prev.seg == record.seg || same_physical(prev.seg, record.seg) {
                 continue;
@@ -351,12 +401,14 @@ impl RankStream {
             if prev.kind == AccessKind::Read && record.kind == AccessKind::Read {
                 continue;
             }
-            let hb_concurrent = prev.vc.concurrent_with(&record.vc);
-            let lockset_disjoint = prev.lockset.disjoint(&record.lockset);
+            // The FastTrack epoch check, exactly as in the batch engine.
+            let hb_concurrent = || prev.clock > cur_vc.get(prev.slot);
             let is_race = match config.mode {
-                DetectorMode::Hybrid => hb_concurrent && lockset_disjoint,
-                DetectorMode::LocksetOnly => lockset_disjoint,
-                DetectorMode::HappensBeforeOnly => hb_concurrent,
+                DetectorMode::Hybrid => {
+                    hb_concurrent() && lockset_table.disjoint(prev.lockset, record.lockset)
+                }
+                DetectorMode::LocksetOnly => lockset_table.disjoint(prev.lockset, record.lockset),
+                DetectorMode::HappensBeforeOnly => hb_concurrent(),
             };
             if is_race {
                 let line = |a: &RaceAccess| a.loc.as_ref().map(|l| l.line).unwrap_or(0);
@@ -368,10 +420,10 @@ impl RankStream {
                     la.min(lb),
                     la.max(lb),
                 );
-                if config.dedupe_pairs && !self.reported.insert(key) {
+                if config.dedupe_pairs && !reported.insert(key) {
                     continue;
                 }
-                self.races.push(Race {
+                races.push(Race {
                     rank,
                     loc,
                     first: prev.access.clone(),
@@ -383,7 +435,7 @@ impl RankStream {
             entry.records.push(record);
             entry.pushed += 1;
         } else {
-            self.history_overflow = true;
+            *history_overflow = true;
         }
     }
 }
@@ -475,7 +527,7 @@ impl StreamDetector {
         for (_, st) in per_rank {
             races.extend(st.races);
             stats.peak_live_segments += st.peak_live;
-            stats.total_segments += st.slots.len();
+            stats.total_segments += st.next_slot;
             stats.retired_segments += st.retired;
             stats.history_overflow |= st.history_overflow;
         }

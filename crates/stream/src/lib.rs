@@ -36,6 +36,6 @@ pub trait EventSink: Send + Sync {
 
 pub use detector::{detect_stream, StreamDetector, StreamStats};
 pub use hbt::{
-    decode_sections, encode_trace, is_hbt, HbtReader, HbtRecord, HbtSection, HbtWriter,
-    TraceIncident, HBT_MAGIC, HBT_VERSION,
+    decode_sections, encode_trace, is_hbt, HbtMmapReader, HbtReader, HbtRecord, HbtSection,
+    HbtSliceReader, HbtWriter, TraceIncident, HBT_MAGIC, HBT_VERSION,
 };

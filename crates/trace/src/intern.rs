@@ -13,10 +13,13 @@ pub struct Interner {
     inner: Arc<RwLock<InternerInner>>,
 }
 
+/// Both the map key and the dense-index entry share one `Arc<str>`
+/// allocation per distinct name, so interning a new string allocates it
+/// exactly once.
 #[derive(Debug, Default)]
 struct InternerInner {
-    by_name: HashMap<String, u32>,
-    names: Vec<String>,
+    by_name: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
 }
 
 impl Interner {
@@ -35,19 +38,24 @@ impl Interner {
             return id;
         }
         let id = w.names.len() as u32;
-        w.names.push(name.to_string());
-        w.by_name.insert(name.to_string(), id);
+        let shared: Arc<str> = Arc::from(name);
+        w.names.push(Arc::clone(&shared));
+        w.by_name.insert(shared, id);
         id
     }
 
     /// Resolve an id back to its name (panics on unknown id).
     pub fn resolve(&self, id: u32) -> String {
-        self.inner.read().names[id as usize].clone()
+        self.inner.read().names[id as usize].to_string()
     }
 
     /// Resolve without panicking.
     pub fn try_resolve(&self, id: u32) -> Option<String> {
-        self.inner.read().names.get(id as usize).cloned()
+        self.inner
+            .read()
+            .names
+            .get(id as usize)
+            .map(|name| name.to_string())
     }
 
     /// Number of interned strings.

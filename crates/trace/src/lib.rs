@@ -15,8 +15,11 @@
 //! * [`HomeError`] — the workspace-wide typed error taxonomy (this is the
 //!   lowest crate of the dependency DAG, so every layer can return it).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod error;
 mod event;
+mod fxhash;
 mod ids;
 mod intern;
 mod lockset;
@@ -28,9 +31,10 @@ pub use error::{HomeError, HomeResult};
 pub use event::{
     AccessKind, Event, EventKind, MemLoc, MonitoredVar, MpiCallKind, MpiCallRecord, ThreadLevel,
 };
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{BarrierId, CommId, LockId, Rank, RegionId, ReqId, SrcLoc, Tid, VarId, COMM_WORLD};
 pub use intern::Interner;
-pub use lockset::LockSet;
+pub use lockset::{LockSet, LocksetId, LocksetTable};
 pub use sink::{Collector, CountingSink, EventFilter, MemorySink, NullSink, TraceSink};
 pub use trace::Trace;
 pub use vc::VectorClock;

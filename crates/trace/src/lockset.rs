@@ -1,5 +1,7 @@
-//! Lock sets for the Eraser-style analysis.
+//! Lock sets for the Eraser-style analysis, plus the hash-consing
+//! [`LocksetTable`] the detectors use to avoid per-event set clones.
 
+use crate::fxhash::FxHashMap;
 use crate::ids::LockId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -115,6 +117,103 @@ impl fmt::Display for LockSet {
     }
 }
 
+/// Identifier of an interned [`LockSet`] in a [`LocksetTable`].
+///
+/// Ids are only meaningful relative to the table that produced them; id `0`
+/// is always the empty set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocksetId(pub u32);
+
+/// A per-run hash-consing table for lock sets.
+///
+/// Detector segment state stores [`LocksetId`]s instead of owned
+/// [`LockSet`]s: the distinct lock sets a run ever holds number a handful
+/// (nesting depth × lock count), while access events number millions, so
+/// interning turns the per-event lockset clone into a `u32` copy and the
+/// per-pair disjointness walk into a memoized table lookup.
+#[derive(Debug, Default)]
+pub struct LocksetTable {
+    sets: Vec<LockSet>,
+    ids: FxHashMap<LockSet, LocksetId>,
+    /// Memoized symmetric disjointness, keyed with the smaller id first.
+    disjoint: FxHashMap<(LocksetId, LocksetId), bool>,
+}
+
+impl LocksetTable {
+    /// The id every table assigns to the empty set.
+    pub const EMPTY: LocksetId = LocksetId(0);
+
+    /// A table containing only the empty set.
+    pub fn new() -> Self {
+        let mut table = LocksetTable::default();
+        table.intern(LockSet::new());
+        table
+    }
+
+    /// Intern a set, returning its stable id (the same set always maps to
+    /// the same id within one table).
+    pub fn intern(&mut self, set: LockSet) -> LocksetId {
+        if let Some(&id) = self.ids.get(&set) {
+            return id;
+        }
+        let id = LocksetId(self.sets.len() as u32);
+        self.ids.insert(set.clone(), id);
+        self.sets.push(set);
+        id
+    }
+
+    /// Resolve an id back to its set. Ids from another table may panic or
+    /// alias arbitrary sets.
+    pub fn get(&self, id: LocksetId) -> &LockSet {
+        &self.sets[id.0 as usize]
+    }
+
+    /// Id of `id`'s set with `lock` added.
+    pub fn with_insert(&mut self, id: LocksetId, lock: LockId) -> LocksetId {
+        if self.get(id).contains(lock) {
+            return id;
+        }
+        let mut set = self.get(id).clone();
+        set.insert(lock);
+        self.intern(set)
+    }
+
+    /// Id of `id`'s set with `lock` removed.
+    pub fn with_remove(&mut self, id: LocksetId, lock: LockId) -> LocksetId {
+        if !self.get(id).contains(lock) {
+            return id;
+        }
+        let mut set = self.get(id).clone();
+        set.remove(lock);
+        self.intern(set)
+    }
+
+    /// Memoized [`LockSet::disjoint`] on interned ids.
+    pub fn disjoint(&mut self, a: LocksetId, b: LocksetId) -> bool {
+        if a == b {
+            // A set intersects itself unless it is empty.
+            return self.get(a).is_empty();
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&cached) = self.disjoint.get(&key) {
+            return cached;
+        }
+        let result = self.get(a).disjoint(self.get(b));
+        self.disjoint.insert(key, result);
+        result
+    }
+
+    /// Number of distinct sets interned (≥ 1: the empty set).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Never true — the empty set is always interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +260,43 @@ mod tests {
     fn display() {
         let a = LockSet::from_iter([l(2), l(0)]);
         assert_eq!(a.to_string(), "{lock0, lock2}");
+    }
+
+    #[test]
+    fn table_interns_stable_ids() {
+        let mut t = LocksetTable::new();
+        assert_eq!(t.intern(LockSet::new()), LocksetTable::EMPTY);
+        let a = t.with_insert(LocksetTable::EMPTY, l(1));
+        let b = t.with_insert(a, l(2));
+        assert_ne!(a, b);
+        assert_eq!(
+            t.with_insert(LocksetTable::EMPTY, l(1)),
+            a,
+            "same set, same id"
+        );
+        assert_eq!(t.with_remove(b, l(2)), a, "remove returns to the prior set");
+        assert_eq!(
+            t.with_remove(a, l(9)),
+            a,
+            "removing an absent lock is a no-op"
+        );
+        assert_eq!(t.get(b), &LockSet::from_iter([l(1), l(2)]));
+    }
+
+    #[test]
+    fn table_disjointness_matches_sets() {
+        let mut t = LocksetTable::new();
+        let a = t.intern(LockSet::from_iter([l(1), l(3)]));
+        let b = t.intern(LockSet::from_iter([l(2), l(4)]));
+        let c = t.intern(LockSet::from_iter([l(3)]));
+        assert!(t.disjoint(a, b));
+        assert!(t.disjoint(b, a), "symmetric");
+        assert!(!t.disjoint(a, c));
+        assert!(!t.disjoint(a, a), "nonempty set intersects itself");
+        assert!(t.disjoint(LocksetTable::EMPTY, LocksetTable::EMPTY));
+        assert!(t.disjoint(LocksetTable::EMPTY, a));
+        // Cached answers stay correct on repeat queries.
+        assert!(t.disjoint(a, b));
+        assert!(!t.disjoint(c, a));
     }
 }

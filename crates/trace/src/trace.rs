@@ -107,7 +107,12 @@ impl Trace {
 
     /// Serialize to pretty JSON (for EXPERIMENTS.md artifacts and debugging).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => json,
+            // Every Trace field serializes infallibly (no non-string map
+            // keys, no custom Serialize impls that can error).
+            Err(_) => unreachable!("trace serialization cannot fail"),
+        }
     }
 
     /// Parse a trace back from JSON. Malformed or truncated input yields a

@@ -25,16 +25,23 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Panic-free gate: the pipeline (home-core), the detectors (home-dynamic,
-# home-stream), and the CLI must not unwrap/expect on fallible paths —
-# failures become typed HomeErrors and partial reports. --no-deps keeps the
-# lints scoped to exactly these crates; no --all-targets, so #[cfg(test)]
-# code is exempt. (The same policy is pinned in-source via crate-root deny
-# attributes.)
-echo "==> clippy unwrap/expect gate (home-core, home-dynamic, home-stream, CLI)"
-cargo clippy --offline --no-deps -p home-core -p home-dynamic -p home-stream \
+# Panic-free gate: the base types (home-trace), the pipeline (home-core),
+# the detectors (home-dynamic, home-stream), and the CLI must not
+# unwrap/expect on fallible paths — failures become typed HomeErrors and
+# partial reports. --no-deps keeps the lints scoped to exactly these
+# crates; no --all-targets, so #[cfg(test)] code is exempt. (The same
+# policy is pinned in-source via crate-root deny attributes.)
+echo "==> clippy unwrap/expect gate (home-trace, home-core, home-dynamic, home-stream, CLI)"
+cargo clippy --offline --no-deps -p home-trace -p home-core -p home-dynamic -p home-stream \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 cargo clippy --offline --no-deps -p home --bins \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
+# Bench smoke: the throughput harness must build and complete one quick
+# pass (catches bit-rot in home-bench without paying for a full run; the
+# checked-in numbers live in BENCH_throughput.json).
+echo "==> bench smoke (throughput --quick)"
+cargo build --release --offline -p home-bench
+./target/release/throughput --quick > /dev/null
 
 echo "verify: all checks passed"

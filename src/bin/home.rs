@@ -146,15 +146,34 @@ fn main() -> ExitCode {
     }
 }
 
-/// Read a trace argument: a file path, or `-` for standard input.
-fn read_trace_bytes(file: &str) -> Result<Vec<u8>, String> {
-    if file == "-" {
-        let mut buf = Vec::new();
-        std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
-        Ok(buf)
-    } else {
-        std::fs::read(file).map_err(|e| format!("cannot read {file}: {e}"))
+/// A trace argument opened for reading. File paths are memory-mapped so
+/// HBT records decode zero-copy straight from the page cache; `-` buffers
+/// standard input (pipes cannot be mapped).
+enum TraceInput {
+    Mapped(home::stream::HbtMmapReader),
+    Buffered(Vec<u8>),
+}
+
+impl TraceInput {
+    fn open(file: &str) -> Result<TraceInput, String> {
+        if file == "-" {
+            let mut buf = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(TraceInput::Buffered(buf))
+        } else {
+            match home::stream::HbtMmapReader::open(file) {
+                Ok(reader) => Ok(TraceInput::Mapped(reader)),
+                Err(e) => Err(format!("cannot read {file}: {e}")),
+            }
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            TraceInput::Mapped(reader) => reader.bytes(),
+            TraceInput::Buffered(bytes) => bytes,
+        }
     }
 }
 
@@ -345,18 +364,19 @@ fn detect_sections(sections: &[home::stream::HbtSection]) -> Result<OfflineOutco
 }
 
 fn cmd_replay(file: &str) -> ExitCode {
-    let bytes = match read_trace_bytes(file) {
-        Ok(b) => b,
+    let input = match TraceInput::open(file) {
+        Ok(input) => input,
         Err(e) => {
             eprintln!("home: {e}");
             return ExitCode::from(2);
         }
     };
-    if !home::stream::is_hbt(&bytes) {
+    let bytes = input.bytes();
+    if !home::stream::is_hbt(bytes) {
         eprintln!("home: {file}: not an HBT trace (bad magic); produce one with `home record`");
         return ExitCode::from(2);
     }
-    let sections = match home::stream::decode_sections(&bytes) {
+    let sections = match home::stream::decode_sections(bytes) {
         Ok(s) => s,
         Err(e) => {
             print_trace_error(file, &e);
@@ -394,17 +414,18 @@ fn cmd_replay(file: &str) -> ExitCode {
 }
 
 fn cmd_analyze(file: &str) -> ExitCode {
-    let bytes = match read_trace_bytes(file) {
-        Ok(b) => b,
+    let input = match TraceInput::open(file) {
+        Ok(input) => input,
         Err(e) => {
             eprintln!("home: {e}");
             return ExitCode::from(2);
         }
     };
+    let bytes = input.bytes();
     // Format auto-detection: HBT traces start with the 0x89 "HBT" magic,
     // which can never open a JSON document.
-    if home::stream::is_hbt(&bytes) {
-        let sections = match home::stream::decode_sections(&bytes) {
+    if home::stream::is_hbt(bytes) {
+        let sections = match home::stream::decode_sections(bytes) {
             Ok(s) => s,
             Err(e) => {
                 print_trace_error(file, &e);
@@ -440,14 +461,14 @@ fn cmd_analyze(file: &str) -> ExitCode {
             ExitCode::FAILURE
         };
     }
-    let trace_json = match String::from_utf8(bytes) {
+    let trace_json = match std::str::from_utf8(bytes) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("home: {file}: not valid UTF-8 JSON (and not HBT): {e}");
             return ExitCode::from(2);
         }
     };
-    let trace = match home::trace::Trace::from_json(&trace_json) {
+    let trace = match home::trace::Trace::from_json(trace_json) {
         Ok(t) => t,
         Err(e) => {
             print_trace_error(file, &e);

@@ -156,6 +156,243 @@ fn lockset_insert_remove_roundtrip() {
     }
 }
 
+// ---- epoch-adaptive clock ↔ dense reference equivalence ---------------------
+//
+// `VectorClock` keeps single-writer clocks as a `(slot, value)` epoch and
+// promotes to a dense vector only when a second component appears. These
+// tests drive the adaptive clock and a dense-only reference model through
+// identical random operation sequences and demand observational equality,
+// so no epoch fast path can drift from the dense semantics.
+
+/// Dense-only reference model: a plain `Vec<u64>`, no representation tricks.
+#[derive(Clone, Debug, Default)]
+struct DenseRef {
+    entries: Vec<u64>,
+}
+
+impl DenseRef {
+    fn get(&self, slot: usize) -> u64 {
+        self.entries.get(slot).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, slot: usize, value: u64) {
+        if self.entries.len() <= slot {
+            self.entries.resize(slot + 1, 0);
+        }
+        self.entries[slot] = value;
+    }
+
+    fn tick(&mut self, slot: usize) -> u64 {
+        let v = self.get(slot) + 1;
+        self.set(slot, v);
+        v
+    }
+
+    fn join(&mut self, other: &DenseRef) {
+        for (i, &v) in other.entries.iter().enumerate() {
+            if v > self.get(i) {
+                self.set(i, v);
+            }
+        }
+    }
+
+    fn leq(&self, other: &DenseRef) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+/// Apply one random mutation to both representations. Few operations per
+/// clock keeps a healthy share of cases in the epoch (≤1 nonzero slot)
+/// regime, where the fast paths live.
+fn mutate_both(rng: &mut ChaCha8Rng, vc: &mut VectorClock, dense: &mut DenseRef) {
+    match rng.gen_range(0u32..4) {
+        0 => {
+            let (slot, v) = (rng.gen_range(0usize..6), rng.gen_range(0u64..20));
+            vc.set(slot, v);
+            dense.set(slot, v);
+        }
+        1 => {
+            let slot = rng.gen_range(0usize..6);
+            assert_eq!(vc.tick(slot), dense.tick(slot), "tick return");
+        }
+        2 => {
+            // Join a random singleton (the common cross-clock flow shape).
+            let (slot, v) = (rng.gen_range(0usize..6), rng.gen_range(0u64..20));
+            let mut other = VectorClock::new();
+            other.set(slot, v);
+            let mut other_dense = DenseRef::default();
+            other_dense.set(slot, v);
+            vc.join(&other);
+            dense.join(&other_dense);
+        }
+        _ => {
+            let ops = rng.gen_range(0usize..4);
+            let (a, b) = gen_pair(rng, ops);
+            vc.join(&a);
+            dense.join(&b);
+        }
+    }
+}
+
+/// Generate an adaptive clock and its dense shadow via `ops` random
+/// mutations applied to both.
+fn gen_pair(rng: &mut ChaCha8Rng, ops: usize) -> (VectorClock, DenseRef) {
+    let mut vc = VectorClock::new();
+    let mut dense = DenseRef::default();
+    for _ in 0..ops {
+        mutate_both(rng, &mut vc, &mut dense);
+    }
+    (vc, dense)
+}
+
+#[test]
+fn adaptive_clock_matches_dense_reference_componentwise() {
+    for case in 0..512 {
+        let mut rng = rng_for(case);
+        let ops = rng.gen_range(0usize..8);
+        let (vc, dense) = gen_pair(&mut rng, ops);
+        for slot in 0..8 {
+            assert_eq!(
+                vc.get(slot),
+                dense.get(slot),
+                "case {case}: slot {slot} of {vc:?} vs {dense:?}"
+            );
+        }
+        assert_eq!(
+            vc.iter_nonzero().count(),
+            dense.entries.iter().filter(|&&v| v > 0).count(),
+            "case {case}: nonzero count of {vc:?}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_clock_orderings_match_dense_reference() {
+    for case in 0..512 {
+        let mut rng = rng_for(case);
+        let a_ops = rng.gen_range(0usize..6);
+        let b_ops = rng.gen_range(0usize..6);
+        let (a, a_dense) = gen_pair(&mut rng, a_ops);
+        let (b, b_dense) = gen_pair(&mut rng, b_ops);
+        let leq = a_dense.leq(&b_dense);
+        let geq = b_dense.leq(&a_dense);
+        assert_eq!(a.leq(&b), leq, "case {case}: {a:?} ≤ {b:?}");
+        assert_eq!(b.leq(&a), geq, "case {case}: {b:?} ≤ {a:?}");
+        assert_eq!(
+            a.concurrent_with(&b),
+            !leq && !geq,
+            "case {case}: {a:?} ∥ {b:?}"
+        );
+        assert_eq!(
+            a.happens_before(&b),
+            leq && !geq,
+            "case {case}: {a:?} → {b:?}"
+        );
+        assert_eq!(a == b, leq && geq, "case {case}: {a:?} == {b:?}");
+    }
+}
+
+#[test]
+fn adaptive_clock_join_matches_dense_reference() {
+    for case in 0..512 {
+        let mut rng = rng_for(case);
+        let a_ops = rng.gen_range(0usize..6);
+        let b_ops = rng.gen_range(0usize..6);
+        let (mut a, mut a_dense) = gen_pair(&mut rng, a_ops);
+        let (b, b_dense) = gen_pair(&mut rng, b_ops);
+        a.join(&b);
+        a_dense.join(&b_dense);
+        for slot in 0..8 {
+            assert_eq!(
+                a.get(slot),
+                a_dense.get(slot),
+                "case {case}: join slot {slot}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_clock_serde_roundtrip_is_semantic_identity() {
+    use home::trace::VectorClock as VC;
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let ops = rng.gen_range(0usize..8);
+        let (vc, _) = gen_pair(&mut rng, ops);
+        let json = serde_json::to_string(&vc).expect("roundtrip encode");
+        let back: VC = serde_json::from_str(&json).expect("roundtrip decode");
+        assert_eq!(vc, back, "case {case}: {json}");
+    }
+}
+
+// ---- lockset interning table ------------------------------------------------
+
+#[test]
+fn lockset_table_ids_are_stable_and_faithful() {
+    use home::trace::{LocksetId, LocksetTable};
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let mut table = LocksetTable::new();
+        let mut ids: Vec<LocksetId> = vec![LocksetTable::EMPTY];
+        let mut sets: Vec<LockSet> = vec![LockSet::new()];
+        for _ in 0..rng.gen_range(1usize..24) {
+            let pick = rng.gen_range(0usize..ids.len());
+            let lock = LockId(rng.gen_range(0u32..8));
+            let (id, set) = if rng.gen_bool(0.5) {
+                let mut set = sets[pick].clone();
+                set.insert(lock);
+                (table.with_insert(ids[pick], lock), set)
+            } else {
+                let mut set = sets[pick].clone();
+                set.remove(lock);
+                (table.with_remove(ids[pick], lock), set)
+            };
+            // The id must resolve to exactly the set the reference built.
+            assert_eq!(table.get(id), &set, "case {case}");
+            // Re-interning the same set must return the same id.
+            assert_eq!(table.intern(set.clone()), id, "case {case}: unstable id");
+            ids.push(id);
+            sets.push(set);
+        }
+        // Distinct sets must have distinct ids (hash-consing is injective).
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_eq!(
+                    ids[i] == ids[j],
+                    sets[i] == sets[j],
+                    "case {case}: ids {i},{j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lockset_table_disjointness_cache_matches_set_semantics() {
+    use home::trace::LocksetTable;
+    for case in 0..256 {
+        let mut rng = rng_for(case);
+        let mut table = LocksetTable::new();
+        let ids: Vec<_> = (0..rng.gen_range(2usize..8))
+            .map(|_| table.intern(gen_lockset(&mut rng)))
+            .collect();
+        // Query every pair twice (second hit exercises the memo cache) and
+        // in both orders (the cache key is symmetric).
+        for _ in 0..2 {
+            for &a in &ids {
+                for &b in &ids {
+                    let expected = table.get(a).clone().disjoint(table.get(b));
+                    assert_eq!(table.disjoint(a, b), expected, "case {case}: {a:?},{b:?}");
+                    assert_eq!(table.disjoint(b, a), expected, "case {case}: symmetric");
+                }
+            }
+        }
+    }
+}
+
 // ---- DSL parse ∘ print round-trip -------------------------------------------
 
 fn gen_name(rng: &mut ChaCha8Rng) -> String {

@@ -6,6 +6,7 @@
 //! programs.
 
 use home::prelude::*;
+use home::stream::{encode_trace, HbtMmapReader};
 use std::sync::Arc;
 
 /// Every bundled sample program, in stable name order.
@@ -148,4 +149,54 @@ fn detect_stream_matches_detect_on_recorded_traces() {
             );
         }
     }
+}
+
+/// Zero-copy replay parity: round-tripping a recorded trace through an
+/// HBT file decoded by the mmap reader changes nothing — both engines see
+/// exactly the events they saw in memory and report exactly the same races.
+#[test]
+fn detectors_match_on_mmap_replayed_traces() {
+    let dir = std::env::temp_dir().join(format!("home_mmap_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, program) in &programs() {
+        let checklist = Arc::new(analyze(program).checklist.clone());
+        for seed in [1u64, 3] {
+            let mut cfg = RunConfig::test(2, seed)
+                .with_instrumentation(Instrumentation::home())
+                .with_checklist(Arc::clone(&checklist));
+            cfg.threads_per_proc = 2;
+            let result = run(program, &cfg);
+
+            let path = dir.join(format!("{name}_{seed}.hbt"));
+            std::fs::write(&path, encode_trace(&result.trace)).unwrap();
+            let reader = HbtMmapReader::open(&path)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: open: {e}"));
+            let sections = reader
+                .sections()
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: decode: {e}"));
+            assert_eq!(sections.len(), 1, "{name} seed {seed}");
+            let replayed = &sections[0].trace;
+            assert_eq!(
+                replayed.events(),
+                result.trace.events(),
+                "{name} seed {seed}: mmap replay must preserve every event"
+            );
+
+            let batch_mem = detect(&result.trace, &DetectorConfig::hybrid()).unwrap();
+            let batch_mmap = detect(replayed, &DetectorConfig::hybrid()).unwrap();
+            let (stream_mmap, _) = detect_stream(replayed, &DetectorConfig::hybrid()).unwrap();
+            assert_eq!(
+                format!("{batch_mem:?}"),
+                format!("{batch_mmap:?}"),
+                "{name} seed {seed}: batch verdict must not change under mmap replay"
+            );
+            assert_eq!(
+                format!("{batch_mem:?}"),
+                format!("{stream_mmap:?}"),
+                "{name} seed {seed}: stream verdict must not change under mmap replay"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    let _ = std::fs::remove_dir(&dir);
 }
