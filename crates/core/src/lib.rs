@@ -25,7 +25,11 @@
 mod pipeline;
 mod report;
 mod rules;
+mod sink;
 
-pub use pipeline::{check, CheckOptions, Engine};
-pub use report::{HomeReport, SeedRun, SeedStatus, Violation, ViolationKind};
-pub use rules::{match_rules, match_rules_ctx, match_violations, RuleCtx, RuleOutcome};
+pub use pipeline::{check, check_with_sink, CheckOptions, Engine};
+pub use report::{
+    EmitOrder, EmittedViolation, HomeReport, SeedRun, SeedStatus, Violation, ViolationKind,
+};
+pub use rules::{match_rules, match_violations, RuleEngine, RuleFinish, RuleOutcome};
+pub use sink::{NullViolationSink, ViolationCollector, ViolationSink};

@@ -2,12 +2,13 @@
 //! dynamic concurrency detection → violation matching → merged report.
 
 use crate::report::{HomeReport, SeedRun, SeedStatus};
-use crate::rules::{match_rules, match_rules_ctx, RuleCtx};
-use home_dynamic::{detect, DetectorConfig};
-use home_interp::{run, run_with_sink, Instrumentation, RunConfig};
+use crate::rules::{RuleEngine, RuleOutcome};
+use crate::sink::{NullViolationSink, ViolationSink};
+use home_dynamic::{detect, DetectorConfig, Race};
+use home_interp::{run, run_with_sink, Instrumentation, MpiIncident, RunConfig};
 use home_ir::Program;
 use home_static::analyze;
-use home_stream::StreamDetector;
+use home_stream::{RaceSink, StreamDetector};
 use home_trace::{Event, HomeError, TraceSink};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex};
@@ -120,22 +121,88 @@ impl CheckOptions {
     }
 }
 
+/// One seed's rule engine plus the violation sink its emissions go to.
+///
+/// The tap sits at the junction of the online pipeline: trace events and
+/// runtime incidents are fed in directly, races arrive through the
+/// [`RaceSink`] callback from the streaming detector, and every emission
+/// the engine produces is forwarded to the [`ViolationSink`] immediately.
+/// The batch arm drives the same tap post-hoc, so both engines share one
+/// classification path.
+///
+/// Lock order: the engine mutex is only ever taken *inside* a tap call and
+/// released before the call returns, while the detector's shard lock is
+/// held *across* the `RaceSink` callback — the tap never calls back into
+/// the detector, so the two locks nest in one fixed order (shard → engine)
+/// and cannot deadlock.
+struct EngineTap {
+    engine: Mutex<RuleEngine>,
+    out: Arc<dyn ViolationSink>,
+}
+
+impl EngineTap {
+    fn new(seed: u64, out: Arc<dyn ViolationSink>) -> EngineTap {
+        EngineTap {
+            engine: Mutex::new(RuleEngine::for_seed(seed)),
+            out,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RuleEngine> {
+        self.engine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn observe_event(&self, e: &Event) {
+        let fresh = self.lock().observe_event(e);
+        self.forward(&fresh);
+    }
+
+    fn observe_incident(&self, incident: &MpiIncident) {
+        let fresh = self.lock().observe_incident(incident);
+        self.forward(&fresh);
+    }
+
+    /// End-of-seed: run the batch-equivalent evaluation, forward whatever
+    /// was not already emitted live, and return the canonical outcome.
+    fn finish(&self) -> RuleOutcome {
+        let fin = self.lock().finish();
+        self.forward(&fin.remaining);
+        fin.outcome
+    }
+
+    fn forward(&self, emissions: &[crate::report::EmittedViolation]) {
+        for v in emissions {
+            self.out.violation(v);
+        }
+    }
+}
+
+impl RaceSink for EngineTap {
+    fn on_race(&self, race: &Race) {
+        let fresh = self.lock().observe_race(race);
+        self.forward(&fresh);
+    }
+}
+
 /// Per-seed sink for [`Engine::Stream`]: every event the simulator emits
-/// goes straight into the online detector and the incremental rule context,
-/// so no trace is ever materialized. The simulator's deterministic scheduler
-/// runs one virtual thread at a time, so `record` is effectively serial per
-/// run; the mutex is for the `TraceSink: Sync` bound, not contention.
+/// goes straight into the incremental rule engine and then the online
+/// detector, so no trace is ever materialized; races flow back from the
+/// detector into the same engine via its [`RaceSink`] callback. The
+/// simulator's deterministic scheduler runs one virtual thread at a time,
+/// so `record` is effectively serial per run; the mutexes are for the
+/// `Sync` bounds, not contention.
 struct StreamingSeedSink {
     detector: StreamDetector,
-    rules: Mutex<RuleCtx>,
+    tap: Arc<EngineTap>,
 }
 
 impl TraceSink for StreamingSeedSink {
     fn record(&self, event: Event) {
-        self.rules
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .observe(&event);
+        // Engine first (and its lock released) before the detector consumes
+        // the event — the detector's race callback re-enters the engine.
+        self.tap.observe_event(&event);
         self.detector.consume(&event);
     }
 }
@@ -171,6 +238,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// assert!(report.has(ViolationKind::ConcurrentRecv));
 /// ```
 pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
+    check_with_sink(program, options, Arc::new(NullViolationSink))
+}
+
+/// [`check`], with every classified violation also delivered to `sink` as
+/// its evidence completes (see [`ViolationSink`]). The returned report is
+/// identical to [`check`]'s — the sink is a live tee, not a replacement.
+/// `home watch` is this function plus a rendering sink.
+pub fn check_with_sink(
+    program: &Program,
+    options: &CheckOptions,
+    sink: Arc<dyn ViolationSink>,
+) -> HomeReport {
     let static_report = analyze(program);
     let checklist = Arc::new(static_report.checklist.clone());
 
@@ -194,27 +273,42 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
             cfg.threads_per_proc = options.threads_per_proc;
             cfg.sched.policy = options.sched_policy;
 
+            let tap = Arc::new(EngineTap::new(seed, Arc::clone(&sink)));
             let (result, races, outcome) = match options.engine {
                 Engine::Batch => {
                     let result = run(program, &cfg);
                     let races = detect(&result.trace, &options.detector)?;
-                    let outcome = match_rules(&result.trace, &races, &result.mpi_errors);
+                    // Post-hoc drive of the same online engine: same
+                    // observations, same emissions, same canonical outcome.
+                    for e in result.trace.events() {
+                        tap.observe_event(e);
+                    }
+                    for race in &races {
+                        tap.on_race(race);
+                    }
+                    for incident in &result.mpi_errors {
+                        tap.observe_incident(incident);
+                    }
+                    let outcome = tap.finish();
                     (result, races, outcome)
                 }
                 Engine::Stream => {
-                    let sink = Arc::new(StreamingSeedSink {
-                        detector: StreamDetector::new(options.detector.clone()),
-                        rules: Mutex::new(RuleCtx::new()),
+                    let stream_sink = Arc::new(StreamingSeedSink {
+                        detector: StreamDetector::with_race_sink(
+                            options.detector.clone(),
+                            Arc::clone(&tap) as Arc<dyn RaceSink>,
+                        ),
+                        tap: Arc::clone(&tap),
                     });
-                    let result = run_with_sink(program, &cfg, sink.clone());
-                    let (races, _stats) = sink.detector.finish()?;
-                    let ctx = std::mem::take(
-                        &mut *sink
-                            .rules
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner),
-                    );
-                    let outcome = match_rules_ctx(&ctx, &races, &result.mpi_errors);
+                    let result = run_with_sink(program, &cfg, stream_sink.clone());
+                    // Events and races were observed live; incidents are
+                    // gathered by the simulator and observed here, before
+                    // the end-of-seed evaluation.
+                    for incident in &result.mpi_errors {
+                        tap.observe_incident(incident);
+                    }
+                    let (races, _stats) = stream_sink.detector.finish()?;
+                    let outcome = tap.finish();
                     (result, races, outcome)
                 }
             };
@@ -233,6 +327,26 @@ pub fn check(program: &Program, options: &CheckOptions) -> HomeReport {
                 seeded @ HomeError::Seed { .. } => seeded,
                 other => HomeError::seed(seed, other.to_string()),
             });
+        // Tell the sink this seed's chain resolved, with the same status
+        // the report will show (live renderers use it as a seed boundary).
+        match &result {
+            Ok(data) => sink.seed_finished(
+                seed,
+                &SeedStatus::Ok {
+                    events: data.events_recorded,
+                    races: data.races.len(),
+                    violations: data.violations.len(),
+                },
+                &data.violations,
+            ),
+            Err(e) => {
+                let error = match e {
+                    HomeError::Seed { message, .. } => message.clone(),
+                    other => other.to_string(),
+                };
+                sink.seed_finished(seed, &SeedStatus::Failed { error }, &[]);
+            }
+        }
         SeedOutcome { seed, result }
     };
 

@@ -4,7 +4,7 @@ use home_dynamic::Race;
 use home_interp::MpiIncident;
 use home_sched::DeadlockInfo;
 use home_static::StaticStats;
-use home_trace::{Rank, SrcLoc};
+use home_trace::{Rank, SrcLoc, Tid};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -86,6 +86,82 @@ impl fmt::Display for Violation {
                 write!(f, "{l}")?;
             }
             write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic position of one emission in the canonical (batch) rule
+/// evaluation order.
+///
+/// The online rule engine emits violations the moment their evidence is
+/// complete, which interleaves rules temporally; the batch report lists
+/// them rule-major. Every emission therefore carries the key it *would*
+/// have in the batch order — `(rule, stage, major, minor)` compared
+/// lexicographically — so sorting a seed's emissions by key and keeping
+/// the first of each `(kind, rank, locations)` reproduces the batch
+/// violation list exactly (parity-test-enforced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EmitOrder {
+    /// Rule index in the paper's order (0 = initialization … 5 = collective).
+    pub rule: u8,
+    /// Sub-stage within the rule (e.g. finalization: 0 = off-main-thread
+    /// finalize, 1 = call-after-finalize incident, 2 = concurrent finalize).
+    pub stage: u8,
+    /// Primary position within the stage: the rank for per-rank and
+    /// per-race stages, the evidence index for incident/finalize stages.
+    pub major: u64,
+    /// Secondary position: the per-rank race discovery index for race
+    /// stages, 0 elsewhere.
+    pub minor: u64,
+}
+
+impl EmitOrder {
+    /// Construct a key (stages and indices documented on the fields).
+    pub fn new(rule: u8, stage: u8, major: u64, minor: u64) -> EmitOrder {
+        EmitOrder {
+            rule,
+            stage,
+            major,
+            minor,
+        }
+    }
+}
+
+/// One violation as produced by the online rule engine, with full
+/// provenance: which seed's run it came from, which threads were involved,
+/// where it sits in the canonical order, and whether it was emitted live
+/// (from an `observe_*` call, before the run finished) or by the engine's
+/// end-of-seed `finish` pass (rules that need whole-run evidence, such as
+/// the `MPI_THREAD_SINGLE` call count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmittedViolation {
+    /// Scheduler seed of the run that produced the evidence.
+    pub seed: u64,
+    /// Position in the canonical batch evaluation order.
+    pub order: EmitOrder,
+    /// True when emitted from an `observe_*` call while evidence was still
+    /// arriving; false for emissions completed only by `finish`.
+    pub live: bool,
+    /// OpenMP threads involved in the evidence (both sides of a race, the
+    /// offending thread of a misplaced call), when known.
+    pub threads: Vec<Tid>,
+    /// The classified violation.
+    pub violation: Violation,
+}
+
+impl fmt::Display for EmittedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[seed {}] {}", self.seed, self.violation)?;
+        if !self.threads.is_empty() {
+            write!(f, " (")?;
+            for (i, t) in self.threads.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " vs ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
         }
         Ok(())
     }

@@ -62,6 +62,16 @@ impl Race {
     pub fn is_monitored(&self) -> bool {
         self.first.mpi.is_some() && self.second.mpi.is_some()
     }
+
+    /// The two MPI call records behind a monitored race, or `None` when
+    /// either side lacks one (such a race cannot be matched against the
+    /// MPI-metadata rules).
+    pub fn mpi_pair(&self) -> Option<(&MpiCallRecord, &MpiCallRecord)> {
+        match (&self.first.mpi, &self.second.mpi) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Race {

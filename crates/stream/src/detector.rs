@@ -39,7 +39,7 @@
 //! preserves every ≤/concurrency verdict, and no output depends on slot
 //! numbers.
 
-use crate::EventSink;
+use crate::{EventSink, RaceSink};
 use home_dynamic::{DetectorConfig, DetectorMode, Race, RaceAccess};
 use home_trace::{
     AccessKind, BarrierId, Event, EventKind, FxHashMap, FxHashSet, HomeError, LockId, LocksetId,
@@ -48,7 +48,7 @@ use home_trace::{
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Number of rank shards (ranks map to shards by `rank % RANK_SHARDS`).
@@ -70,6 +70,10 @@ pub struct StreamStats {
     pub total_segments: usize,
     /// Segments retired (clocks dropped) by region-join pruning.
     pub retired_segments: usize,
+    /// Of those, segments retired while at least one *other* region was
+    /// still live — the per-segment reachability check proved their records
+    /// unreachable without waiting for the overlap to end.
+    pub retired_while_overlapping: usize,
     /// True if some location's access history hit the configured cap.
     pub history_overflow: bool,
     /// Consumption throughput, measured from the first event to
@@ -110,6 +114,16 @@ struct SegState {
     lockset: LocksetId,
 }
 
+/// A joined segment awaiting retirement. Only the final `(slot, clock)`
+/// epoch is kept (the vector clock is already dropped): a later sweep
+/// retires the segment's history records once every possible future access
+/// provably happens-after this epoch.
+struct PendingSeg {
+    seg: SegKey,
+    slot: usize,
+    clock: u64,
+}
+
 /// All mutable analysis state of one rank.
 struct RankStream {
     segs: FxHashMap<SegKey, SegState>,
@@ -132,6 +146,10 @@ struct RankStream {
     last_seq: Option<u64>,
     peak_live: usize,
     retired: usize,
+    /// Joined segments whose history records are not yet provably
+    /// unreachable (another region was live at join time).
+    pending: Vec<PendingSeg>,
+    retired_overlapping: usize,
 }
 
 impl RankStream {
@@ -152,6 +170,8 @@ impl RankStream {
             last_seq: None,
             peak_live: 0,
             retired: 0,
+            pending: Vec::new(),
+            retired_overlapping: 0,
         }
     }
 
@@ -195,6 +215,7 @@ impl RankStream {
         rank: Rank,
         e: &Event,
         config: &DetectorConfig,
+        sink: Option<&dyn RaceSink>,
     ) -> Result<(), HomeError> {
         if let Some(prev) = self.last_seq {
             if e.seq < prev {
@@ -241,16 +262,15 @@ impl RankStream {
                     self.segs.insert(seg, state);
                 }
                 self.advance(seg);
-                // Retire only when no *other* region is still live: records
-                // of a region joined while another overlaps it would not be
-                // happens-before the overlapping region's later accesses,
-                // so dropping them could mask a race. The runtime never
-                // records overlapping regions on one rank (the spine blocks
-                // between fork and join), so in practice this always fires.
-                let overlapping = self.fork_vc.keys().any(|r| r != region)
-                    || self.region_threads.keys().any(|r| r != region);
-                if config.mode != DetectorMode::LocksetOnly && !overlapping {
-                    self.retire_region(*region);
+                // The join folded the region's final clocks into the spine,
+                // so its segments are candidates for retirement. With no
+                // other region live they retire in this very sweep; under
+                // overlapping/nested regions they wait in `pending` until
+                // the per-segment reachability check proves every possible
+                // future access happens-after their final epoch.
+                if config.mode != DetectorMode::LocksetOnly {
+                    self.begin_retire(*region);
+                    self.sweep_retired();
                 }
             }
             EventKind::Barrier { barrier, epoch } => {
@@ -289,6 +309,11 @@ impl RankStream {
                         state.vc.join(join);
                     }
                     self.advance(seg);
+                    // Barriers fold whole-team clocks, the strongest
+                    // ordering edge inside a region — the natural moment a
+                    // pending segment from an overlapped region becomes
+                    // provably unreachable.
+                    self.sweep_retired();
                 }
             }
             EventKind::Acquire { lock } => {
@@ -337,7 +362,7 @@ impl RankStream {
                         kind: akind,
                         access: race_access(e, akind),
                     };
-                    self.check_and_insert(rank, loc, record, config);
+                    self.check_and_insert(rank, loc, record, config, sink);
                 } else {
                     self.advance(seg);
                 }
@@ -347,29 +372,101 @@ impl RankStream {
         Ok(())
     }
 
-    /// Retire a joined region's segments: the join just folded their final
-    /// clocks into the spine, so every later access happens-after every
-    /// record of the region — dropping its clocks, locksets, and history
-    /// records cannot change any future verdict (in HB-aware modes).
-    fn retire_region(&mut self, region: RegionId) {
-        let mut segs: Vec<SegKey> = self.region_threads.remove(&region).unwrap_or_default();
+    /// Begin retiring a joined region: drop its bookkeeping (fork clock,
+    /// barrier joins, team roster) and move its segments' final epochs to
+    /// the pending list. The vector clocks and locksets are freed here —
+    /// only the scalar `(slot, clock)` epoch survives, which is all
+    /// [`RankStream::sweep_retired`] needs to decide reachability, and all
+    /// the race check needs to test remembered records (slots are never
+    /// reused, so the epochs stay exact).
+    fn begin_retire(&mut self, region: RegionId) {
+        let mut keys: Vec<SegKey> = self.region_threads.remove(&region).unwrap_or_default();
         if let Some(n) = self.region_nthreads.remove(&region) {
             for t in 0..n {
                 let seg = (Some(region), Tid(t));
-                if !segs.contains(&seg) {
-                    segs.push(seg);
+                if !keys.contains(&seg) {
+                    keys.push(seg);
                 }
-            }
-        }
-        for seg in segs {
-            if self.segs.remove(&seg).is_some() {
-                self.retired += 1;
             }
         }
         self.fork_vc.remove(&region);
         self.barrier_join.retain(|(r, _, _), _| *r != region);
+        for seg in keys {
+            if let Some(state) = self.segs.remove(&seg) {
+                self.pending.push(PendingSeg {
+                    seg,
+                    slot: state.slot,
+                    clock: state.vc.get(state.slot),
+                });
+            }
+        }
+    }
+
+    /// Per-segment reachability sweep: a pending segment retires once every
+    /// possible future access happens-after its final epoch `(slot, clock)`
+    /// — at which point no future access can be HB-concurrent with any of
+    /// its remembered records, and they can be dropped.
+    ///
+    /// "Every possible future access" decomposes into (a) accesses by
+    /// currently live segments, covered iff each live clock dominates the
+    /// epoch (new regions they fork later inherit a dominating clock
+    /// transitively), and (b) first accesses of live regions' *not yet
+    /// materialized* team members, whose initial clock is the region's fork
+    /// clock — covered iff that fork clock dominates the epoch, or the team
+    /// is already fully materialized (fork width known and every member
+    /// seen), leaving no such future member.
+    ///
+    /// With no region live this fires immediately for every pending segment
+    /// (the join fold makes the spine dominate), reproducing the old
+    /// serial-region behaviour; under overlap it is the reachability check
+    /// that replaces the old "never retire" pessimism.
+    fn sweep_retired(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut live_regions: FxHashSet<RegionId> = self.fork_vc.keys().copied().collect();
+        live_regions.extend(self.region_nthreads.keys().copied());
+        live_regions.extend(self.region_threads.keys().copied());
+        let overlapping = !live_regions.is_empty();
+        let materialized: FxHashSet<RegionId> = live_regions
+            .iter()
+            .copied()
+            .filter(
+                |r| match (self.region_nthreads.get(r), self.region_threads.get(r)) {
+                    (Some(&n), Some(seen)) => (0..n).all(|t| seen.contains(&(Some(*r), Tid(t)))),
+                    _ => false,
+                },
+            )
+            .collect();
+
+        let mut retired_now: Vec<SegKey> = Vec::new();
+        let mut still_pending: Vec<PendingSeg> = Vec::new();
+        for p in std::mem::take(&mut self.pending) {
+            let live_segs_dominate = self.segs.values().all(|t| t.vc.get(p.slot) >= p.clock);
+            let future_members_dominate = live_regions.iter().all(|r| {
+                materialized.contains(r)
+                    || self
+                        .fork_vc
+                        .get(r)
+                        .is_some_and(|f| f.get(p.slot) >= p.clock)
+            });
+            if live_segs_dominate && future_members_dominate {
+                retired_now.push(p.seg);
+            } else {
+                still_pending.push(p);
+            }
+        }
+        self.pending = still_pending;
+        if retired_now.is_empty() {
+            return;
+        }
+        self.retired += retired_now.len();
+        if overlapping {
+            self.retired_overlapping += retired_now.len();
+        }
+        let retired_set: FxHashSet<SegKey> = retired_now.into_iter().collect();
         for h in self.history.values_mut() {
-            h.records.retain(|r| r.seg.0 != Some(region));
+            h.records.retain(|r| !retired_set.contains(&r.seg));
         }
     }
 
@@ -379,6 +476,7 @@ impl RankStream {
         loc: MemLoc,
         record: AccessRecord,
         config: &DetectorConfig,
+        sink: Option<&dyn RaceSink>,
     ) {
         let same_physical = |a: SegKey, b: SegKey| a.1 == b.1 && (a.1 == Tid(0) || a.0 == b.0);
         let RankStream {
@@ -423,12 +521,16 @@ impl RankStream {
                 if config.dedupe_pairs && !reported.insert(key) {
                     continue;
                 }
-                races.push(Race {
+                let race = Race {
                     rank,
                     loc,
                     first: prev.access.clone(),
                     second: record.access.clone(),
-                });
+                };
+                if let Some(sink) = sink {
+                    sink.on_race(&race);
+                }
+                races.push(race);
             }
         }
         if entry.pushed < config.history_cap {
@@ -466,6 +568,7 @@ pub struct StreamDetector {
     failed: AtomicBool,
     error: Mutex<Option<HomeError>>,
     start: OnceLock<Instant>,
+    race_sink: Option<Arc<dyn RaceSink>>,
 }
 
 impl StreamDetector {
@@ -481,6 +584,18 @@ impl StreamDetector {
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
             start: OnceLock::new(),
+            race_sink: None,
+        }
+    }
+
+    /// Create a detector that reports each race to `sink` the moment it is
+    /// discovered (see [`RaceSink`] for the re-entrancy contract). The
+    /// races are still accumulated and returned by
+    /// [`StreamDetector::finish`] as usual.
+    pub fn with_race_sink(config: DetectorConfig, sink: Arc<dyn RaceSink>) -> Self {
+        StreamDetector {
+            race_sink: Some(sink),
+            ..StreamDetector::new(config)
         }
     }
 
@@ -496,7 +611,7 @@ impl StreamDetector {
         let shard = &self.shards[e.rank.index() % RANK_SHARDS];
         let mut guard = shard.lock();
         let st = guard.ranks.entry(e.rank).or_insert_with(RankStream::new);
-        if let Err(err) = st.on_event(e.rank, e, &self.config) {
+        if let Err(err) = st.on_event(e.rank, e, &self.config, self.race_sink.as_deref()) {
             drop(guard);
             self.failed.store(true, Ordering::Relaxed);
             let mut slot = self.error.lock();
@@ -529,6 +644,7 @@ impl StreamDetector {
             stats.peak_live_segments += st.peak_live;
             stats.total_segments += st.next_slot;
             stats.retired_segments += st.retired;
+            stats.retired_while_overlapping += st.retired_overlapping;
             stats.history_overflow |= st.history_overflow;
         }
         let secs = elapsed.as_secs_f64();
@@ -669,6 +785,103 @@ mod tests {
         let cfg = DetectorConfig::lockset_only();
         let (_, stats) = detect_stream(&t, &cfg).unwrap();
         assert_eq!(stats.retired_segments, 0);
+    }
+
+    fn acquire(seq: u64, tid: u32, region: Option<u64>, lock: u32) -> Event {
+        ev(seq, tid, region, EventKind::Acquire { lock: LockId(lock) })
+    }
+
+    fn release(seq: u64, tid: u32, region: Option<u64>, lock: u32) -> Event {
+        ev(seq, tid, region, EventKind::Release { lock: LockId(lock) })
+    }
+
+    fn barrier(seq: u64, tid: u32, region: u64, b: u32) -> Event {
+        ev(
+            seq,
+            tid,
+            Some(region),
+            EventKind::Barrier {
+                barrier: BarrierId(b),
+                epoch: 0,
+            },
+        )
+    }
+
+    /// The reachability sweep retires a region joined *while another region
+    /// is still live*, once lock-release edges and a barrier make every
+    /// live clock dominate its final epoch — the case the old "no other
+    /// region live" guard could never retire.
+    #[test]
+    fn overlapping_region_retires_via_reachability_sweep() {
+        let t = Trace::from_events(vec![
+            fork(0, 1, 2),
+            write(1, 0, Some(1), 10),
+            write(2, 1, Some(1), 10), // race inside R1
+            fork(3, 2, 1),            // spine forks R2 while R1 is live
+            write(4, 0, Some(2), 20),
+            join(5, 2), // R2 joins under overlap -> pending, not retired
+            // Publish the spine's post-join clock (which covers R2) to both
+            // R1 workers through a lock-release chain...
+            acquire(6, 0, None, 9),
+            release(7, 0, None, 9),
+            acquire(8, 0, Some(1), 9),
+            release(9, 0, Some(1), 9),
+            acquire(10, 1, Some(1), 9),
+            release(11, 1, Some(1), 9),
+            // ...and let the barrier's sweep observe full domination.
+            barrier(12, 0, 1, 0),
+            barrier(13, 1, 1, 0),
+            write(14, 0, Some(1), 30),
+            write(15, 1, Some(1), 30), // post-barrier race, still detected
+            join(16, 1),
+        ]);
+        let cfg = DetectorConfig::hybrid();
+        let batch = detect(&t, &cfg).unwrap();
+        let (stream, stats) = detect_stream(&t, &cfg).unwrap();
+        assert_eq!(format!("{batch:?}"), format!("{stream:?}"));
+        assert_eq!(stream.len(), 2, "{stream:?}");
+        assert_eq!(stats.retired_while_overlapping, 1, "{stats:?}");
+        assert_eq!(stats.retired_segments, 3, "{stats:?}");
+    }
+
+    /// A region joined under overlap stays pending while a live segment's
+    /// clock does not dominate it (no ordering edge was recorded).
+    #[test]
+    fn unreachable_overlap_is_not_retired() {
+        let t = Trace::from_events(vec![
+            fork(0, 1, 2),
+            write(1, 0, Some(1), 10),
+            write(2, 1, Some(1), 10),
+            fork(3, 2, 1),
+            write(4, 0, Some(2), 20),
+            join(5, 2), // R1 workers never see R2's clock
+            join(6, 1),
+        ]);
+        let (_, stats) = detect_stream(&t, &DetectorConfig::hybrid()).unwrap();
+        assert_eq!(stats.retired_while_overlapping, 0, "{stats:?}");
+        // R1's own segments still retire at its (non-overlapped) join; the
+        // R2 segment is sweepable then too, since R1's bookkeeping is gone.
+        assert!(stats.retired_segments >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn race_sink_sees_each_race_at_discovery_time() {
+        struct Collect(parking_lot::Mutex<Vec<Race>>);
+        impl RaceSink for Collect {
+            fn on_race(&self, race: &Race) {
+                self.0.lock().push(race.clone());
+            }
+        }
+        let sink = Arc::new(Collect(parking_lot::Mutex::new(Vec::new())));
+        let d = StreamDetector::with_race_sink(DetectorConfig::hybrid(), sink.clone());
+        d.consume(&fork(0, 0, 2));
+        d.consume(&write(1, 0, Some(0), 7));
+        assert!(sink.0.lock().is_empty(), "no race after one access");
+        d.consume(&write(2, 1, Some(0), 7));
+        assert_eq!(sink.0.lock().len(), 1, "race reported before finish");
+        d.consume(&join(3, 0));
+        let (races, _) = d.finish().unwrap();
+        assert_eq!(*sink.0.lock(), races);
     }
 
     #[test]

@@ -34,8 +34,22 @@ pub trait EventSink: Send + Sync {
     fn on_event(&self, event: &Event);
 }
 
+/// A consumer of race candidates, invoked by [`StreamDetector`] the moment
+/// each race is discovered (same races, same per-rank order as the batch
+/// engine's result list).
+///
+/// The callback fires while the detector holds the rank-shard lock, so
+/// implementations must be quick and must **not** re-enter the detector
+/// (no `consume`/`finish` from inside `on_race`). Multiple producer
+/// threads may trigger callbacks concurrently for different ranks.
+pub trait RaceSink: Send + Sync {
+    /// One freshly discovered race.
+    fn on_race(&self, race: &home_dynamic::Race);
+}
+
 pub use detector::{detect_stream, StreamDetector, StreamStats};
 pub use hbt::{
     decode_sections, encode_trace, is_hbt, HbtMmapReader, HbtReader, HbtRecord, HbtSection,
     HbtSliceReader, HbtWriter, TraceIncident, HBT_MAGIC, HBT_VERSION,
 };
+pub use home_dynamic::Race;

@@ -36,11 +36,10 @@ impl MemorySink {
     }
 
     /// Drain all recorded events into a [`Trace`] (sorted by sequence).
+    /// One lock acquisition and one buffer move, not a pop (and lock) per
+    /// element.
     pub fn drain(&self) -> Trace {
-        let mut events = Vec::with_capacity(self.queue.len());
-        while let Some(e) = self.queue.pop() {
-            events.push(e);
-        }
+        let mut events: Vec<Event> = self.queue.take_all().into();
         events.sort_by_key(|e| e.seq);
         Trace::from_events(events)
     }

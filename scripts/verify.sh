@@ -37,6 +37,31 @@ cargo clippy --offline --no-deps -p home-trace -p home-core -p home-dynamic -p h
 cargo clippy --offline --no-deps -p home --bins \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 
+# Watch smoke: the live pipeline must stream at least one violation line
+# and agree with `check` on the verdict (exit code) for the paper's
+# figure2 case study. Both commands exit 1 on findings, so capture codes
+# explicitly under `set -e`.
+echo "==> home watch smoke (figure2)"
+check_code=0
+./target/release/home check programs/figure2.hmp > /dev/null || check_code=$?
+watch_out="$(mktemp)"
+watch_code=0
+./target/release/home watch programs/figure2.hmp > "$watch_out" || watch_code=$?
+grep -q "Violation" "$watch_out" || {
+    echo "watch smoke: no violation line streamed" >&2
+    cat "$watch_out" >&2
+    exit 1
+}
+grep -q "watch: done" "$watch_out" || {
+    echo "watch smoke: missing final summary" >&2
+    exit 1
+}
+rm -f "$watch_out"
+if [ "$watch_code" -ne "$check_code" ]; then
+    echo "watch smoke: exit code $watch_code != check's $check_code" >&2
+    exit 1
+fi
+
 # Bench smoke: the throughput harness must build and complete one quick
 # pass (catches bit-rot in home-bench without paying for a full run; the
 # checked-in numbers live in BENCH_throughput.json).

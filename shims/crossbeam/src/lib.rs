@@ -46,6 +46,15 @@ pub mod queue {
         pub fn is_empty(&self) -> bool {
             self.guard().is_empty()
         }
+
+        /// Take every buffered element in one lock acquisition, leaving the
+        /// queue empty. (Extension over the upstream API: the upstream
+        /// lock-free queue cannot offer an atomic drain, but this shim can,
+        /// and the trace sink's end-of-run drain wants one lock + one move
+        /// instead of a pop-per-element loop.)
+        pub fn take_all(&self) -> VecDeque<T> {
+            std::mem::take(&mut *self.guard())
+        }
     }
 
     impl<T> Default for SegQueue<T> {

@@ -3,6 +3,8 @@
 //! ```text
 //! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--jobs N] [--faithful]
 //!                          [--fail-seed a,b] [--engine batch|stream]
+//! home watch   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
+//!                          [--fail-seed a,b] [--flush every|seed|end]
 //! home static  <file.hmp>
 //! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
 //!                          [--trace-out trace.json]
@@ -14,6 +16,10 @@
 //! ```
 //!
 //! * `check`   — the full HOME pipeline; exits nonzero if violations found.
+//! * `watch`   — live mode: the same pipeline on the streaming engine, but
+//!   each violation is printed the moment its evidence is complete, while
+//!   the simulation is still running. Same verdicts and exit codes as
+//!   `check`.
 //! * `static`  — compile-time phase only: per-site instrumentation decisions.
 //! * `run`     — execute once on the simulators and report timing/events;
 //!   `--trace-out` dumps the recorded event trace as JSON.
@@ -37,7 +43,7 @@ use home::prelude::*;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: home <check|static|run|record|replay|analyze|fmt|help> <file> [options]";
+    "usage: home <check|watch|static|run|record|replay|analyze|fmt|help> <file> [options]";
 
 fn print_help() {
     println!("home — detect thread-safety violations in hybrid OpenMP/MPI programs");
@@ -47,6 +53,9 @@ fn print_help() {
     println!("commands:");
     println!("  check   <file.hmp>   full pipeline: static analysis, multi-seed simulation,");
     println!("                       race detection, violation matching; exit 1 on findings");
+    println!("  watch   <file.hmp>   live mode: the same pipeline on the streaming engine,");
+    println!("                       printing each violation the moment its evidence is");
+    println!("                       complete, while the simulation runs; same exit codes");
     println!("  static  <file.hmp>   compile-time phase only: per-site instrumentation decisions");
     println!("  run     <file.hmp>   one simulated execution; report timing and events");
     println!("  record  <file.hmp>   run the check seeds and stream every event into a");
@@ -73,6 +82,15 @@ fn print_help() {
     println!("                  seed's trace before detecting; `stream` detects online");
     println!("                  while the program runs, retiring dead segments as");
     println!("                  regions join. The report is identical either way.");
+    println!();
+    println!("watch options:");
+    println!("  --procs N / --threads N / --seeds a,b,c / --faithful / --fail-seed a,b");
+    println!("                  as in check (the engine is always `stream`; seeds run");
+    println!("                  serially so the live output order is deterministic)");
+    println!("  --flush P       when to print: `every` (default) prints each violation");
+    println!("                  as it fires plus a per-seed summary line; `seed` prints");
+    println!("                  each seed's deduplicated findings when that seed ends;");
+    println!("                  `end` prints only the final report, like check");
     println!();
     println!("record options:");
     println!("  -o trace.hbt    output path for the binary trace (required)");
@@ -132,6 +150,7 @@ fn main() -> ExitCode {
 
     match cmd {
         "check" => cmd_check(&program, &args),
+        "watch" => cmd_watch(&program, &args),
         "static" => cmd_static(&program),
         "run" => cmd_run(&program, &args),
         "record" => cmd_record(&program, &args),
@@ -262,6 +281,126 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
     // Exit-code precedence: usage errors returned 2 above; partial results
     // (a failed seed) trump a violation verdict because the verdict is
     // incomplete; then 1 for findings, 0 for a clean full run.
+    if report.partial {
+        ExitCode::from(3)
+    } else if report.violations.is_empty() && report.deadlocks.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// When `watch` prints (the `--flush` policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushPolicy {
+    /// Print each violation the moment it fires, plus a per-seed summary.
+    Every,
+    /// Print each seed's deduplicated findings when that seed finishes.
+    Seed,
+    /// Print only the final report, like `check`.
+    End,
+}
+
+/// Live renderer behind `home watch`: a [`ViolationSink`] printing each
+/// emission with seed/rank/thread provenance. `watch` forces `--jobs 1`,
+/// so seeds run serially and the output order is deterministic.
+struct WatchRenderer {
+    policy: FlushPolicy,
+}
+
+impl ViolationSink for WatchRenderer {
+    fn violation(&self, v: &EmittedViolation) {
+        if self.policy == FlushPolicy::Every {
+            println!("{v}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
+    }
+
+    fn seed_finished(
+        &self,
+        seed: u64,
+        status: &home::core::SeedStatus,
+        violations: &[home::core::Violation],
+    ) {
+        if self.policy == FlushPolicy::End {
+            return;
+        }
+        if self.policy == FlushPolicy::Seed {
+            for v in violations {
+                println!("[seed {seed}] {v}");
+            }
+        }
+        match status {
+            home::core::SeedStatus::Ok {
+                events,
+                races,
+                violations,
+            } => println!(
+                "watch: seed {seed} finished ({events} events, {races} race(s), {violations} violation(s))"
+            ),
+            home::core::SeedStatus::Failed { error } => {
+                println!("watch: seed {seed} FAILED: {error}")
+            }
+        }
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    }
+}
+
+fn cmd_watch(program: &Program, args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(CheckOptions, FlushPolicy), String> {
+        let mut options = CheckOptions::new(
+            usize_flag(args, "--procs", 2)?,
+            usize_flag(args, "--threads", 2)?,
+        );
+        if let Some(seeds) = flag_value(args, "--seeds")? {
+            options.seeds = parse_seed_list(seeds, "--seeds")?;
+        }
+        if args.iter().any(|a| a == "--faithful") {
+            options.sched_policy = SchedPolicy::EarliestClockFirst;
+        }
+        if let Some(fails) = flag_value(args, "--fail-seed")? {
+            options.inject_panic_seeds = parse_seed_list(fails, "--fail-seed")?;
+        }
+        // Live mode is the streaming engine by definition, and seeds run
+        // serially so emissions arrive in seed order.
+        options = options.with_jobs(1).with_engine(Engine::Stream);
+        let policy = match flag_value(args, "--flush")? {
+            None | Some("every") => FlushPolicy::Every,
+            Some("seed") => FlushPolicy::Seed,
+            Some("end") => FlushPolicy::End,
+            Some(other) => {
+                return Err(format!(
+                    "unknown flush policy `{other}`: expected `every`, `seed`, or `end`"
+                ))
+            }
+        };
+        Ok((options, policy))
+    })();
+    let (options, policy) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let report = check_with_sink(
+        program,
+        &options,
+        std::sync::Arc::new(WatchRenderer { policy }),
+    );
+    if policy == FlushPolicy::End {
+        print!("{}", report.render());
+    } else {
+        println!(
+            "watch: done — {} violation(s), {} deadlock(s) across {} seed(s){}",
+            report.violations.len(),
+            report.deadlocks.len(),
+            options.seeds.len(),
+            if report.partial {
+                " (PARTIAL: one or more seeds failed)"
+            } else {
+                ""
+            }
+        );
+    }
+    // Same exit-code precedence as `check`: partial trumps findings.
     if report.partial {
         ExitCode::from(3)
     } else if report.violations.is_empty() && report.deadlocks.is_empty() {

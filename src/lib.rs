@@ -57,7 +57,10 @@ pub use home_trace as trace;
 /// The most common surface: parse a program, check it, inspect violations.
 pub mod prelude {
     pub use home_baselines::{run_tool, Tool};
-    pub use home_core::{check, CheckOptions, Engine, HomeReport, Violation, ViolationKind};
+    pub use home_core::{
+        check, check_with_sink, CheckOptions, EmittedViolation, Engine, HomeReport, RuleEngine,
+        Violation, ViolationKind, ViolationSink,
+    };
     pub use home_dynamic::{detect, DetectorConfig, DetectorMode, Race};
     pub use home_interp::{run, run_with_sink, Instrumentation, RunConfig};
     pub use home_ir::{parse, print_program, Program};

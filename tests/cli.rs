@@ -107,7 +107,7 @@ fn help_lists_all_commands() {
     for invocation in [&["help"][..], &["--help"], &["-h"]] {
         let (stdout, _, code) = home_cli(invocation);
         assert_eq!(code, Some(0), "{invocation:?}");
-        for cmd in ["check", "static", "run", "analyze", "fmt", "help"] {
+        for cmd in ["check", "watch", "static", "run", "analyze", "fmt", "help"] {
             assert!(stdout.contains(cmd), "help must mention `{cmd}`: {stdout}");
         }
         assert!(stdout.contains("--jobs"), "{stdout}");
@@ -449,6 +449,141 @@ fn replay_reports_truncated_trace_with_byte_offset() {
     let diagnostic = stderr.lines().next().unwrap_or_default();
     assert!(diagnostic.contains("truncated.hbt"), "{stderr}");
     assert!(diagnostic.contains("byte "), "{stderr}");
+}
+
+/// A figure2-style racey exchange followed by a long compute tail: the
+/// concurrent-recv evidence completes early in the seed, well before the
+/// simulation finishes. Used to prove `watch` streams violations live.
+fn slow_racey_program(dir: &std::path::Path) -> String {
+    let path = dir.join("slow_racey.hmp");
+    std::fs::write(
+        &path,
+        r#"program slow_racey {
+    mpi_init_thread(multiple);
+    shared int tag = 0;
+    omp parallel num_threads(2) {
+        if (rank == 0) {
+            mpi_send(to: 1, tag: tag, count: 1);
+            mpi_recv(from: 1, tag: tag);
+        }
+        if (rank == 1) {
+            mpi_recv(from: 0, tag: tag);
+            mpi_send(to: 0, tag: tag, count: 1);
+        }
+    }
+    omp parallel num_threads(2) {
+        omp for i in 0..64 {
+            compute(50000, reads: chunk, writes: chunk);
+        }
+    }
+    mpi_finalize();
+}
+"#,
+    )
+    .unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+#[test]
+fn watch_streams_violations_before_the_seed_finishes() {
+    let dir = tmp_dir("watch_slow");
+    let program = slow_racey_program(&dir);
+    let (stdout, stderr, code) = home_cli(&["watch", &program, "--seeds", "1,2,3,4"]);
+    assert_eq!(code, Some(1), "{stdout}\n{stderr}");
+
+    // At least one violation line must appear, and the first one must
+    // precede its seed's completion marker: it was printed while the
+    // simulation was still running, not from the final report.
+    let lines: Vec<&str> = stdout.lines().collect();
+    let first_violation = lines
+        .iter()
+        .position(|l| l.starts_with("[seed ") && l.contains("Violation"))
+        .unwrap_or_else(|| panic!("no live violation line in:\n{stdout}"));
+    let seed = lines[first_violation]
+        .trim_start_matches("[seed ")
+        .split(']')
+        .next()
+        .unwrap()
+        .to_owned();
+    let finished = lines
+        .iter()
+        .position(|l| l.starts_with(&format!("watch: seed {seed} finished")))
+        .unwrap_or_else(|| panic!("no completion marker for seed {seed} in:\n{stdout}"));
+    assert!(
+        first_violation < finished,
+        "violation must stream before seed {seed} finishes:\n{stdout}"
+    );
+    assert!(stdout.contains("watch: done —"), "{stdout}");
+}
+
+#[test]
+fn watch_exit_codes_match_check() {
+    for (program, expected) in [
+        ("programs/figure2.hmp", Some(1)),
+        ("programs/figure2_fixed.hmp", Some(0)),
+    ] {
+        let (stdout, _, code) = home_cli(&["watch", program]);
+        assert_eq!(code, expected, "{program}:\n{stdout}");
+        let (_, _, check_code) = home_cli(&["check", program]);
+        assert_eq!(code, check_code, "{program}: watch and check must agree");
+        assert!(stdout.contains("watch: done —"), "{stdout}");
+    }
+}
+
+#[test]
+fn watch_flush_seed_prints_per_seed_findings_with_markers() {
+    let (stdout, _, code) = home_cli(&[
+        "watch",
+        "programs/figure2.hmp",
+        "--seeds",
+        "1,2",
+        "--flush",
+        "seed",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    for seed in ["1", "2"] {
+        assert!(
+            stdout.contains(&format!("watch: seed {seed} finished")),
+            "missing seed {seed} marker:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.lines().any(|l| l.starts_with("[seed 1]")),
+        "seed-flush mode must print per-seed findings:\n{stdout}"
+    );
+}
+
+#[test]
+fn watch_flush_end_renders_exactly_the_check_report() {
+    // `--flush end` defers everything to the final report; since watch
+    // forces the stream engine and stream is byte-identical to batch,
+    // the output must equal `check`'s.
+    let (watch_out, _, watch_code) = home_cli(&["watch", "programs/figure2.hmp", "--flush", "end"]);
+    let (check_out, _, check_code) = home_cli(&["check", "programs/figure2.hmp"]);
+    assert_eq!(watch_code, check_code);
+    assert_eq!(watch_out, check_out, "watch --flush end must match check");
+}
+
+#[test]
+fn watch_rejects_unknown_flush_policy() {
+    let (_, stderr, code) = home_cli(&["watch", "programs/figure2.hmp", "--flush", "bogus"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown flush policy"), "{stderr}");
+}
+
+#[test]
+fn watch_reports_failed_seeds_and_exits_3() {
+    let (stdout, _, code) = home_cli(&[
+        "watch",
+        "programs/figure2.hmp",
+        "--seeds",
+        "1,2,3",
+        "--fail-seed",
+        "2",
+    ]);
+    assert_eq!(code, Some(3), "{stdout}");
+    assert!(stdout.contains("watch: seed 2 FAILED:"), "{stdout}");
+    assert!(stdout.contains("PARTIAL"), "{stdout}");
 }
 
 #[test]
