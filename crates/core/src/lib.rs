@@ -25,6 +25,7 @@
 mod pipeline;
 mod report;
 mod rules;
+mod session;
 mod sink;
 
 pub use pipeline::{check, check_with_sink, CheckOptions, Engine};
@@ -32,4 +33,5 @@ pub use report::{
     EmitOrder, EmittedViolation, HomeReport, SeedRun, SeedStatus, Violation, ViolationKind,
 };
 pub use rules::{match_rules, match_violations, RuleEngine, RuleFinish, RuleOutcome};
+pub use session::{Session, SessionOutcome};
 pub use sink::{NullViolationSink, ViolationCollector, ViolationSink};

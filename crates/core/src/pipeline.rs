@@ -2,16 +2,15 @@
 //! dynamic concurrency detection → violation matching → merged report.
 
 use crate::report::{HomeReport, SeedRun, SeedStatus};
-use crate::rules::{RuleEngine, RuleOutcome};
+use crate::session::Session;
 use crate::sink::{NullViolationSink, ViolationSink};
-use home_dynamic::{detect, DetectorConfig, Race};
-use home_interp::{run, run_with_sink, Instrumentation, MpiIncident, RunConfig};
+use home_dynamic::{detect, DetectorConfig};
+use home_interp::{run, run_with_sink, Instrumentation, RunConfig};
 use home_ir::Program;
 use home_static::analyze;
-use home_stream::{RaceSink, StreamDetector};
-use home_trace::{Event, HomeError, TraceSink};
+use home_trace::{HomeError, TraceSink};
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which detection engine a [`check`] uses for each seed's chain.
 ///
@@ -121,92 +120,6 @@ impl CheckOptions {
     }
 }
 
-/// One seed's rule engine plus the violation sink its emissions go to.
-///
-/// The tap sits at the junction of the online pipeline: trace events and
-/// runtime incidents are fed in directly, races arrive through the
-/// [`RaceSink`] callback from the streaming detector, and every emission
-/// the engine produces is forwarded to the [`ViolationSink`] immediately.
-/// The batch arm drives the same tap post-hoc, so both engines share one
-/// classification path.
-///
-/// Lock order: the engine mutex is only ever taken *inside* a tap call and
-/// released before the call returns, while the detector's shard lock is
-/// held *across* the `RaceSink` callback — the tap never calls back into
-/// the detector, so the two locks nest in one fixed order (shard → engine)
-/// and cannot deadlock.
-struct EngineTap {
-    engine: Mutex<RuleEngine>,
-    out: Arc<dyn ViolationSink>,
-}
-
-impl EngineTap {
-    fn new(seed: u64, out: Arc<dyn ViolationSink>) -> EngineTap {
-        EngineTap {
-            engine: Mutex::new(RuleEngine::for_seed(seed)),
-            out,
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, RuleEngine> {
-        self.engine
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    fn observe_event(&self, e: &Event) {
-        let fresh = self.lock().observe_event(e);
-        self.forward(&fresh);
-    }
-
-    fn observe_incident(&self, incident: &MpiIncident) {
-        let fresh = self.lock().observe_incident(incident);
-        self.forward(&fresh);
-    }
-
-    /// End-of-seed: run the batch-equivalent evaluation, forward whatever
-    /// was not already emitted live, and return the canonical outcome.
-    fn finish(&self) -> RuleOutcome {
-        let fin = self.lock().finish();
-        self.forward(&fin.remaining);
-        fin.outcome
-    }
-
-    fn forward(&self, emissions: &[crate::report::EmittedViolation]) {
-        for v in emissions {
-            self.out.violation(v);
-        }
-    }
-}
-
-impl RaceSink for EngineTap {
-    fn on_race(&self, race: &Race) {
-        let fresh = self.lock().observe_race(race);
-        self.forward(&fresh);
-    }
-}
-
-/// Per-seed sink for [`Engine::Stream`]: every event the simulator emits
-/// goes straight into the incremental rule engine and then the online
-/// detector, so no trace is ever materialized; races flow back from the
-/// detector into the same engine via its [`RaceSink`] callback. The
-/// simulator's deterministic scheduler runs one virtual thread at a time,
-/// so `record` is effectively serial per run; the mutexes are for the
-/// `Sync` bounds, not contention.
-struct StreamingSeedSink {
-    detector: StreamDetector,
-    tap: Arc<EngineTap>,
-}
-
-impl TraceSink for StreamingSeedSink {
-    fn record(&self, event: Event) {
-        // Engine first (and its lock released) before the detector consumes
-        // the event — the detector's race callback re-enters the engine.
-        self.tap.observe_event(&event);
-        self.detector.consume(&event);
-    }
-}
-
 /// Render a caught panic payload as text (panics carry `&str` or `String`
 /// in practice; anything else gets a stable placeholder).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -273,42 +186,42 @@ pub fn check_with_sink(
             cfg.threads_per_proc = options.threads_per_proc;
             cfg.sched.policy = options.sched_policy;
 
-            let tap = Arc::new(EngineTap::new(seed, Arc::clone(&sink)));
             let (result, races, outcome) = match options.engine {
                 Engine::Batch => {
                     let result = run(program, &cfg);
                     let races = detect(&result.trace, &options.detector)?;
-                    // Post-hoc drive of the same online engine: same
-                    // observations, same emissions, same canonical outcome.
+                    // Post-hoc drive of the same session the stream arm
+                    // uses live: same observations, same emissions, same
+                    // canonical outcome.
+                    let session = Session::classifier(seed, Arc::clone(&sink));
                     for e in result.trace.events() {
-                        tap.observe_event(e);
+                        session.feed_event(e);
                     }
                     for race in &races {
-                        tap.on_race(race);
+                        session.feed_race(race);
                     }
                     for incident in &result.mpi_errors {
-                        tap.observe_incident(incident);
+                        session.feed_incident(incident);
                     }
-                    let outcome = tap.finish();
+                    let outcome = session.finish()?;
                     (result, races, outcome)
                 }
                 Engine::Stream => {
-                    let stream_sink = Arc::new(StreamingSeedSink {
-                        detector: StreamDetector::with_race_sink(
-                            options.detector.clone(),
-                            Arc::clone(&tap) as Arc<dyn RaceSink>,
-                        ),
-                        tap: Arc::clone(&tap),
-                    });
-                    let result = run_with_sink(program, &cfg, stream_sink.clone());
-                    // Events and races were observed live; incidents are
-                    // gathered by the simulator and observed here, before
-                    // the end-of-seed evaluation.
+                    let session = Arc::new(Session::streaming(
+                        seed,
+                        options.detector.clone(),
+                        Arc::clone(&sink),
+                    ));
+                    let result =
+                        run_with_sink(program, &cfg, Arc::clone(&session) as Arc<dyn TraceSink>);
+                    // Events and races were fed live; incidents are
+                    // gathered by the simulator and fed here, before the
+                    // end-of-seed evaluation.
                     for incident in &result.mpi_errors {
-                        tap.observe_incident(incident);
+                        session.feed_incident(incident);
                     }
-                    let (races, _stats) = stream_sink.detector.finish()?;
-                    let outcome = tap.finish();
+                    let outcome = session.finish()?;
+                    let races = outcome.races.clone();
                     (result, races, outcome)
                 }
             };

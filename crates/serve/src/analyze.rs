@@ -1,0 +1,208 @@
+//! Session-driven offline analysis of decoded HBT sections.
+//!
+//! One [`Session`](home_core::Session) per recorded section, fed
+//! event-at-a-time, exactly like the daemon's ingest loop — so `home
+//! replay`, `home analyze`, and `home serve` share one verdict path and
+//! are byte-identical by construction. Violations are deduplicated across
+//! sections by identity `(kind, rank, locations)`, first occurrence wins,
+//! with each kept violation carrying the minimum [`EmitOrder`] it was
+//! emitted under (the canonical batch-evaluation position).
+
+use home_core::{EmitOrder, Session, Violation, ViolationCollector, ViolationKind};
+use home_dynamic::DetectorConfig;
+use home_interp::MpiIncident;
+use home_stream::{HbtSection, TraceIncident};
+use home_trace::{HomeError, Rank, SrcLoc};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The cross-section identity of a violation: two runs reporting the same
+/// `(kind, rank, locations)` found the same bug.
+pub type ViolationIdentity = (ViolationKind, Rank, Vec<SrcLoc>);
+
+/// Identity key of one violation (see [`ViolationIdentity`]).
+pub fn violation_identity(v: &Violation) -> ViolationIdentity {
+    (v.kind, v.rank, v.locations.clone())
+}
+
+/// One violation with its canonical emission key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedViolation {
+    /// The minimum canonical batch-order position this violation was
+    /// emitted under within its section.
+    pub order: EmitOrder,
+    /// The classified violation.
+    pub violation: Violation,
+}
+
+/// The verdict over one recorded section (one run).
+#[derive(Debug, Clone, Default)]
+pub struct SectionVerdict {
+    /// Scheduler seed, when the section was opened by a `RUN` record.
+    pub seed: Option<u64>,
+    /// Events the section contained.
+    pub events: u64,
+    /// Monitored races the detector found.
+    pub races: usize,
+    /// Races the rules could not classify.
+    pub unclassified: usize,
+    /// Canonical per-section violation list (batch order), keyed.
+    pub violations: Vec<KeyedViolation>,
+}
+
+/// The combined verdict over all sections of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOutcome {
+    /// Per-section verdicts, in stream order.
+    pub sections: Vec<SectionVerdict>,
+    /// Total events across sections.
+    pub events: u64,
+    /// Total monitored races across sections.
+    pub races: usize,
+    /// Total unclassified races across sections.
+    pub unclassified: usize,
+    /// Violations deduplicated across sections: first occurrence wins,
+    /// section order then canonical order within a section.
+    pub violations: Vec<Violation>,
+}
+
+fn to_incident(i: &TraceIncident) -> MpiIncident {
+    MpiIncident {
+        rank: i.rank,
+        line: i.line,
+        call: i.call.clone(),
+        error: i.error.clone(),
+    }
+}
+
+/// One section's detection in flight: a streaming [`Session`] plus the
+/// emission collector that recovers each violation's canonical position.
+///
+/// Events are fed the moment they arrive (bounded memory — nothing is
+/// buffered but the detector's own live state); incidents are buffered and
+/// fed at [`SectionSession::finish`], so a stream that interleaves
+/// incidents with events reaches the exact verdict the offline path
+/// computes from the decoded section.
+#[derive(Debug)]
+pub struct SectionSession {
+    seed: Option<u64>,
+    session: Session,
+    collector: Arc<ViolationCollector>,
+    incidents: Vec<MpiIncident>,
+}
+
+impl SectionSession {
+    /// Open a session for a section recorded under `seed` (or the implicit
+    /// anonymous section).
+    pub fn open(seed: Option<u64>) -> SectionSession {
+        let collector = Arc::new(ViolationCollector::new());
+        let session = Session::streaming(
+            seed.unwrap_or(0),
+            DetectorConfig::hybrid(),
+            Arc::clone(&collector) as Arc<dyn home_core::ViolationSink>,
+        );
+        SectionSession {
+            seed,
+            session,
+            collector,
+            incidents: Vec::new(),
+        }
+    }
+
+    /// Feed one event into the live detector + rule engine.
+    pub fn feed_event(&self, e: &home_trace::Event) {
+        self.session.feed_event(e);
+    }
+
+    /// Buffer one incident for end-of-section classification.
+    pub fn push_incident(&mut self, i: &TraceIncident) {
+        self.incidents.push(to_incident(i));
+    }
+
+    /// Finish: feed the buffered incidents, run the end-of-run evaluation,
+    /// and key each canonical violation by its minimum emission position.
+    pub fn finish(self) -> Result<SectionVerdict, HomeError> {
+        for i in &self.incidents {
+            self.session.feed_incident(i);
+        }
+        let outcome = self.session.finish()?;
+
+        // Minimum canonical emission position per violation identity.
+        let mut first: BTreeMap<ViolationIdentity, EmitOrder> = BTreeMap::new();
+        for e in self.collector.emissions() {
+            let key = violation_identity(&e.violation);
+            match first.get_mut(&key) {
+                Some(order) => {
+                    if e.order < *order {
+                        *order = e.order;
+                    }
+                }
+                None => {
+                    first.insert(key, e.order);
+                }
+            }
+        }
+        let violations = outcome
+            .violations
+            .into_iter()
+            .map(|violation| {
+                let order = first
+                    .get(&violation_identity(&violation))
+                    .copied()
+                    .unwrap_or(EmitOrder::new(u8::MAX, u8::MAX, u64::MAX, u64::MAX));
+                KeyedViolation { order, violation }
+            })
+            .collect();
+        Ok(SectionVerdict {
+            seed: self.seed,
+            events: outcome.events,
+            races: outcome.races.len(),
+            unclassified: outcome.unclassified.len(),
+            violations,
+        })
+    }
+}
+
+/// Analyze one decoded section with a streaming [`Session`]: feed every
+/// event in order, then the section's incidents, then finish. This is the
+/// single verdict path shared by `replay`, `analyze`, and the serve daemon
+/// (which drives [`SectionSession`] record-at-a-time instead).
+pub fn analyze_section(section: &HbtSection) -> Result<SectionVerdict, HomeError> {
+    let mut session = SectionSession::open(section.seed);
+    for e in section.trace.events() {
+        session.feed_event(e);
+    }
+    for i in &section.incidents {
+        session.push_incident(i);
+    }
+    session.finish()
+}
+
+/// Combine per-section verdicts into one trace outcome, deduplicating
+/// violations across sections (first occurrence wins; within a section the
+/// canonical order is already sorted by emission key).
+pub fn combine_verdicts(verdicts: Vec<SectionVerdict>) -> TraceOutcome {
+    let mut out = TraceOutcome::default();
+    let mut seen: BTreeMap<ViolationIdentity, ()> = BTreeMap::new();
+    for verdict in verdicts {
+        out.events += verdict.events;
+        out.races += verdict.races;
+        out.unclassified += verdict.unclassified;
+        for kv in &verdict.violations {
+            if seen.insert(violation_identity(&kv.violation), ()).is_none() {
+                out.violations.push(kv.violation.clone());
+            }
+        }
+        out.sections.push(verdict);
+    }
+    out
+}
+
+/// Analyze every section of a decoded trace and combine the verdicts.
+pub fn analyze_sections(sections: &[HbtSection]) -> Result<TraceOutcome, HomeError> {
+    let mut verdicts = Vec::with_capacity(sections.len());
+    for section in sections {
+        verdicts.push(analyze_section(section)?);
+    }
+    Ok(combine_verdicts(verdicts))
+}

@@ -1,0 +1,66 @@
+//! The client side of the serve protocol: submit a trace, query status,
+//! stop the daemon. One connection per request; errors are strings ready
+//! for CLI diagnostics.
+
+use crate::protocol::{parse_reply, Reply};
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+fn connect(socket: &Path) -> Result<UnixStream, String> {
+    UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to daemon at {}: {e}", socket.display()))
+}
+
+fn read_reply(stream: UnixStream) -> Result<Reply, String> {
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read daemon reply: {e}"))?;
+    if line.trim().is_empty() {
+        return Err("daemon closed the connection without replying".to_string());
+    }
+    parse_reply(&line)
+}
+
+/// Submit one HBT trace (raw bytes, header included) and return the
+/// daemon's verdict. The write side is half-closed after sending so the
+/// daemon sees a definite end of stream even for truncated traces.
+pub fn submit(socket: &Path, trace: &[u8]) -> Result<Reply, String> {
+    let mut stream = connect(socket)?;
+    stream
+        .write_all(trace)
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send trace to daemon: {e}"))?;
+    stream
+        .shutdown(Shutdown::Write)
+        .map_err(|e| format!("cannot half-close the stream: {e}"))?;
+    read_reply(stream)
+}
+
+fn command(socket: &Path, line: &str) -> Result<Reply, String> {
+    let mut stream = connect(socket)?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send command to daemon: {e}"))?;
+    read_reply(stream)
+}
+
+/// Fetch the daemon's aggregated fleet report.
+pub fn status(socket: &Path) -> Result<Reply, String> {
+    command(socket, "STATUS")
+}
+
+/// Liveness probe.
+pub fn ping(socket: &Path) -> Result<Reply, String> {
+    command(socket, "PING")
+}
+
+/// Ask the daemon to stop accepting and exit once in-flight ingest
+/// sessions drain.
+pub fn stop(socket: &Path) -> Result<Reply, String> {
+    command(socket, "SHUTDOWN")
+}

@@ -1,0 +1,128 @@
+//! The daemon's JSON line replies: builders (server side) and the parsed
+//! form (client side). One JSON object per reply, `ok` first.
+
+use crate::analyze::TraceOutcome;
+use crate::server::Fleet;
+use serde::Value;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render(value: &Value) -> String {
+    // The shim's serializer is infallible for `Value` trees.
+    serde_json::to_string(value).unwrap_or_else(|_| r#"{"ok":false}"#.to_string())
+}
+
+/// `{"ok":false,"error":...}`.
+pub fn error_reply(message: &str) -> String {
+    render(&obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.to_string())),
+    ]))
+}
+
+/// The verdict reply for one submitted trace.
+pub fn submit_reply(outcome: &TraceOutcome) -> String {
+    let violations = outcome
+        .violations
+        .iter()
+        .map(|v| Value::Str(v.to_string()))
+        .collect();
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("runs", Value::UInt(outcome.sections.len() as u64)),
+        ("events", Value::UInt(outcome.events)),
+        ("races", Value::UInt(outcome.races as u64)),
+        ("unclassified", Value::UInt(outcome.unclassified as u64)),
+        ("violations", Value::Array(violations)),
+    ]))
+}
+
+/// The `STATUS` fleet report.
+pub fn status_reply(fleet: &Fleet, active: usize) -> String {
+    let violations = fleet
+        .violations()
+        .iter()
+        .map(|agg| {
+            obj(vec![
+                ("runs", Value::UInt(agg.runs)),
+                (
+                    "predicate",
+                    Value::Str(agg.violation.kind.predicate().to_string()),
+                ),
+                ("violation", Value::Str(agg.violation.to_string())),
+            ])
+        })
+        .collect();
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("active", Value::UInt(active as u64)),
+        ("submissions", Value::UInt(fleet.submissions)),
+        ("rejected", Value::UInt(fleet.rejected)),
+        ("runs", Value::UInt(fleet.runs)),
+        ("events", Value::UInt(fleet.events)),
+        ("races", Value::UInt(fleet.races)),
+        ("unclassified", Value::UInt(fleet.unclassified)),
+        ("violations", Value::Array(violations)),
+    ]))
+}
+
+/// A parsed reply line, as the client sees it.
+#[derive(Debug, Clone, Default)]
+pub struct Reply {
+    /// Whether the daemon accepted the request.
+    pub ok: bool,
+    /// The daemon's error message, when `ok` is false.
+    pub error: Option<String>,
+    /// Violation lines (`submit` replies; empty otherwise).
+    pub violations: Vec<String>,
+    /// Runs covered by the reply (`submit`) or ingested so far (`STATUS`).
+    pub runs: u64,
+    /// The raw JSON line, for `--json` passthrough.
+    pub raw: String,
+}
+
+fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+/// Parse one reply line. A malformed line is an error string (a daemon
+/// that answers garbage is indistinguishable from no daemon).
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let value: Value = serde_json::from_str(line.trim())
+        .map_err(|e| format!("malformed reply from daemon: {e}"))?;
+    let ok = field(&value, "ok")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| "malformed reply from daemon: missing `ok`".to_string())?;
+    let error = field(&value, "error")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    let violations = field(&value, "violations")
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(Value::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let runs = field(&value, "runs").and_then(Value::as_u64).unwrap_or(0);
+    Ok(Reply {
+        ok,
+        error,
+        violations,
+        runs,
+        raw: line.trim().to_string(),
+    })
+}

@@ -1,0 +1,360 @@
+//! The `home serve` daemon: a Unix-domain-socket collector accepting many
+//! concurrent HBT trace streams.
+//!
+//! ## Protocol
+//!
+//! Each connection is one request. The first byte decides its shape:
+//!
+//! * `0x89` (the HBT magic) — the connection is an HBT stream. The client
+//!   writes the whole trace, half-closes its write side, and reads back a
+//!   single JSON line with the per-submission verdict. One
+//!   [`SectionSession`] runs per recorded section, fed record-at-a-time.
+//! * anything else — an ASCII command line (`STATUS`, `PING`,
+//!   `SHUTDOWN`), answered with a single JSON line.
+//!
+//! ## Trust model
+//!
+//! Everything after `accept()` is attacker-controlled bytes. The HBT
+//! readers bound every length-prefixed allocation, a read timeout bounds
+//! how long a stalled client can hold a session slot, and the session gate
+//! bounds how many ingest sessions hold detector state at once — a
+//! hostile client can cost one slot and one timeout, never memory or the
+//! daemon's life. Malformed streams produce a typed JSON error reply; the
+//! daemon never panics on input.
+
+use crate::analyze::{combine_verdicts, violation_identity, SectionSession, ViolationIdentity};
+use crate::protocol::{error_reply, status_reply, submit_reply};
+use home_core::{EmitOrder, Violation};
+use home_stream::{HbtReader, ManifestCheck};
+use home_stream::{HbtRecord, HBT_MAGIC};
+use home_trace::HomeError;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Maximum concurrent ingest sessions; further connections are
+    /// accepted but block on the gate until a slot frees (bounded-memory
+    /// backpressure).
+    pub max_sessions: usize,
+    /// Per-read timeout on ingest connections: a stalled client forfeits
+    /// its slot with a typed error instead of holding it forever.
+    pub read_timeout: Option<Duration>,
+}
+
+impl ServeConfig {
+    /// Defaults: 64 concurrent sessions, 30-second read timeout.
+    pub fn new(socket: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            socket: socket.into(),
+            max_sessions: 64,
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One violation aggregated across every run the daemon has ingested.
+#[derive(Debug, Clone)]
+pub struct AggViolation {
+    /// The violation (first instance seen).
+    pub violation: Violation,
+    /// Number of runs (sections) it appeared in.
+    pub runs: u64,
+    /// Minimum canonical emission position across those runs.
+    pub order: EmitOrder,
+}
+
+/// Cross-run aggregate over everything the daemon has ingested.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    /// Connections that delivered a well-formed trace.
+    pub submissions: u64,
+    /// Connections rejected with a typed trace error.
+    pub rejected: u64,
+    /// Recorded sections (runs) ingested.
+    pub runs: u64,
+    /// Events ingested.
+    pub events: u64,
+    /// Monitored races found.
+    pub races: u64,
+    /// Races the rules could not classify.
+    pub unclassified: u64,
+    violations: BTreeMap<ViolationIdentity, AggViolation>,
+}
+
+impl Fleet {
+    fn absorb(&mut self, outcome: &crate::analyze::TraceOutcome) {
+        self.submissions += 1;
+        self.runs += outcome.sections.len() as u64;
+        self.events += outcome.events;
+        self.races += outcome.races as u64;
+        self.unclassified += outcome.unclassified as u64;
+        for verdict in &outcome.sections {
+            for kv in &verdict.violations {
+                let key = violation_identity(&kv.violation);
+                match self.violations.get_mut(&key) {
+                    Some(agg) => {
+                        agg.runs += 1;
+                        if kv.order < agg.order {
+                            agg.order = kv.order;
+                        }
+                    }
+                    None => {
+                        self.violations.insert(
+                            key,
+                            AggViolation {
+                                violation: kv.violation.clone(),
+                                runs: 1,
+                                order: kv.order,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aggregated violations sorted by canonical emission position (ties
+    /// broken by identity, which the backing map already orders).
+    pub fn violations(&self) -> Vec<AggViolation> {
+        let mut all: Vec<AggViolation> = self.violations.values().cloned().collect();
+        all.sort_by(|a, b| {
+            a.order.cmp(&b.order).then_with(|| {
+                violation_identity(&a.violation).cmp(&violation_identity(&b.violation))
+            })
+        });
+        all
+    }
+}
+
+/// Counting gate bounding concurrent ingest sessions.
+#[derive(Debug)]
+struct Gate {
+    max: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn acquire(&self) {
+        let mut active = self.lock();
+        while *active >= self.max {
+            active = self
+                .freed
+                .wait(active)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *active += 1;
+    }
+
+    fn release(&self) {
+        *self.lock() -= 1;
+        self.freed.notify_one();
+    }
+
+    fn active(&self) -> usize {
+        *self.lock()
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    socket: PathBuf,
+    read_timeout: Option<Duration>,
+    shutdown: AtomicBool,
+    gate: Gate,
+    fleet: Mutex<Fleet>,
+}
+
+impl State {
+    fn fleet(&self) -> std::sync::MutexGuard<'_, Fleet> {
+        self.fleet
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The listening daemon. [`Server::bind`] claims the socket;
+/// [`Server::run`] accepts until a `SHUTDOWN` command arrives.
+#[derive(Debug)]
+pub struct Server {
+    listener: UnixListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Bind the socket. A leftover socket file from a dead daemon (nothing
+    /// accepts on it) is removed and rebound; a live daemon on the same
+    /// path is an `AddrInUse` error.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = match UnixListener::bind(&config.socket) {
+            Ok(l) => l,
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(&config.socket).is_ok() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("a daemon is already serving on {}", config.socket.display()),
+                    ));
+                }
+                std::fs::remove_file(&config.socket)?;
+                UnixListener::bind(&config.socket)?
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                socket: config.socket,
+                read_timeout: config.read_timeout,
+                shutdown: AtomicBool::new(false),
+                gate: Gate {
+                    max: config.max_sessions.max(1),
+                    active: Mutex::new(0),
+                    freed: Condvar::new(),
+                },
+                fleet: Mutex::new(Fleet::default()),
+            }),
+        })
+    }
+
+    /// The socket path this server listens on.
+    pub fn socket_path(&self) -> &Path {
+        &self.state.socket
+    }
+
+    /// Accept and serve connections until a `SHUTDOWN` command arrives.
+    /// Outstanding ingest sessions are drained before returning; the
+    /// socket file is removed on the way out.
+    pub fn run(self) -> io::Result<()> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            handlers.retain(|h| !h.is_finished());
+            let state = Arc::clone(&self.state);
+            handlers.push(std::thread::spawn(move || handle(stream, &state)));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.state.socket);
+        Ok(())
+    }
+}
+
+/// Serve one connection. Reply write failures are ignored (the client is
+/// gone); the fleet aggregate is updated regardless.
+fn handle(mut stream: UnixStream, state: &State) {
+    let _ = stream.set_read_timeout(state.read_timeout);
+    let mut first = [0u8; 1];
+    let reply = match stream.read_exact(&mut first) {
+        Err(_) => return,
+        Ok(()) if first[0] == HBT_MAGIC[0] => {
+            // HBT ingest: hold a session slot for the stream's lifetime.
+            state.gate.acquire();
+            let result = ingest(first[0], &mut stream, state);
+            state.gate.release();
+            match result {
+                Ok(reply) => reply,
+                Err(e) => {
+                    state.fleet().rejected += 1;
+                    error_reply(&e.to_string())
+                }
+            }
+        }
+        Ok(()) => command(first[0], &mut stream, state),
+    };
+    let _ = stream.write_all(reply.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// Ingest one HBT stream record-at-a-time, one [`SectionSession`] per
+/// recorded section, and fold the verdict into the fleet aggregate.
+fn ingest(first: u8, stream: &mut UnixStream, state: &State) -> Result<String, HomeError> {
+    let prefix = io::Cursor::new([first]);
+    let mut reader = HbtReader::new(prefix.chain(&mut *stream))?;
+    let mut check = ManifestCheck::new();
+    let mut current: Option<SectionSession> = None;
+    let mut verdicts = Vec::new();
+    while let Some(record) = reader.next_record()? {
+        check.on_record(&record, reader.offset())?;
+        match record {
+            HbtRecord::Run { seed } => {
+                if let Some(session) = current.take() {
+                    verdicts.push(session.finish()?);
+                }
+                current = Some(SectionSession::open(Some(seed)));
+            }
+            HbtRecord::Event(e) => {
+                current
+                    .get_or_insert_with(|| SectionSession::open(None))
+                    .feed_event(&e);
+            }
+            HbtRecord::Incident(i) => {
+                current
+                    .get_or_insert_with(|| SectionSession::open(None))
+                    .push_incident(&i);
+            }
+            HbtRecord::Manifest { .. } => {}
+        }
+    }
+    check.finish(reader.offset())?;
+    if let Some(session) = current.take() {
+        verdicts.push(session.finish()?);
+    }
+    let outcome = combine_verdicts(verdicts);
+    let mut fleet = state.fleet();
+    fleet.absorb(&outcome);
+    drop(fleet);
+    Ok(submit_reply(&outcome))
+}
+
+/// Serve one ASCII command line (the first byte was already consumed).
+fn command(first: u8, stream: &mut UnixStream, state: &State) -> String {
+    let mut line = vec![first];
+    let mut byte = [0u8; 1];
+    while line.len() < 256 && !line.ends_with(b"\n") {
+        match stream.read_exact(&mut byte) {
+            Ok(()) => line.push(byte[0]),
+            Err(_) => break,
+        }
+    }
+    let cmd = String::from_utf8_lossy(&line).trim().to_ascii_uppercase();
+    match cmd.as_str() {
+        "PING" => r#"{"ok":true}"#.to_string(),
+        "STATUS" => {
+            let fleet = state.fleet();
+            status_reply(&fleet, state.gate.active())
+        }
+        "SHUTDOWN" => {
+            state.shutdown.store(true, Ordering::Release);
+            // Wake the blocking accept with a throwaway connection so the
+            // loop observes the flag.
+            let _ = UnixStream::connect(&state.socket);
+            r#"{"ok":true,"stopping":true}"#.to_string()
+        }
+        other => error_reply(&format!(
+            "unknown command `{other}` (expected PING, STATUS, or SHUTDOWN)"
+        )),
+    }
+}

@@ -10,6 +10,7 @@
 //!   kind 1 RUN      body = varint(seed)       -- starts a new trace section
 //!   kind 2 EVENT    body = encoded Event
 //!   kind 3 INCIDENT body = varint(rank) varint(line) string(call) string(error)
+//!   kind 4 MANIFEST body = varint(nsections) (flag(u8) [varint(seed)])*
 //! ```
 //!
 //! Integers are LEB128 varints; signed values are zigzag-encoded; strings
@@ -17,6 +18,23 @@
 //! truncated at *any* byte is detectable: decoding yields a typed
 //! [`HomeError::TraceParse`]/[`HomeError::CorruptTrace`] with the byte
 //! offset, never a panic and never a silently short trace.
+//!
+//! The MANIFEST record is the writer's closing statement: the last record
+//! before the end marker, declaring how many sections the stream contains
+//! and which seed opened each. A trace truncated at a *section boundary*
+//! and patched with a forged end marker parses record-by-record, but its
+//! section list no longer matches the manifest — [`decode_sections`] (and
+//! every consumer driving [`ManifestCheck`]) rejects it as
+//! [`HomeError::CorruptTrace`] instead of silently reporting a shorter,
+//! "valid" run. Streams carrying RUN records **must** end with a manifest;
+//! anonymous single-section streams (raw event feeds) may omit it.
+//!
+//! Hostile inputs are bounded everywhere a length prefix is read: record
+//! payloads are read in fixed-size chunks (a lying length hits the real
+//! end of input after at most one chunk instead of pre-allocating the
+//! claimed size), record lengths are capped by [`MAX_RECORD_LEN`], and
+//! string/manifest element counts are validated against the bytes actually
+//! present in the enclosing record before any allocation.
 //!
 //! Readers and writers operate over [`io::Read`]/[`io::Write`] and never
 //! require the whole stream in memory.
@@ -35,11 +53,17 @@ pub const HBT_VERSION: u8 = 1;
 
 /// Hard ceiling on a single record's payload, to reject corrupt lengths
 /// before attempting a giant allocation.
-const MAX_RECORD_LEN: u64 = 1 << 28;
+pub const MAX_RECORD_LEN: u64 = 1 << 28;
+
+/// Streaming payload reads happen in chunks of this size, so a record
+/// length that lies about the remaining input allocates at most one chunk
+/// before the truncation is detected.
+const READ_CHUNK: usize = 64 * 1024;
 
 const REC_RUN: u8 = 1;
 const REC_EVENT: u8 = 2;
 const REC_INCIDENT: u8 = 3;
+const REC_MANIFEST: u8 = 4;
 
 /// Does `bytes` start with the HBT magic? Used by the CLI to auto-detect
 /// HBT vs JSON input.
@@ -73,6 +97,111 @@ pub enum HbtRecord {
     Event(Event),
     /// One runtime incident of the current section.
     Incident(TraceIncident),
+    /// The writer's closing declaration of the stream's sections: one
+    /// entry per section, `Some(seed)` for `RUN`-opened sections, `None`
+    /// for the implicit anonymous section. Must be the last record.
+    Manifest {
+        /// Declared sections, in stream order.
+        sections: Vec<Option<u64>>,
+    },
+}
+
+/// Validates a stream of decoded records against its trailing manifest.
+///
+/// Drive it with every record a reader yields (plus the reader's offset
+/// *after* decoding that record) and call [`ManifestCheck::finish`] at the
+/// end marker. It enforces three properties:
+///
+/// 1. the manifest, when present, is the final record;
+/// 2. the declared section count and per-section seeds match the sections
+///    actually observed;
+/// 3. any stream containing `RUN` records ends with a manifest at all — a
+///    multi-run recording truncated at a section boundary (and patched
+///    with a forged end marker) is rejected, never silently shortened.
+///
+/// [`decode_sections`] uses it internally; incremental consumers (the
+/// `home serve` ingest loop) drive it alongside their own per-section
+/// processing.
+#[derive(Debug, Default)]
+pub struct ManifestCheck {
+    observed: Vec<Option<u64>>,
+    open: bool,
+    manifest: Option<Vec<Option<u64>>>,
+}
+
+impl ManifestCheck {
+    /// A fresh validator.
+    pub fn new() -> ManifestCheck {
+        ManifestCheck::default()
+    }
+
+    /// Observe one decoded record. `offset` is the reader's byte offset
+    /// after the record, used in diagnostics.
+    pub fn on_record(&mut self, record: &HbtRecord, offset: u64) -> Result<(), HomeError> {
+        if self.manifest.is_some() {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT record after the section manifest at byte {offset}"
+            )));
+        }
+        match record {
+            HbtRecord::Run { seed } => {
+                self.observed.push(Some(*seed));
+                self.open = true;
+            }
+            HbtRecord::Event(_) | HbtRecord::Incident(_) => {
+                if !self.open {
+                    self.observed.push(None);
+                    self.open = true;
+                }
+            }
+            HbtRecord::Manifest { sections } => {
+                self.manifest = Some(sections.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate at the end marker. `offset` is the reader's final byte
+    /// offset, used in diagnostics.
+    pub fn finish(&self, offset: u64) -> Result<(), HomeError> {
+        match &self.manifest {
+            Some(declared) => {
+                if declared.len() != self.observed.len() {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "HBT manifest declares {} section(s) but the stream contains {} at byte {offset}",
+                        declared.len(),
+                        self.observed.len()
+                    )));
+                }
+                for (i, (d, o)) in declared.iter().zip(&self.observed).enumerate() {
+                    if d != o {
+                        return Err(HomeError::corrupt_trace(format!(
+                            "HBT manifest seed list disagrees with the stream: section {i} declared {} but the stream has {} at byte {offset}",
+                            seed_name(*d),
+                            seed_name(*o)
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                if self.observed.iter().any(Option::is_some) {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "HBT stream with {} recorded section(s) ends without a section manifest (truncated at a section boundary?) at byte {offset}",
+                        self.observed.len()
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn seed_name(seed: Option<u64>) -> String {
+    match seed {
+        Some(s) => format!("seed {s}"),
+        None => "an anonymous section".to_string(),
+    }
 }
 
 /// A trace section decoded from an HBT stream: everything between two `RUN`
@@ -328,15 +457,34 @@ fn incident_payload(inc: &TraceIncident) -> Vec<u8> {
     buf
 }
 
+fn manifest_payload(sections: &[Option<u64>]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2 + sections.len() * 6);
+    buf.push(REC_MANIFEST);
+    put_varint(&mut buf, sections.len() as u64);
+    for section in sections {
+        match section {
+            Some(seed) => {
+                buf.push(1);
+                put_varint(&mut buf, *seed);
+            }
+            None => buf.push(0),
+        }
+    }
+    buf
+}
+
 // ---------------------------------------------------------------------------
 // writer
 // ---------------------------------------------------------------------------
 
 /// Streaming HBT writer over any [`io::Write`]. Writes the header on
-/// construction; call [`HbtWriter::finish`] to emit the end marker.
+/// construction; call [`HbtWriter::finish`] to emit the section manifest
+/// and the end marker.
 #[derive(Debug)]
 pub struct HbtWriter<W: Write> {
     w: W,
+    sections: Vec<Option<u64>>,
+    open: bool,
 }
 
 impl<W: Write> HbtWriter<W> {
@@ -344,7 +492,11 @@ impl<W: Write> HbtWriter<W> {
     pub fn new(mut w: W) -> io::Result<Self> {
         w.write_all(&HBT_MAGIC)?;
         w.write_all(&[HBT_VERSION])?;
-        Ok(HbtWriter { w })
+        Ok(HbtWriter {
+            w,
+            sections: Vec::new(),
+            open: false,
+        })
     }
 
     fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
@@ -356,21 +508,37 @@ impl<W: Write> HbtWriter<W> {
 
     /// Start a new trace section recorded under `seed`.
     pub fn begin_run(&mut self, seed: u64) -> io::Result<()> {
+        self.sections.push(Some(seed));
+        self.open = true;
         self.write_record(&run_payload(seed))
+    }
+
+    /// The first event or incident before any `RUN` record opens the
+    /// implicit anonymous section; track it for the manifest.
+    fn note_body_record(&mut self) {
+        if !self.open {
+            self.sections.push(None);
+            self.open = true;
+        }
     }
 
     /// Append one event to the current section.
     pub fn write_event(&mut self, e: &Event) -> io::Result<()> {
+        self.note_body_record();
         self.write_record(&event_payload(e))
     }
 
     /// Append one incident to the current section.
     pub fn write_incident(&mut self, inc: &TraceIncident) -> io::Result<()> {
+        self.note_body_record();
         self.write_record(&incident_payload(inc))
     }
 
-    /// Emit the end marker, flush, and return the inner writer.
+    /// Emit the section manifest and the end marker, flush, and return the
+    /// inner writer.
     pub fn finish(mut self) -> io::Result<W> {
+        let manifest = manifest_payload(&self.sections);
+        self.write_record(&manifest)?;
         self.w.write_all(&[0])?;
         self.w.flush()?;
         Ok(self.w)
@@ -473,8 +641,31 @@ impl<R: Read> HbtReader<R> {
             )));
         }
         let base = self.offset;
-        let mut payload = vec![0u8; len as usize];
-        self.read_exact(&mut payload, "record payload")?;
+        let len = len as usize;
+        // The length prefix is attacker-controlled: read the payload in
+        // bounded chunks so a lying varint costs at most one chunk of
+        // allocation before the truncation error fires, never `len` bytes.
+        let mut payload: Vec<u8> = Vec::with_capacity(len.min(READ_CHUNK));
+        while payload.len() < len {
+            let start = payload.len();
+            let take = (len - start).min(READ_CHUNK);
+            payload.resize(start + take, 0);
+            match self.r.read_exact(&mut payload[start..]) {
+                Ok(()) => self.offset += take as u64,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return Err(HomeError::trace_parse(format!(
+                        "truncated HBT stream: unexpected end of input in record payload \
+                         at byte {base}"
+                    )));
+                }
+                Err(e) => {
+                    return Err(HomeError::trace_parse(format!(
+                        "I/O error reading HBT stream at byte {}: {e}",
+                        self.offset
+                    )));
+                }
+            }
+        }
         let mut cur = Cur {
             buf: &payload,
             pos: 0,
@@ -489,6 +680,11 @@ impl<R: Read> HbtReader<R> {
             )));
         }
         Ok(Some(record))
+    }
+
+    /// Bytes consumed from the underlying stream so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
     }
 }
 
@@ -600,6 +796,11 @@ impl<'a> HbtSliceReader<'a> {
             )));
         }
         Ok(Some(record))
+    }
+
+    /// Bytes consumed from the slice so far.
+    pub fn offset(&self) -> u64 {
+        self.pos as u64
     }
 }
 
@@ -840,6 +1041,29 @@ fn decode_payload(cur: &mut Cur<'_>) -> Result<HbtRecord, HomeError> {
             call: cur.string("incident call")?,
             error: cur.string("incident error")?,
         })),
+        REC_MANIFEST => {
+            let count = cur.varint("manifest section count")?;
+            // Each section entry is at least one flag byte, so the count is
+            // bounded by the bytes actually present — check before sizing
+            // any allocation off the attacker-controlled value.
+            let remaining = (cur.buf.len() - cur.pos) as u64;
+            if count > remaining {
+                return Err(cur.corrupt(format!(
+                    "HBT manifest section count {count} exceeds record size"
+                )));
+            }
+            let mut sections = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let recorded = cur.bool("manifest section flag")?;
+                let seed = if recorded {
+                    Some(cur.varint("manifest section seed")?)
+                } else {
+                    None
+                };
+                sections.push(seed);
+            }
+            Ok(HbtRecord::Manifest { sections })
+        }
         b => Err(cur.corrupt(format!("invalid record kind byte {b}"))),
     }
 }
@@ -858,6 +1082,14 @@ pub fn encode_trace(trace: &Trace) -> Vec<u8> {
         put_varint(&mut out, payload.len() as u64);
         out.extend_from_slice(&payload);
     }
+    let sections: &[Option<u64>] = if trace.events().is_empty() {
+        &[]
+    } else {
+        &[None]
+    };
+    let manifest = manifest_payload(sections);
+    put_varint(&mut out, manifest.len() as u64);
+    out.extend_from_slice(&manifest);
     out.push(0);
     out
 }
@@ -884,7 +1116,9 @@ pub fn decode_sections(bytes: &[u8]) -> Result<Vec<HbtSection>, HomeError> {
             incidents: std::mem::take(incidents),
         });
     };
+    let mut check = ManifestCheck::new();
     while let Some(record) = reader.next_record()? {
+        check.on_record(&record, reader.offset())?;
         match record {
             HbtRecord::Run { seed: s } => {
                 if open {
@@ -901,8 +1135,10 @@ pub fn decode_sections(bytes: &[u8]) -> Result<Vec<HbtSection>, HomeError> {
                 incidents.push(i);
                 open = true;
             }
+            HbtRecord::Manifest { .. } => {}
         }
     }
+    check.finish(reader.offset())?;
     if open {
         flush(&mut seed, &mut events, &mut incidents, &mut sections);
     }

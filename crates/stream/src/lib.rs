@@ -50,6 +50,7 @@ pub trait RaceSink: Send + Sync {
 pub use detector::{detect_stream, StreamDetector, StreamStats};
 pub use hbt::{
     decode_sections, encode_trace, is_hbt, HbtMmapReader, HbtReader, HbtRecord, HbtSection,
-    HbtSliceReader, HbtWriter, TraceIncident, HBT_MAGIC, HBT_VERSION,
+    HbtSliceReader, HbtWriter, ManifestCheck, TraceIncident, HBT_MAGIC, HBT_VERSION,
+    MAX_RECORD_LEN,
 };
 pub use home_dynamic::Race;

@@ -31,8 +31,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # partial reports. --no-deps keeps the lints scoped to exactly these
 # crates; no --all-targets, so #[cfg(test)] code is exempt. (The same
 # policy is pinned in-source via crate-root deny attributes.)
-echo "==> clippy unwrap/expect gate (home-trace, home-core, home-dynamic, home-stream, CLI)"
+echo "==> clippy unwrap/expect gate (home-trace, home-core, home-dynamic, home-stream, home-serve, CLI)"
 cargo clippy --offline --no-deps -p home-trace -p home-core -p home-dynamic -p home-stream \
+    -p home-serve \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 cargo clippy --offline --no-deps -p home --bins \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
@@ -61,6 +62,47 @@ if [ "$watch_code" -ne "$check_code" ]; then
     echo "watch smoke: exit code $watch_code != check's $check_code" >&2
     exit 1
 fi
+
+# Serve smoke: the collector daemon must ingest a recorded trace over a
+# temp UDS and report the exact violation lines `home check` finds, then
+# shut down cleanly. `submit` exits 1 on findings, like check/replay.
+echo "==> home serve smoke (figure2 over a temp UDS)"
+serve_dir="$(mktemp -d)"
+serve_sock="$serve_dir/collector.sock"
+serve_trace="$serve_dir/figure2.hbt"
+./target/release/home record programs/figure2.hmp -o "$serve_trace" --seeds 1,2 > /dev/null
+./target/release/home serve --socket "$serve_sock" > "$serve_dir/daemon.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.05
+done
+replay_out="$serve_dir/replay.out"
+submit_out="$serve_dir/submit.out"
+replay_code=0
+./target/release/home replay "$serve_trace" > "$replay_out" || replay_code=$?
+submit_code=0
+./target/release/home submit "$serve_trace" --socket "$serve_sock" > "$submit_out" || submit_code=$?
+if [ "$submit_code" -ne "$replay_code" ]; then
+    echo "serve smoke: submit exit $submit_code != replay's $replay_code" >&2
+    exit 1
+fi
+if ! diff <(grep '^  - ' "$replay_out" | sort) <(grep '^  - ' "$submit_out" | sort); then
+    echo "serve smoke: daemon verdict differs from replay" >&2
+    exit 1
+fi
+./target/release/home serve --socket "$serve_sock" --status | grep -q '"predicate"' || {
+    echo "serve smoke: STATUS report lacks aggregated violations" >&2
+    exit 1
+}
+./target/release/home serve --socket "$serve_sock" --stop > /dev/null
+serve_code=0
+wait "$serve_pid" || serve_code=$?
+if [ "$serve_code" -ne 0 ]; then
+    echo "serve smoke: daemon exited $serve_code after --stop" >&2
+    exit 1
+fi
+rm -rf "$serve_dir"
 
 # Bench smoke: the throughput harness must build and complete one quick
 # pass (catches bit-rot in home-bench without paying for a full run; the

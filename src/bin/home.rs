@@ -11,6 +11,8 @@
 //! home record  <file.hmp> -o trace.hbt [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
 //! home replay  <trace.hbt>
 //! home analyze <trace.json|trace.hbt|->
+//! home serve   --socket path.sock [--max-sessions N] [--status|--stop]
+//! home submit  <trace.hbt> --socket path.sock [--json]
 //! home fmt     <file.hmp>
 //! home help
 //! ```
@@ -31,6 +33,12 @@
 //! * `analyze` — offline mode: run the dynamic phase + rule matching over a
 //!   previously dumped trace (the paper's offline analysis). Accepts JSON or
 //!   HBT, auto-detected by magic bytes; `-` reads from stdin.
+//! * `serve`   — multi-tenant collector daemon on a Unix socket: accepts
+//!   many concurrent HBT streams, analyzes each with the same engine as
+//!   `replay`, aggregates verdicts across runs. `--status` prints the
+//!   fleet report of a running daemon; `--stop` shuts it down.
+//! * `submit`  — send a recorded HBT trace to a running daemon and print
+//!   its verdict; same exit codes as `replay` on the same trace.
 //! * `fmt`     — parse and reprint in canonical form.
 //! * `help`    — print the command and option reference.
 
@@ -41,69 +49,125 @@
 use home::baselines::Tool;
 use home::prelude::*;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set after the first failed stdout write (typically `EPIPE` from a
+/// downstream consumer like `| head` exiting early). Further output is
+/// suppressed — a bare `println!` would panic — and the process still
+/// exits with the verdict it computed; a single stderr note marks the cut.
+static STDOUT_CLOSED: AtomicBool = AtomicBool::new(false);
+
+/// Write one stdout record, EPIPE-safe. Every CLI stdout write goes
+/// through here: a closed pipe can never panic the checker or make it
+/// misreport its exit code.
+fn emit(args: std::fmt::Arguments<'_>, newline: bool) {
+    use std::io::Write;
+    if STDOUT_CLOSED.load(Ordering::Relaxed) {
+        return;
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = out
+        .write_fmt(args)
+        .and_then(|()| {
+            if newline {
+                out.write_all(b"\n")
+            } else {
+                Ok(())
+            }
+        })
+        .and_then(|()| out.flush());
+    if result.is_err() && !STDOUT_CLOSED.swap(true, Ordering::Relaxed) {
+        eprintln!("home: standard output closed; suppressing further output (exit code still reflects the verdict)");
+    }
+}
+
+macro_rules! oprintln {
+    () => { emit(format_args!(""), true) };
+    ($($arg:tt)*) => { emit(format_args!($($arg)*), true) };
+}
+
+macro_rules! oprint {
+    ($($arg:tt)*) => { emit(format_args!($($arg)*), false) };
+}
 
 const USAGE: &str =
-    "usage: home <check|watch|static|run|record|replay|analyze|fmt|help> <file> [options]";
+    "usage: home <check|watch|serve|static|run|record|replay|analyze|submit|fmt|help> [<file>] [options]";
 
 fn print_help() {
-    println!("home — detect thread-safety violations in hybrid OpenMP/MPI programs");
-    println!();
-    println!("{USAGE}");
-    println!();
-    println!("commands:");
-    println!("  check   <file.hmp>   full pipeline: static analysis, multi-seed simulation,");
-    println!("                       race detection, violation matching; exit 1 on findings");
-    println!("  watch   <file.hmp>   live mode: the same pipeline on the streaming engine,");
-    println!("                       printing each violation the moment its evidence is");
-    println!("                       complete, while the simulation runs; same exit codes");
-    println!("  static  <file.hmp>   compile-time phase only: per-site instrumentation decisions");
-    println!("  run     <file.hmp>   one simulated execution; report timing and events");
-    println!("  record  <file.hmp>   run the check seeds and stream every event into a");
-    println!("                       compact binary HBT trace (-o trace.hbt)");
-    println!("  replay  <trace.hbt>  offline detection over a recorded trace; same");
-    println!("                       verdicts and exit codes as `check`");
-    println!("  analyze <trace>      offline dynamic phase over a previously dumped trace;");
-    println!("                       JSON or HBT auto-detected, `-` reads stdin");
-    println!("  fmt     <file.hmp>   parse and reprint in canonical form");
-    println!("  help                 print this reference");
-    println!();
-    println!("check options:");
-    println!("  --procs N       MPI processes to simulate (default 2)");
-    println!("  --threads N     OpenMP threads per process (default 2)");
-    println!("  --seeds a,b,c   scheduler seeds to explore (default 1,2,3,4)");
-    println!("  --jobs N        worker threads for the seed/rank fan-out;");
-    println!("                  1 = serial, default = available parallelism.");
-    println!("                  The report is identical for every value.");
-    println!("  --faithful      time-faithful scheduling instead of randomized");
-    println!("  --fail-seed a,b inject a deliberate failure into the listed seeds");
-    println!("                  (fault-isolation testing; the other seeds still run");
-    println!("                  and the partial report exits with code 3)");
-    println!("  --engine E      detection engine: `batch` (default) materializes each");
-    println!("                  seed's trace before detecting; `stream` detects online");
-    println!("                  while the program runs, retiring dead segments as");
-    println!("                  regions join. The report is identical either way.");
-    println!();
-    println!("watch options:");
-    println!("  --procs N / --threads N / --seeds a,b,c / --faithful / --fail-seed a,b");
-    println!("                  as in check (the engine is always `stream`; seeds run");
-    println!("                  serially so the live output order is deterministic)");
-    println!("  --flush P       when to print: `every` (default) prints each violation");
-    println!("                  as it fires plus a per-seed summary line; `seed` prints");
-    println!("                  each seed's deduplicated findings when that seed ends;");
-    println!("                  `end` prints only the final report, like check");
-    println!();
-    println!("record options:");
-    println!("  -o trace.hbt    output path for the binary trace (required)");
-    println!("  --procs N / --threads N / --seeds a,b,c / --faithful   as in check");
-    println!();
-    println!("run options:");
-    println!("  --procs N / --threads N   as above");
-    println!("  --seed S                  scheduler seed (default 7)");
-    println!("  --tool base|home|marmot|itc  instrumentation profile (default base)");
-    println!("  --trace-out trace.json    dump the recorded event trace as JSON");
-    println!();
-    println!("exit codes: 0 clean, 1 violations or deadlock found, 2 usage or input error,");
-    println!("            3 partial results (one or more seeds failed; see the report)");
+    oprintln!("home — detect thread-safety violations in hybrid OpenMP/MPI programs");
+    oprintln!();
+    oprintln!("{USAGE}");
+    oprintln!();
+    oprintln!("commands:");
+    oprintln!("  check   <file.hmp>   full pipeline: static analysis, multi-seed simulation,");
+    oprintln!("                       race detection, violation matching; exit 1 on findings");
+    oprintln!("  watch   <file.hmp>   live mode: the same pipeline on the streaming engine,");
+    oprintln!("                       printing each violation the moment its evidence is");
+    oprintln!("                       complete, while the simulation runs; same exit codes");
+    oprintln!("  static  <file.hmp>   compile-time phase only: per-site instrumentation decisions");
+    oprintln!("  run     <file.hmp>   one simulated execution; report timing and events");
+    oprintln!("  record  <file.hmp>   run the check seeds and stream every event into a");
+    oprintln!("                       compact binary HBT trace (-o trace.hbt)");
+    oprintln!("  replay  <trace.hbt>  offline detection over a recorded trace; same");
+    oprintln!("                       verdicts and exit codes as `check`");
+    oprintln!("  analyze <trace>      offline dynamic phase over a previously dumped trace;");
+    oprintln!("                       JSON or HBT auto-detected, `-` reads stdin");
+    oprintln!("  serve                collector daemon on a Unix socket: ingest many HBT");
+    oprintln!("                       streams concurrently, aggregate verdicts across runs");
+    oprintln!("  submit  <trace.hbt>  send a recorded trace to a running daemon and print");
+    oprintln!("                       its verdict; same exit codes as replay");
+    oprintln!("  fmt     <file.hmp>   parse and reprint in canonical form");
+    oprintln!("  help                 print this reference");
+    oprintln!();
+    oprintln!("check options:");
+    oprintln!("  --procs N       MPI processes to simulate (default 2)");
+    oprintln!("  --threads N     OpenMP threads per process (default 2)");
+    oprintln!("  --seeds a,b,c   scheduler seeds to explore (default 1,2,3,4)");
+    oprintln!("  --jobs N        worker threads for the seed/rank fan-out;");
+    oprintln!("                  1 = serial, default = available parallelism.");
+    oprintln!("                  The report is identical for every value.");
+    oprintln!("  --faithful      time-faithful scheduling instead of randomized");
+    oprintln!("  --fail-seed a,b inject a deliberate failure into the listed seeds");
+    oprintln!("                  (fault-isolation testing; the other seeds still run");
+    oprintln!("                  and the partial report exits with code 3)");
+    oprintln!("  --engine E      detection engine: `batch` (default) materializes each");
+    oprintln!("                  seed's trace before detecting; `stream` detects online");
+    oprintln!("                  while the program runs, retiring dead segments as");
+    oprintln!("                  regions join. The report is identical either way.");
+    oprintln!();
+    oprintln!("watch options:");
+    oprintln!("  --procs N / --threads N / --seeds a,b,c / --faithful / --fail-seed a,b");
+    oprintln!("                  as in check (the engine is always `stream`; seeds run");
+    oprintln!("                  serially so the live output order is deterministic)");
+    oprintln!("  --flush P       when to print: `every` (default) prints each violation");
+    oprintln!("                  as it fires plus a per-seed summary line; `seed` prints");
+    oprintln!("                  each seed's deduplicated findings when that seed ends;");
+    oprintln!("                  `end` prints only the final report, like check");
+    oprintln!();
+    oprintln!("record options:");
+    oprintln!("  -o trace.hbt    output path for the binary trace (required)");
+    oprintln!("  --procs N / --threads N / --seeds a,b,c / --faithful   as in check");
+    oprintln!();
+    oprintln!("run options:");
+    oprintln!("  --procs N / --threads N   as above");
+    oprintln!("  --seed S                  scheduler seed (default 7)");
+    oprintln!("  --tool base|home|marmot|itc  instrumentation profile (default base)");
+    oprintln!("  --trace-out trace.json    dump the recorded event trace as JSON");
+    oprintln!();
+    oprintln!("serve options:");
+    oprintln!("  --socket path.sock  Unix socket to listen on (required)");
+    oprintln!("  --max-sessions N    concurrent ingest sessions before new streams");
+    oprintln!("                      block on the backpressure gate (default 64)");
+    oprintln!("  --status            print a running daemon's JSON fleet report and exit");
+    oprintln!("  --stop              shut a running daemon down and exit");
+    oprintln!();
+    oprintln!("submit options:");
+    oprintln!("  --socket path.sock  the daemon's Unix socket (required)");
+    oprintln!("  --json              print the daemon's raw JSON reply instead of text");
+    oprintln!();
+    oprintln!("exit codes: 0 clean, 1 violations or deadlock found, 2 usage or input error,");
+    oprintln!("            3 partial results (one or more seeds failed; see the report)");
 }
 
 fn main() -> ExitCode {
@@ -114,6 +178,11 @@ fn main() -> ExitCode {
     ) {
         print_help();
         return ExitCode::SUCCESS;
+    }
+    // `serve` takes no file argument; route it before the <cmd> <file>
+    // extraction below.
+    if args.first().map(String::as_str) == Some("serve") {
+        return cmd_serve(&args);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) if !f.starts_with("--") => (c.as_str(), f.as_str()),
@@ -131,6 +200,9 @@ fn main() -> ExitCode {
     }
     if cmd == "replay" {
         return cmd_replay(file);
+    }
+    if cmd == "submit" {
+        return cmd_submit(file, &args);
     }
 
     let source = match std::fs::read_to_string(file) {
@@ -155,7 +227,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&program, &args),
         "record" => cmd_record(&program, &args),
         "fmt" => {
-            print!("{}", print_program(&program));
+            oprint!("{}", print_program(&program));
             ExitCode::SUCCESS
         }
         other => {
@@ -277,7 +349,7 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
         Err(e) => return usage_error(&e),
     };
     let report = check(program, &options);
-    print!("{}", report.render());
+    oprint!("{}", report.render());
     // Exit-code precedence: usage errors returned 2 above; partial results
     // (a failed seed) trump a violation verdict because the verdict is
     // incomplete; then 1 for findings, 0 for a clean full run.
@@ -311,8 +383,9 @@ struct WatchRenderer {
 impl ViolationSink for WatchRenderer {
     fn violation(&self, v: &EmittedViolation) {
         if self.policy == FlushPolicy::Every {
-            println!("{v}");
-            let _ = std::io::Write::flush(&mut std::io::stdout());
+            // oprintln! flushes and latches EPIPE; a closed pipe can
+            // neither panic the run nor silently drop the verdict.
+            oprintln!("{v}");
         }
     }
 
@@ -327,7 +400,7 @@ impl ViolationSink for WatchRenderer {
         }
         if self.policy == FlushPolicy::Seed {
             for v in violations {
-                println!("[seed {seed}] {v}");
+                oprintln!("[seed {seed}] {v}");
             }
         }
         match status {
@@ -335,14 +408,13 @@ impl ViolationSink for WatchRenderer {
                 events,
                 races,
                 violations,
-            } => println!(
+            } => oprintln!(
                 "watch: seed {seed} finished ({events} events, {races} race(s), {violations} violation(s))"
             ),
             home::core::SeedStatus::Failed { error } => {
-                println!("watch: seed {seed} FAILED: {error}")
+                oprintln!("watch: seed {seed} FAILED: {error}")
             }
         }
-        let _ = std::io::Write::flush(&mut std::io::stdout());
     }
 }
 
@@ -386,9 +458,9 @@ fn cmd_watch(program: &Program, args: &[String]) -> ExitCode {
         std::sync::Arc::new(WatchRenderer { policy }),
     );
     if policy == FlushPolicy::End {
-        print!("{}", report.render());
+        oprint!("{}", report.render());
     } else {
-        println!(
+        oprintln!(
             "watch: done — {} violation(s), {} deadlock(s) across {} seed(s){}",
             report.violations.len(),
             report.deadlocks.len(),
@@ -412,16 +484,17 @@ fn cmd_watch(program: &Program, args: &[String]) -> ExitCode {
 
 fn cmd_static(program: &Program) -> ExitCode {
     let report = analyze(program);
-    println!(
+    oprintln!(
         "{} MPI call sites, {} instrumented, {} skipped, {} unreachable",
         report.stats.total_mpi_calls,
         report.stats.instrumented,
         report.stats.skipped,
         report.stats.unreachable
     );
-    println!(
+    oprintln!(
         "{} parallel region(s), {} error-free",
-        report.stats.regions, report.stats.error_free_regions
+        report.stats.regions,
+        report.stats.error_free_regions
     );
     for site in &report.checklist.sites {
         let marks = [
@@ -435,10 +508,10 @@ fn cmd_static(program: &Program) -> ExitCode {
         .flatten()
         .collect::<Vec<_>>()
         .join(", ");
-        println!("  line {:>3}  {:<16} [{marks}]", site.line, site.name);
+        oprintln!("  line {:>3}  {:<16} [{marks}]", site.line, site.name);
     }
     if !report.checklist.monitored_vars.is_empty() {
-        println!(
+        oprintln!(
             "monitored variables: {}",
             report.checklist.monitored_vars.join(", ")
         );
@@ -453,53 +526,6 @@ fn print_trace_error(file: &str, e: &HomeError) {
         Some(off) => eprintln!("home: {file}: byte {off}: {e}"),
         None => eprintln!("home: {file}: {e}"),
     }
-}
-
-/// Combined offline verdict over the runs recorded in an HBT trace.
-struct OfflineOutcome {
-    sections: usize,
-    events: usize,
-    races: usize,
-    unclassified: usize,
-    violations: Vec<home::core::Violation>,
-}
-
-/// Run detection + rule matching over every recorded run in an HBT trace,
-/// deduplicating violations across runs exactly like [`check`] does across
-/// seeds. Uses the streaming engine (verdict-identical to batch).
-fn detect_sections(sections: &[home::stream::HbtSection]) -> Result<OfflineOutcome, HomeError> {
-    let config = home::dynamic::DetectorConfig::hybrid();
-    let mut out = OfflineOutcome {
-        sections: sections.len(),
-        events: 0,
-        races: 0,
-        unclassified: 0,
-        violations: Vec::new(),
-    };
-    let mut seen = std::collections::BTreeSet::new();
-    for section in sections {
-        let (races, _stats) = home::stream::detect_stream(&section.trace, &config)?;
-        let incidents: Vec<home::interp::MpiIncident> = section
-            .incidents
-            .iter()
-            .map(|i| home::interp::MpiIncident {
-                rank: i.rank,
-                line: i.line,
-                call: i.call.clone(),
-                error: i.error.clone(),
-            })
-            .collect();
-        let outcome = home::core::match_rules(&section.trace, &races, &incidents);
-        out.events += section.trace.len();
-        out.races += races.len();
-        out.unclassified += outcome.unclassified.len();
-        for v in outcome.violations {
-            if seen.insert((v.kind, v.rank, v.locations.clone())) {
-                out.violations.push(v);
-            }
-        }
-    }
-    Ok(out)
 }
 
 fn cmd_replay(file: &str) -> ExitCode {
@@ -522,28 +548,30 @@ fn cmd_replay(file: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = match detect_sections(&sections) {
+    // Session-driven detection shared with `analyze` and the serve daemon
+    // (home::serve::analyze_sections): verdict-identical to check.
+    let outcome = match home::serve::analyze_sections(&sections) {
         Ok(o) => o,
         Err(e) => {
             print_trace_error(file, &e);
             return ExitCode::from(2);
         }
     };
-    println!(
+    oprintln!(
         "replay: {} run(s), {} events, {} monitored race(s), {} violation(s)",
-        outcome.sections,
+        outcome.sections.len(),
         outcome.events,
         outcome.races,
         outcome.violations.len()
     );
     if outcome.unclassified > 0 {
-        println!(
+        oprintln!(
             "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
             outcome.unclassified
         );
     }
     for v in &outcome.violations {
-        println!("  - {v}");
+        oprintln!("  - {v}");
     }
     if outcome.violations.is_empty() {
         ExitCode::SUCCESS
@@ -571,28 +599,28 @@ fn cmd_analyze(file: &str) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let outcome = match detect_sections(&sections) {
+        let outcome = match home::serve::analyze_sections(&sections) {
             Ok(o) => o,
             Err(e) => {
                 print_trace_error(file, &e);
                 return ExitCode::from(2);
             }
         };
-        println!(
+        oprintln!(
             "offline analysis: {} run(s), {} events, {} monitored race(s), {} violation(s)",
-            outcome.sections,
+            outcome.sections.len(),
             outcome.events,
             outcome.races,
             outcome.violations.len()
         );
         if outcome.unclassified > 0 {
-            println!(
+            oprintln!(
                 "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
                 outcome.unclassified
             );
         }
         for v in &outcome.violations {
-            println!("  - {v}");
+            oprintln!("  - {v}");
         }
         return if outcome.violations.is_empty() {
             ExitCode::SUCCESS
@@ -624,25 +652,141 @@ fn cmd_analyze(file: &str) -> ExitCode {
         }
     };
     let outcome = home::core::match_rules(&trace, &races, &[]);
-    println!(
+    oprintln!(
         "offline analysis: {} events, {} monitored race(s), {} violation(s)",
         trace.len(),
         races.len(),
         outcome.violations.len()
     );
     if !outcome.unclassified.is_empty() {
-        println!(
+        oprintln!(
             "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
             outcome.unclassified.len()
         );
     }
     for v in &outcome.violations {
-        println!("  - {v}");
+        oprintln!("  - {v}");
     }
     if outcome.violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(std::path::PathBuf, usize), String> {
+        let socket = flag_value(args, "--socket")?
+            .ok_or_else(|| "serve needs a socket path: --socket path.sock".to_string())?
+            .into();
+        let max = usize_flag(args, "--max-sessions", 64)?;
+        if max == 0 {
+            return Err("invalid value `0` for --max-sessions: expected at least 1".into());
+        }
+        Ok((socket, max))
+    })();
+    let (socket, max_sessions) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if args.iter().any(|a| a == "--status") {
+        return match home::serve::status(&socket) {
+            Ok(reply) => {
+                oprintln!("{}", reply.raw);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("home: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--stop") {
+        return match home::serve::stop(&socket) {
+            Ok(_) => {
+                oprintln!("serve: daemon at {} stopping", socket.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("home: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let mut config = home::serve::ServeConfig::new(&socket);
+    config.max_sessions = max_sessions;
+    let server = match home::serve::Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("home: cannot bind {}: {e}", socket.display());
+            return ExitCode::from(2);
+        }
+    };
+    oprintln!(
+        "serve: listening on {} (max {max_sessions} concurrent sessions)",
+        socket.display()
+    );
+    match server.run() {
+        Ok(()) => {
+            oprintln!("serve: stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("home: serve failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_submit(file: &str, args: &[String]) -> ExitCode {
+    let socket: std::path::PathBuf = match flag_value(args, "--socket") {
+        Ok(Some(s)) => s.into(),
+        Ok(None) => return usage_error("submit needs the daemon socket: --socket path.sock"),
+        Err(e) => return usage_error(&e),
+    };
+    let input = match TraceInput::open(file) {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("home: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bytes = input.bytes();
+    if !home::stream::is_hbt(bytes) {
+        eprintln!("home: {file}: not an HBT trace (bad magic); produce one with `home record`");
+        return ExitCode::from(2);
+    }
+    match home::serve::submit(&socket, bytes) {
+        Ok(reply) if reply.ok => {
+            if args.iter().any(|a| a == "--json") {
+                oprintln!("{}", reply.raw);
+            } else {
+                oprintln!(
+                    "submit: {} run(s), {} violation(s)",
+                    reply.runs,
+                    reply.violations.len()
+                );
+                for v in &reply.violations {
+                    oprintln!("  - {v}");
+                }
+            }
+            if reply.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Ok(reply) => {
+            eprintln!(
+                "home: {file}: daemon rejected the trace: {}",
+                reply.error.as_deref().unwrap_or("unknown error")
+            );
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("home: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -670,22 +814,28 @@ fn cmd_run(program: &Program, args: &[String]) -> ExitCode {
         .with_checklist(checklist);
     cfg.threads_per_proc = threads;
     let result = run(program, &cfg);
-    println!(
+    oprintln!(
         "tool={} procs={nprocs} threads={} simulated time {}  events {}",
-        result.tool, cfg.threads_per_proc, result.makespan, result.events_recorded
+        result.tool,
+        cfg.threads_per_proc,
+        result.makespan,
+        result.events_recorded
     );
     for i in &result.mpi_errors {
-        println!(
+        oprintln!(
             "incident: rank {} line {} {}: {}",
-            i.rank, i.line, i.call, i.error
+            i.rank,
+            i.line,
+            i.call,
+            i.error
         );
     }
     for (r, e) in &result.runtime_errors {
-        println!("runtime error: rank {r}: {e}");
+        oprintln!("runtime error: rank {r}: {e}");
     }
     match flag_value(args, "--trace-out") {
         Ok(Some(path)) => match std::fs::write(path, result.trace.to_json()) {
-            Ok(()) => println!("trace written to {path}"),
+            Ok(()) => oprintln!("trace written to {path}"),
             Err(e) => {
                 eprintln!("home: cannot write {path}: {e}");
                 return ExitCode::from(2);
@@ -696,7 +846,7 @@ fn cmd_run(program: &Program, args: &[String]) -> ExitCode {
     }
     match &result.deadlock {
         Some(d) => {
-            println!("DEADLOCK: {d}");
+            oprintln!("DEADLOCK: {d}");
             ExitCode::FAILURE
         }
         None => ExitCode::SUCCESS,
@@ -829,7 +979,7 @@ fn cmd_record(program: &Program, args: &[String]) -> ExitCode {
         eprintln!("home: cannot write {out}: {e}");
         return ExitCode::from(2);
     }
-    println!(
+    oprintln!(
         "recorded {} run(s), {total_events} events, {total_incidents} incident(s) to {out}",
         seeds.len()
     );

@@ -16,6 +16,7 @@
 //! | streaming | [`stream`] | online (event-at-a-time) detection and the HBT binary trace format |
 //! | interpreter | [`interp`] | runs IR programs over the substrates with tool instrumentation |
 //! | tool | [`core`] | the HOME pipeline and the six violation rules |
+//! | collector | [`serve`] | multi-tenant HBT trace-ingest daemon and client |
 //! | baselines | [`baselines`] | Marmot and Intel-Thread-Checker models |
 //! | workloads | [`npb`] | NPB-MZ-style LU/BT/SP with violation injection |
 //!
@@ -50,6 +51,7 @@ pub use home_mpi as mpi;
 pub use home_npb as npb;
 pub use home_omp as omp;
 pub use home_sched as sched;
+pub use home_serve as serve;
 pub use home_static as static_analysis;
 pub use home_stream as stream;
 pub use home_trace as trace;

@@ -107,7 +107,9 @@ fn help_lists_all_commands() {
     for invocation in [&["help"][..], &["--help"], &["-h"]] {
         let (stdout, _, code) = home_cli(invocation);
         assert_eq!(code, Some(0), "{invocation:?}");
-        for cmd in ["check", "watch", "static", "run", "analyze", "fmt", "help"] {
+        for cmd in [
+            "check", "watch", "serve", "static", "run", "analyze", "submit", "fmt", "help",
+        ] {
             assert!(stdout.contains(cmd), "help must mention `{cmd}`: {stdout}");
         }
         assert!(stdout.contains("--jobs"), "{stdout}");
@@ -123,6 +125,11 @@ fn usage_line_mentions_every_command() {
         "usage must list analyze: {stderr}"
     );
     assert!(stderr.contains("help"), "usage must list help: {stderr}");
+    assert!(stderr.contains("serve"), "usage must list serve: {stderr}");
+    assert!(
+        stderr.contains("submit"),
+        "usage must list submit: {stderr}"
+    );
 }
 
 #[test]
@@ -591,4 +598,109 @@ fn record_without_output_path_exits_2() {
     let (_, stderr, code) = home_cli(&["record", "programs/figure1.hmp"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("-o"), "{stderr}");
+}
+
+#[test]
+fn watch_survives_a_closed_stdout_pipe() {
+    // `home watch prog.hmp | head -1`: once the pipe closes, further output
+    // must be suppressed (no panic, no broken-pipe abort) and the exit code
+    // must still reflect the verdict.
+    use std::io::Read;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_home"))
+        .args(["watch", "programs/figure2.hmp", "--seeds", "1,2,3,4"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn watch");
+    // Read one byte, then drop the read end so later writes hit EPIPE.
+    let mut stdout = child.stdout.take().expect("stdout pipe");
+    let mut byte = [0u8; 1];
+    stdout.read_exact(&mut byte).expect("first output byte");
+    drop(stdout);
+    let out = child.wait_with_output().expect("watch exits");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("panicked"),
+        "watch panicked on EPIPE: {stderr}"
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "verdict exit code survives the closed pipe: {stderr}"
+    );
+}
+
+#[test]
+fn serve_and_submit_roundtrip_matches_replay() {
+    let dir = tmp_dir("serve_cli");
+    let trace = dir.join("figure2.hbt");
+    let socket = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket);
+    let trace_arg = trace.to_str().unwrap();
+    let socket_arg = socket.to_str().unwrap();
+
+    let (_, stderr, code) = home_cli(&[
+        "record",
+        "programs/figure2.hmp",
+        "-o",
+        trace_arg,
+        "--seeds",
+        "1,2",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_home"))
+        .args(["serve", "--socket", socket_arg])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    // Wait for the socket to come up.
+    let mut ready = false;
+    for _ in 0..100 {
+        if std::os::unix::net::UnixStream::connect(&socket).is_ok() {
+            ready = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(ready, "daemon never bound its socket");
+
+    let (replay_out, _, replay_code) = home_cli(&["replay", trace_arg]);
+    let (submit_out, submit_err, submit_code) =
+        home_cli(&["submit", trace_arg, "--socket", socket_arg]);
+    assert_eq!(submit_code, replay_code, "{submit_out}{submit_err}");
+    assert_eq!(
+        violation_lines(&submit_out),
+        violation_lines(&replay_out),
+        "daemon verdict differs from replay:\n{submit_out}\nvs\n{replay_out}"
+    );
+
+    let (json_out, _, json_code) =
+        home_cli(&["submit", trace_arg, "--socket", socket_arg, "--json"]);
+    assert_eq!(json_code, submit_code);
+    assert!(json_out.contains("\"ok\":true"), "{json_out}");
+
+    let (status_out, _, status_code) = home_cli(&["serve", "--socket", socket_arg, "--status"]);
+    assert_eq!(status_code, Some(0), "{status_out}");
+    assert!(status_out.contains("\"submissions\":2"), "{status_out}");
+    assert!(status_out.contains("predicate"), "{status_out}");
+
+    let (_, stop_err, stop_code) = home_cli(&["serve", "--socket", socket_arg, "--stop"]);
+    assert_eq!(stop_code, Some(0), "{stop_err}");
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "daemon exits cleanly after --stop");
+}
+
+#[test]
+fn submit_without_socket_exits_2() {
+    let (_, stderr, code) = home_cli(&["submit", "programs/figure1.hmp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--socket"), "{stderr}");
+}
+
+#[test]
+fn serve_without_socket_exits_2() {
+    let (_, stderr, code) = home_cli(&["serve"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--socket"), "{stderr}");
 }

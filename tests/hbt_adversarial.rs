@@ -1,0 +1,408 @@
+//! Adversarial HBT corpus: every byte of an HBT stream is untrusted, so
+//! every reader must return a typed error (with a byte offset) or the
+//! identical report — never panic, never allocate unbounded memory.
+//!
+//! Three families of hostile input:
+//!
+//! * seeded random byte mutations of a real recorded trace, checked for
+//!   streaming-reader vs slice-reader parity (same records or the same
+//!   error string);
+//! * crafted records — giant varint lengths, lying lengths, varint
+//!   overflow, oversized manifest counts — against all three readers;
+//! * section-boundary attacks — truncation at a `RUN` boundary with a
+//!   forged end marker, spliced manifests from a different recording,
+//!   records appended after the manifest — caught by the manifest check.
+
+use home::prelude::*;
+use home::stream::{
+    decode_sections, HbtMmapReader, HbtReader, HbtRecord, HbtSliceReader, HbtWriter, ManifestCheck,
+    HBT_MAGIC, HBT_VERSION, MAX_RECORD_LEN,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::Cursor;
+use std::sync::Arc;
+
+const FIGURE2: &str = "programs/figure2.hmp";
+
+/// Record `program` under `seeds` exactly like `home record`: one `RUN`
+/// record per seed, the instrumented events, then the run's incidents.
+fn record_bytes(path: &str, seeds: &[u64]) -> Vec<u8> {
+    let source = std::fs::read_to_string(path).expect("test program exists");
+    let program = parse(&source).expect("test program parses");
+    let checklist = Arc::new(analyze(&program).checklist.clone());
+    let mut writer = HbtWriter::new(Vec::new()).expect("header write");
+    for &seed in seeds {
+        writer.begin_run(seed).expect("run record");
+        let mut cfg = RunConfig::test(2, seed)
+            .with_instrumentation(Instrumentation::home())
+            .with_checklist(Arc::clone(&checklist));
+        cfg.threads_per_proc = 2;
+        cfg.sched.policy = SchedPolicy::Random;
+        let result = run(&program, &cfg);
+        for e in result.trace.events() {
+            writer.write_event(e).expect("event record");
+        }
+        for i in &result.mpi_errors {
+            writer
+                .write_incident(&home::stream::TraceIncident {
+                    rank: i.rank,
+                    line: i.line,
+                    call: i.call.clone(),
+                    error: i.error.clone(),
+                })
+                .expect("incident record");
+        }
+    }
+    writer.finish().expect("trailer write")
+}
+
+fn header() -> Vec<u8> {
+    let mut out = HBT_MAGIC.to_vec();
+    out.push(HBT_VERSION);
+    out
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Drain the streaming reader, running the manifest check like
+/// `decode_sections` does. Ok(records) or the first error's message.
+fn stream_read(bytes: &[u8]) -> Result<Vec<HbtRecord>, String> {
+    let mut reader = HbtReader::new(Cursor::new(bytes)).map_err(|e| e.to_string())?;
+    let mut check = ManifestCheck::new();
+    let mut records = Vec::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some(record)) => {
+                check
+                    .on_record(&record, reader.offset())
+                    .map_err(|e| e.to_string())?;
+                records.push(record);
+            }
+            Ok(None) => break,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    check.finish(reader.offset()).map_err(|e| e.to_string())?;
+    Ok(records)
+}
+
+/// Same drive over the zero-copy slice reader.
+fn slice_read(bytes: &[u8]) -> Result<Vec<HbtRecord>, String> {
+    let mut reader = HbtSliceReader::new(bytes).map_err(|e| e.to_string())?;
+    let mut check = ManifestCheck::new();
+    let mut records = Vec::new();
+    loop {
+        match reader.next_record() {
+            Ok(Some(record)) => {
+                check
+                    .on_record(&record, reader.offset())
+                    .map_err(|e| e.to_string())?;
+                records.push(record);
+            }
+            Ok(None) => break,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    check.finish(reader.offset()).map_err(|e| e.to_string())?;
+    Ok(records)
+}
+
+/// Byte offsets at which each record of a well-formed stream begins,
+/// plus each record. Walked with the streaming reader.
+fn record_starts(bytes: &[u8]) -> Vec<(u64, HbtRecord)> {
+    let mut reader = HbtReader::new(Cursor::new(bytes)).expect("valid header");
+    let mut out = Vec::new();
+    loop {
+        let start = reader.offset();
+        match reader.next_record().expect("valid record") {
+            Some(record) => out.push((start, record)),
+            None => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn random_byte_mutations_never_panic_and_readers_agree() {
+    let base = record_bytes(FIGURE2, &[1, 2]);
+    assert!(base.len() > 64, "recording is non-trivial");
+    for case in 0u64..200 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xADE5_0000 + case);
+        let mut bytes = base.clone();
+        if rng.gen_bool(0.25) {
+            // Truncate somewhere (including inside the header).
+            let cut = rng.gen_range(0u64..bytes.len() as u64) as usize;
+            bytes.truncate(cut);
+        } else {
+            let flips = 1 + rng.gen_range(0u64..4) as usize;
+            for _ in 0..flips {
+                let at = rng.gen_range(0u64..bytes.len() as u64) as usize;
+                bytes[at] = rng.gen_range(0u64..256) as u8;
+            }
+        }
+
+        let streamed = stream_read(&bytes);
+        let sliced = slice_read(&bytes);
+        assert_eq!(
+            streamed, sliced,
+            "case {case}: streaming and slice readers disagree"
+        );
+        if let Err(msg) = &streamed {
+            assert!(
+                msg.contains("byte"),
+                "case {case}: error lacks a byte offset: {msg}"
+            );
+        }
+
+        // The full decode + analyze path must never panic either: a typed
+        // error or a verdict, nothing else.
+        let outcome = std::panic::catch_unwind(|| {
+            decode_sections(&bytes).and_then(|s| home::serve::analyze_sections(&s))
+        });
+        assert!(outcome.is_ok(), "case {case}: decode/analyze panicked");
+    }
+}
+
+#[test]
+fn giant_record_length_is_a_typed_error_on_every_reader() {
+    let mut bytes = header();
+    put_varint(&mut bytes, MAX_RECORD_LEN + 1);
+
+    for result in [stream_read(&bytes), slice_read(&bytes)] {
+        let msg = result.expect_err("oversized length must be rejected");
+        assert!(
+            msg.contains("exceeds limit") && msg.contains("byte"),
+            "unexpected error: {msg}"
+        );
+    }
+    let msg = decode_sections(&bytes)
+        .expect_err("decode_sections must reject it")
+        .to_string();
+    assert!(msg.contains("exceeds limit"), "unexpected error: {msg}");
+
+    // Same through the mmap reader (a real file, so the mapping path runs).
+    let dir = tmp_dir("giant_varint");
+    let path = dir.join("giant.hbt");
+    std::fs::write(&path, &bytes).expect("write trace");
+    let mapped = HbtMmapReader::open(&path).expect("mmap open");
+    let msg = mapped
+        .sections()
+        .expect_err("mmap reader must reject it")
+        .to_string();
+    assert!(msg.contains("exceeds limit"), "unexpected error: {msg}");
+}
+
+#[test]
+fn lying_record_length_truncates_without_oom() {
+    // The record claims ~256 MiB but only 64 bytes follow. The streaming
+    // reader must report truncation after at most one bounded chunk — not
+    // allocate the full claimed length up front.
+    let mut bytes = header();
+    put_varint(&mut bytes, MAX_RECORD_LEN - 1);
+    bytes.extend_from_slice(&[2u8; 64]);
+
+    for result in [stream_read(&bytes), slice_read(&bytes)] {
+        let msg = result.expect_err("lying length must truncate");
+        assert!(
+            msg.contains("truncated") && msg.contains("byte"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn varint_overflow_is_a_typed_error() {
+    let mut bytes = header();
+    bytes.extend_from_slice(&[0xFF; 10]);
+    for result in [stream_read(&bytes), slice_read(&bytes)] {
+        let msg = result.expect_err("varint overflow must be rejected");
+        assert!(
+            msg.contains("varint") && msg.contains("byte"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn giant_manifest_count_is_bounded_by_record_size() {
+    // A manifest record whose declared section count dwarfs its payload
+    // must be rejected before any allocation sized from it.
+    let mut payload = vec![4u8]; // REC_MANIFEST
+    put_varint(&mut payload, u64::MAX >> 2);
+    let mut bytes = header();
+    put_varint(&mut bytes, payload.len() as u64);
+    bytes.extend_from_slice(&payload);
+    bytes.push(0);
+
+    for result in [stream_read(&bytes), slice_read(&bytes)] {
+        let msg = result.expect_err("oversized manifest count must be rejected");
+        assert!(
+            msg.contains("manifest section count") && msg.contains("exceeds record size"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_a_section_boundary_is_detected() {
+    // Cut a two-run recording right where the second RUN record begins and
+    // forge a clean end marker. Without the manifest this parsed as a
+    // one-run trace; the manifest check must now reject it.
+    let base = record_bytes(FIGURE2, &[1, 2]);
+    let starts = record_starts(&base);
+    let second_run = starts
+        .iter()
+        .filter(|(_, r)| matches!(r, HbtRecord::Run { .. }))
+        .nth(1)
+        .map(|(at, _)| *at)
+        .expect("two RUN records");
+
+    let mut forged = base[..second_run as usize].to_vec();
+    forged.push(0); // forged end marker
+    for result in [stream_read(&forged), slice_read(&forged)] {
+        let msg = result.expect_err("boundary truncation must be rejected");
+        assert!(
+            msg.contains("ends without a section manifest"),
+            "unexpected error: {msg}"
+        );
+    }
+    let msg = decode_sections(&forged)
+        .expect_err("decode_sections must reject it")
+        .to_string();
+    assert!(msg.contains("ends without a section manifest"));
+}
+
+#[test]
+fn spliced_manifest_with_wrong_section_count_is_detected() {
+    // Body of a one-run recording + manifest of a two-run recording.
+    let one = record_bytes(FIGURE2, &[1]);
+    let two = record_bytes(FIGURE2, &[1, 2]);
+    let manifest_at = |bytes: &[u8]| {
+        record_starts(bytes)
+            .iter()
+            .find(|(_, r)| matches!(r, HbtRecord::Manifest { .. }))
+            .map(|(at, _)| *at)
+            .expect("recording ends with a manifest") as usize
+    };
+    let mut spliced = one[..manifest_at(&one)].to_vec();
+    spliced.extend_from_slice(&two[manifest_at(&two)..]);
+
+    for result in [stream_read(&spliced), slice_read(&spliced)] {
+        let msg = result.expect_err("section-count mismatch must be rejected");
+        assert!(
+            msg.contains("declares 2 section(s)") && msg.contains("contains 1"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn spliced_manifest_with_wrong_seed_is_detected() {
+    // Same section count, different seed list: run seed 2's body under a
+    // manifest recorded for seed 9.
+    let real = record_bytes(FIGURE2, &[2]);
+    let decoy = record_bytes(FIGURE2, &[9]);
+    let manifest_at = |bytes: &[u8]| {
+        record_starts(bytes)
+            .iter()
+            .find(|(_, r)| matches!(r, HbtRecord::Manifest { .. }))
+            .map(|(at, _)| *at)
+            .expect("recording ends with a manifest") as usize
+    };
+    let mut spliced = real[..manifest_at(&real)].to_vec();
+    spliced.extend_from_slice(&decoy[manifest_at(&decoy)..]);
+
+    for result in [stream_read(&spliced), slice_read(&spliced)] {
+        let msg = result.expect_err("seed mismatch must be rejected");
+        assert!(
+            msg.contains("seed list disagrees"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn records_after_the_manifest_are_rejected() {
+    // Append a copy of the first event record after the manifest and
+    // re-terminate: the manifest must be the final record.
+    let base = record_bytes(FIGURE2, &[1]);
+    let starts = record_starts(&base);
+    let (event_start, _) = starts
+        .iter()
+        .find(|(_, r)| matches!(r, HbtRecord::Event(_)))
+        .expect("recording has events");
+    let event_end = starts
+        .iter()
+        .map(|(at, _)| *at)
+        .chain(std::iter::once(base.len() as u64 - 1))
+        .find(|&at| at > *event_start)
+        .expect("next record start");
+
+    let mut forged = base[..base.len() - 1].to_vec(); // drop end marker
+    forged.extend_from_slice(&base[*event_start as usize..event_end as usize]);
+    forged.push(0);
+
+    for result in [stream_read(&forged), slice_read(&forged)] {
+        let msg = result.expect_err("record after manifest must be rejected");
+        assert!(
+            msg.contains("record after the section manifest"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn mutated_traces_share_one_verdict_across_offline_readers() {
+    // For mutations that still decode, the slice path and the mmap path
+    // must produce the same sections and the same analyze verdict.
+    let base = record_bytes(FIGURE2, &[3, 4]);
+    let dir = tmp_dir("mutation_parity");
+    for case in 0u64..40 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x9A17_0000 + case);
+        let mut bytes = base.clone();
+        let at = rng.gen_range(0u64..bytes.len() as u64) as usize;
+        bytes[at] = rng.gen_range(0u64..256) as u8;
+
+        let from_slice = decode_sections(&bytes);
+        let path = dir.join(format!("case{case}.hbt"));
+        std::fs::write(&path, &bytes).expect("write mutated trace");
+        let from_mmap = HbtMmapReader::open(&path).and_then(|m| m.sections());
+        match (from_slice, from_mmap) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len(), "case {case}: section counts differ");
+                let va = home::serve::analyze_sections(&a);
+                let vb = home::serve::analyze_sections(&b);
+                assert_eq!(
+                    format!("{va:?}"),
+                    format!("{vb:?}"),
+                    "case {case}: verdicts differ"
+                );
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "case {case}: errors differ");
+            }
+            (a, b) => panic!(
+                "case {case}: readers disagree on validity: slice={:?} mmap={:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}

@@ -1,0 +1,212 @@
+//! In-process tests of the `home serve` daemon: concurrent multi-tenant
+//! ingest, verdict parity with the offline analyzers, typed rejection of
+//! hostile streams, and clean shutdown.
+
+use home::prelude::*;
+use home::serve::{analyze_sections, ping, status, stop, submit, ServeConfig, Server};
+use home::stream::{decode_sections, HbtWriter};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Barrier};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+/// Record `programs/figure2.hmp` under `seeds`, exactly like `home record`.
+fn recorded_trace(seeds: &[u64]) -> Vec<u8> {
+    let source = std::fs::read_to_string("programs/figure2.hmp").expect("sample program");
+    let program = parse(&source).expect("sample program parses");
+    let checklist = Arc::new(analyze(&program).checklist.clone());
+    let mut writer = HbtWriter::new(Vec::new()).expect("header write");
+    for &seed in seeds {
+        writer.begin_run(seed).expect("run record");
+        let mut cfg = RunConfig::test(2, seed)
+            .with_instrumentation(Instrumentation::home())
+            .with_checklist(Arc::clone(&checklist));
+        cfg.threads_per_proc = 2;
+        cfg.sched.policy = SchedPolicy::Random;
+        let result = run(&program, &cfg);
+        for e in result.trace.events() {
+            writer.write_event(e).expect("event record");
+        }
+        for i in &result.mpi_errors {
+            writer
+                .write_incident(&home::stream::TraceIncident {
+                    rank: i.rank,
+                    line: i.line,
+                    call: i.call.clone(),
+                    error: i.error.clone(),
+                })
+                .expect("incident record");
+        }
+    }
+    writer.finish().expect("trailer write")
+}
+
+fn start_server(config: ServeConfig) -> (std::path::PathBuf, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind serve socket");
+    let socket = server.socket_path().to_path_buf();
+    let handle = std::thread::spawn(move || server.run().expect("serve run"));
+    (socket, handle)
+}
+
+#[test]
+fn eight_concurrent_submissions_match_the_offline_verdict() {
+    let dir = tmp_dir("serve_concurrent");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+
+    // max_sessions = 2 with 8 concurrent clients: the gate must make the
+    // excess block (backpressure), never drop or reject them.
+    let mut config = ServeConfig::new(&socket_path);
+    config.max_sessions = 2;
+    let (socket, server) = start_server(config);
+
+    let trace = recorded_trace(&[1, 2]);
+    let expected = analyze_sections(&decode_sections(&trace).expect("trace decodes"))
+        .expect("offline analyze");
+    let expected_lines: Vec<String> = expected.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        !expected_lines.is_empty(),
+        "figure2 must produce violations for the parity check to bite"
+    );
+
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let socket = socket.clone();
+        let trace = trace.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            submit(&socket, &trace)
+        }));
+    }
+    for handle in handles {
+        let reply = handle
+            .join()
+            .expect("client thread")
+            .expect("submit succeeds");
+        assert!(
+            reply.ok,
+            "daemon rejected a well-formed trace: {:?}",
+            reply.error
+        );
+        assert_eq!(reply.runs, 2, "one verdict covers both recorded runs");
+        assert_eq!(
+            reply.violations, expected_lines,
+            "daemon verdict differs from the offline analyzer"
+        );
+    }
+
+    let fleet = status(&socket).expect("status");
+    assert!(fleet.ok);
+    assert_eq!(fleet.runs, CLIENTS as u64 * 2, "fleet run count");
+    assert!(
+        fleet.raw.contains("\"submissions\":8"),
+        "fleet submissions: {}",
+        fleet.raw
+    );
+    // Every violation was seen by every submission.
+    assert!(
+        fleet.raw.contains("\"runs\":16") || fleet.raw.contains("\"runs\":8"),
+        "aggregated per-violation run counts: {}",
+        fleet.raw
+    );
+
+    let reply = stop(&socket).expect("stop");
+    assert!(reply.ok);
+    server.join().expect("server thread");
+    assert!(!socket.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn hostile_streams_get_typed_errors_and_the_daemon_survives() {
+    let dir = tmp_dir("serve_hostile");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+    let (socket, server) = start_server(ServeConfig::new(&socket_path));
+
+    // Garbage after a valid magic byte: typed rejection.
+    let reply = submit(&socket, b"\x89garbage-not-hbt").expect("reply arrives");
+    assert!(!reply.ok);
+    assert!(
+        reply.error.as_deref().unwrap_or("").contains("HBT"),
+        "rejection names the format: {:?}",
+        reply.error
+    );
+
+    // A trace truncated mid-record: typed rejection, not a hang or panic.
+    let trace = recorded_trace(&[1]);
+    let reply = submit(&socket, &trace[..trace.len() / 2]).expect("reply arrives");
+    assert!(!reply.ok, "truncated stream must be rejected");
+    assert!(reply.error.is_some());
+
+    // A client that connects and immediately disappears costs nothing.
+    drop(UnixStream::connect(&socket).expect("connect"));
+
+    // The daemon is still alive and counted the rejections.
+    let alive = ping(&socket).expect("ping");
+    assert!(alive.ok);
+    let fleet = status(&socket).expect("status");
+    assert!(
+        fleet.raw.contains("\"rejected\":2"),
+        "rejections are counted: {}",
+        fleet.raw
+    );
+
+    // A well-formed submission still works after the abuse.
+    let reply = submit(&socket, &trace).expect("submit");
+    assert!(reply.ok);
+    assert_eq!(reply.runs, 1);
+
+    stop(&socket).expect("stop");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn unknown_commands_are_rejected_politely() {
+    let dir = tmp_dir("serve_commands");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+    let (socket, server) = start_server(ServeConfig::new(&socket_path));
+
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    stream.write_all(b"BOGUS\n").expect("send command");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("reply");
+    assert!(line.contains("\"ok\":false"), "reply: {line}");
+    assert!(line.contains("unknown command"), "reply: {line}");
+
+    stop(&socket).expect("stop");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn bind_recovers_stale_sockets_but_respects_live_daemons() {
+    let dir = tmp_dir("serve_bind");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+
+    // A stale socket file (no daemon behind it) is silently reclaimed.
+    {
+        let server = Server::bind(ServeConfig::new(&socket_path)).expect("first bind");
+        drop(server); // never ran: socket file left behind
+    }
+    assert!(socket_path.exists(), "stale socket file left behind");
+    let (socket, server) = start_server(ServeConfig::new(&socket_path));
+
+    // A second daemon on the same live socket is refused.
+    let err = Server::bind(ServeConfig::new(&socket_path)).expect_err("live socket is claimed");
+    assert!(
+        err.to_string().contains("already serving"),
+        "unexpected error: {err}"
+    );
+
+    stop(&socket).expect("stop");
+    server.join().expect("server thread");
+}
