@@ -15,7 +15,7 @@ use home_dynamic::{detect, DetectorConfig};
 use home_interp::{run, Instrumentation, RunConfig};
 use home_ir::parse;
 use home_static::analyze;
-use home_stream::{decode_sections, detect_stream, encode_trace};
+use home_stream::{decode_sections, detect_stream, encode_trace, HbtWriter};
 use home_trace::{AccessKind, Event, EventKind, LockId, MemLoc, Rank, RegionId, Tid, Trace, VarId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -182,6 +182,7 @@ fn main() {
         let n = trace.len();
         let json = trace.to_json();
         let hbt = encode_trace(trace);
+        let hbt_v2 = encode_trace_v2(trace);
 
         let batch = measure(n, min_iters, min_secs, || {
             detect(std::hint::black_box(trace), &config)
@@ -212,10 +213,24 @@ fn main() {
                 .unwrap_or(0)
         });
         let dec_hbt_mmap = mmap_decode_rate(corpus.name, &hbt, n, min_iters, min_secs);
+        // v2 decode: serial (frames inflate through the shared reader) and
+        // frame-parallel (`replay --jobs 4`, scan_layout + fan-out).
+        let dec_v2 = measure(n, min_iters, min_secs, || {
+            decode_sections(std::hint::black_box(&hbt_v2))
+                .map(|s| s.len())
+                .unwrap_or(0)
+        });
+        let dec_v2_par = measure(n, min_iters, min_secs, || {
+            home_core::decode_trace(std::hint::black_box(&hbt_v2), 4)
+                .map(|s| s.len())
+                .unwrap_or(0)
+        });
+        let bpe_v1 = hbt.len() as f64 / n.max(1) as f64;
+        let bpe_v2 = hbt_v2.len() as f64 / n.max(1) as f64;
 
         eprintln!(
-            "{}: {} events | batch {:.0} | stream {:.0} | json-decode {:.0} | hbt-decode {:.0} | hbt-mmap {:.0}",
-            corpus.name, n, batch, stream, dec_json, dec_hbt, dec_hbt_mmap,
+            "{}: {} events | batch {:.0} | stream {:.0} | json-decode {:.0} | hbt-decode {:.0} | hbt-mmap {:.0} | v2-decode {:.0} | v2-jobs4 {:.0} | B/ev {:.1} -> {:.1}",
+            corpus.name, n, batch, stream, dec_json, dec_hbt, dec_hbt_mmap, dec_v2, dec_v2_par, bpe_v1, bpe_v2,
         );
         let comma = if ci + 1 < corpora.len() { "," } else { "" };
         println!("    {{");
@@ -225,11 +240,25 @@ fn main() {
         println!("      \"detect_stream\": {stream:.0},");
         println!("      \"decode_json\": {dec_json:.0},");
         println!("      \"decode_hbt\": {dec_hbt:.0},");
-        println!("      \"decode_hbt_mmap\": {dec_hbt_mmap:.0}");
+        println!("      \"decode_hbt_mmap\": {dec_hbt_mmap:.0},");
+        println!("      \"decode_hbt_v2\": {dec_v2:.0},");
+        println!("      \"decode_hbt_v2_jobs4\": {dec_v2_par:.0},");
+        println!("      \"bytes_per_event_v1\": {bpe_v1:.2},");
+        println!("      \"bytes_per_event_v2\": {bpe_v2:.2}");
         println!("    }}{comma}");
     }
     println!("  ]");
     println!("}}");
+}
+
+/// The corpus as a v2 stream (`record --compress`): one anonymous section
+/// packed into LZ-compressed frames with a trailing seek index.
+fn encode_trace_v2(trace: &Trace) -> Vec<u8> {
+    let mut writer = HbtWriter::new_compressed(Vec::new()).expect("vec write");
+    for e in trace.events() {
+        writer.write_event(e).expect("vec write");
+    }
+    writer.finish().expect("vec write")
 }
 
 /// Decode throughput straight from an mmap'd HBT file (zero-copy replay

@@ -22,13 +22,16 @@
 // Tests are exempt (the attribute is off under cfg(test)).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod fanout;
 mod pipeline;
+mod replay;
 mod report;
 mod rules;
 mod session;
 mod sink;
 
 pub use pipeline::{check, check_with_sink, CheckOptions, Engine};
+pub use replay::decode_trace;
 pub use report::{
     EmitOrder, EmittedViolation, HomeReport, SeedRun, SeedStatus, Violation, ViolationKind,
 };

@@ -263,25 +263,11 @@ pub fn check_with_sink(
         SeedOutcome { seed, result }
     };
 
-    // Indexed slots keep the merge in seed-list order regardless of which
-    // worker finishes first, so the report is byte-identical for every
-    // `jobs` value. Even `jobs == 1` goes through a spawned scoped thread:
-    // that keeps side channels (the panic hook's thread name on stderr)
-    // identical between the serial and parallel paths.
-    let jobs = options.jobs.max(1).min(options.seeds.len().max(1));
-    let mut slots: Vec<Option<SeedOutcome>> = Vec::new();
-    slots.resize_with(options.seeds.len(), || None);
-    let chunk = options.seeds.len().div_ceil(jobs).max(1);
-    let run_seed = &run_seed;
-    std::thread::scope(|scope| {
-        for (slot_chunk, seed_chunk) in slots.chunks_mut(chunk).zip(options.seeds.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, &seed) in slot_chunk.iter_mut().zip(seed_chunk) {
-                    *slot = Some(run_seed(seed));
-                }
-            });
-        }
-    });
+    // Indexed slots (crate::fanout) keep the merge in seed-list order
+    // regardless of which worker finishes first, so the report is
+    // byte-identical for every `jobs` value.
+    let slots =
+        crate::fanout::fan_out_indexed(&options.seeds, options.jobs, |_, &seed| run_seed(seed));
     let outcomes = slots.into_iter().zip(&options.seeds).map(|(slot, &seed)| {
         // A worker cannot leave its slot empty (the chain is caught), but
         // stay panic-free even if that invariant ever breaks.

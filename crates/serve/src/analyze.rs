@@ -11,7 +11,7 @@
 use home_core::{EmitOrder, Session, Violation, ViolationCollector, ViolationKind};
 use home_dynamic::DetectorConfig;
 use home_interp::MpiIncident;
-use home_stream::{HbtSection, TraceIncident};
+use home_stream::{HbtReader, HbtRecord, HbtSection, ManifestCheck, TraceIncident};
 use home_trace::{HomeError, Rank, SrcLoc};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -203,6 +203,48 @@ pub fn analyze_sections(sections: &[HbtSection]) -> Result<TraceOutcome, HomeErr
     let mut verdicts = Vec::with_capacity(sections.len());
     for section in sections {
         verdicts.push(analyze_section(section)?);
+    }
+    Ok(combine_verdicts(verdicts))
+}
+
+/// Analyze an HBT stream record-at-a-time without materializing it: one
+/// [`SectionSession`] per recorded section, manifest-validated, bounded
+/// memory (nothing is buffered but the detector's own live state).
+///
+/// This is the daemon's ingest loop, shared with `replay`/`analyze` on
+/// piped stdin — a multi-gigabyte trace streams through the chunked
+/// [`HbtReader`] instead of being read whole into memory, and the verdict
+/// is byte-identical to the decoded-sections path by construction.
+pub fn analyze_stream(input: impl std::io::Read) -> Result<TraceOutcome, HomeError> {
+    let mut reader = HbtReader::new(input)?;
+    let mut check = ManifestCheck::new();
+    let mut current: Option<SectionSession> = None;
+    let mut verdicts = Vec::new();
+    while let Some(record) = reader.next_record()? {
+        check.on_record(&record, reader.offset())?;
+        match record {
+            HbtRecord::Run { seed } => {
+                if let Some(session) = current.take() {
+                    verdicts.push(session.finish()?);
+                }
+                current = Some(SectionSession::open(Some(seed)));
+            }
+            HbtRecord::Event(e) => {
+                current
+                    .get_or_insert_with(|| SectionSession::open(None))
+                    .feed_event(&e);
+            }
+            HbtRecord::Incident(i) => {
+                current
+                    .get_or_insert_with(|| SectionSession::open(None))
+                    .push_incident(&i);
+            }
+            HbtRecord::Manifest { .. } | HbtRecord::Index { .. } => {}
+        }
+    }
+    check.finish(reader.offset())?;
+    if let Some(session) = current.take() {
+        verdicts.push(session.finish()?);
     }
     Ok(combine_verdicts(verdicts))
 }

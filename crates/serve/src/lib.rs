@@ -31,8 +31,8 @@ mod protocol;
 mod server;
 
 pub use analyze::{
-    analyze_section, analyze_sections, combine_verdicts, violation_identity, KeyedViolation,
-    SectionSession, SectionVerdict, TraceOutcome, ViolationIdentity,
+    analyze_section, analyze_sections, analyze_stream, combine_verdicts, violation_identity,
+    KeyedViolation, SectionSession, SectionVerdict, TraceOutcome, ViolationIdentity,
 };
 pub use client::{ping, status, stop, submit};
 pub use protocol::{parse_reply, Reply};

@@ -22,11 +22,10 @@
 //! daemon's life. Malformed streams produce a typed JSON error reply; the
 //! daemon never panics on input.
 
-use crate::analyze::{combine_verdicts, violation_identity, SectionSession, ViolationIdentity};
+use crate::analyze::{violation_identity, ViolationIdentity};
 use crate::protocol::{error_reply, status_reply, submit_reply};
 use home_core::{EmitOrder, Violation};
-use home_stream::{HbtReader, ManifestCheck};
-use home_stream::{HbtRecord, HBT_MAGIC};
+use home_stream::HBT_MAGIC;
 use home_trace::HomeError;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -34,7 +33,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -48,15 +47,23 @@ pub struct ServeConfig {
     /// Per-read timeout on ingest connections: a stalled client forfeits
     /// its slot with a typed error instead of holding it forever.
     pub read_timeout: Option<Duration>,
+    /// Overall wall-clock deadline for one ingest session. The per-read
+    /// timeout alone is not enough: a client trickling one byte per
+    /// `read_timeout - ε` would hold a gate slot forever. Past the
+    /// deadline the next read fails with a typed error and the slot is
+    /// released.
+    pub session_deadline: Option<Duration>,
 }
 
 impl ServeConfig {
-    /// Defaults: 64 concurrent sessions, 30-second read timeout.
+    /// Defaults: 64 concurrent sessions, 30-second read timeout,
+    /// 300-second session deadline.
     pub fn new(socket: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             socket: socket.into(),
             max_sessions: 64,
             read_timeout: Some(Duration::from_secs(30)),
+            session_deadline: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -175,6 +182,7 @@ impl Gate {
 struct State {
     socket: PathBuf,
     read_timeout: Option<Duration>,
+    session_deadline: Option<Duration>,
     shutdown: AtomicBool,
     gate: Gate,
     fleet: Mutex<Fleet>,
@@ -220,6 +228,7 @@ impl Server {
             state: Arc::new(State {
                 socket: config.socket,
                 read_timeout: config.read_timeout,
+                session_deadline: config.session_deadline,
                 shutdown: AtomicBool::new(false),
                 gate: Gate {
                     max: config.max_sessions.max(1),
@@ -288,41 +297,73 @@ fn handle(mut stream: UnixStream, state: &State) {
     let _ = stream.flush();
 }
 
-/// Ingest one HBT stream record-at-a-time, one [`SectionSession`] per
-/// recorded section, and fold the verdict into the fleet aggregate.
-fn ingest(first: u8, stream: &mut UnixStream, state: &State) -> Result<String, HomeError> {
-    let prefix = io::Cursor::new([first]);
-    let mut reader = HbtReader::new(prefix.chain(&mut *stream))?;
-    let mut check = ManifestCheck::new();
-    let mut current: Option<SectionSession> = None;
-    let mut verdicts = Vec::new();
-    while let Some(record) = reader.next_record()? {
-        check.on_record(&record, reader.offset())?;
-        match record {
-            HbtRecord::Run { seed } => {
-                if let Some(session) = current.take() {
-                    verdicts.push(session.finish()?);
-                }
-                current = Some(SectionSession::open(Some(seed)));
-            }
-            HbtRecord::Event(e) => {
-                current
-                    .get_or_insert_with(|| SectionSession::open(None))
-                    .feed_event(&e);
-            }
-            HbtRecord::Incident(i) => {
-                current
-                    .get_or_insert_with(|| SectionSession::open(None))
-                    .push_incident(&i);
-            }
-            HbtRecord::Manifest { .. } => {}
+/// Re-arms the socket read timeout before every read so an overall
+/// session deadline holds on top of the per-read timeout: each read waits
+/// at most `min(read_timeout, remaining-until-deadline)`, and once the
+/// deadline passes the next read fails with `TimedOut` instead of letting
+/// a trickling client start another full timeout window.
+struct DeadlineReader<'a> {
+    stream: &'a UnixStream,
+    per_read: Option<Duration>,
+    deadline: Option<Instant>,
+}
+
+impl<'a> DeadlineReader<'a> {
+    fn new(stream: &'a UnixStream, per_read: Option<Duration>, session: Option<Duration>) -> Self {
+        DeadlineReader {
+            stream,
+            per_read,
+            deadline: session.map(|d| Instant::now() + d),
         }
     }
-    check.finish(reader.offset())?;
-    if let Some(session) = current.take() {
-        verdicts.push(session.finish()?);
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let timeout = match self.deadline {
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "session deadline exceeded",
+                    ));
+                }
+                match self.per_read {
+                    Some(per) => Some(per.min(remaining)),
+                    None => Some(remaining),
+                }
+            }
+            None => self.per_read,
+        };
+        let _ = self.stream.set_read_timeout(timeout);
+        match self.stream.read(buf) {
+            // A blocking-timeout failure on the deadline-shortened window is
+            // the deadline itself expiring; name it so the client's error
+            // says why the session was cut, not just that a read timed out.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) && self.deadline.is_some_and(|d| Instant::now() >= d) =>
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "session deadline exceeded",
+                ))
+            }
+            other => other,
+        }
     }
-    let outcome = combine_verdicts(verdicts);
+}
+
+/// Ingest one HBT stream record-at-a-time via the shared
+/// [`analyze_stream`](crate::analyze::analyze_stream) loop, under the
+/// session deadline, and fold the verdict into the fleet aggregate.
+fn ingest(first: u8, stream: &mut UnixStream, state: &State) -> Result<String, HomeError> {
+    let prefix = io::Cursor::new([first]);
+    let deadline = DeadlineReader::new(stream, state.read_timeout, state.session_deadline);
+    let outcome = crate::analyze::analyze_stream(prefix.chain(deadline))?;
     let mut fleet = state.fleet();
     fleet.absorb(&outcome);
     drop(fleet);

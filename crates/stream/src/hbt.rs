@@ -3,7 +3,7 @@
 //! A compact, streamable encoding of [`Event`] traces:
 //!
 //! ```text
-//! header  := magic(0x89 'H' 'B' 'T') version(u8 = 1)
+//! header  := magic(0x89 'H' 'B' 'T') version(u8 = 1 | 2)
 //! record  := varint(len) payload[len]        -- len > 0
 //! end     := varint(0)                        -- explicit end marker
 //! payload := kind(u8) body
@@ -11,7 +11,35 @@
 //!   kind 2 EVENT    body = encoded Event
 //!   kind 3 INCIDENT body = varint(rank) varint(line) string(call) string(error)
 //!   kind 4 MANIFEST body = varint(nsections) (flag(u8) [varint(seed)])*
+//!   kind 5 FRAME    body = flags(u8) [varint(seed)] varint(events)
+//!                          varint(incidents) varint(raw_len) stored...   (v2)
+//!   kind 6 INDEX    body = varint(nframes) (flags(u8) [varint(seed)]
+//!                          varint(offset) varint(events) varint(raw_len))*  (v2)
 //! ```
+//!
+//! ## Version 2: compressed frames and the seek index
+//!
+//! A v2 stream packs each trace section into one or more `FRAME` records:
+//! the section's `EVENT`/`INCIDENT` records are length-prefix-encoded
+//! exactly as in v1, concatenated, and (when it pays) compressed with the
+//! in-repo [`lz`](crate::lz) codec. The frame header carries the section
+//! seed (first frame only; later frames of a long section set the
+//! *continuation* flag), the record counts, and the uncompressed length —
+//! all stored uncompressed, so a consumer can walk frame headers without
+//! inflating anything. Before the closing `MANIFEST`, the writer emits an
+//! `INDEX` record listing every frame's absolute byte offset, seed, event
+//! count, and uncompressed length: `replay`/`analyze` use it to seek
+//! straight to a run and to decode frames in parallel. Readers validate
+//! the index against the frames they actually saw — a lying offset, seed,
+//! count, or length is a typed [`HomeError::CorruptTrace`], and a
+//! frame-bearing stream that ends without an index is rejected the same
+//! way a `RUN`-bearing stream without a manifest is.
+//!
+//! Both readers accept v1 and v2 streams transparently: frames are
+//! inflated internally and yielded as the equivalent `RUN`/`EVENT`/
+//! `INCIDENT` records, so every consumer of [`HbtRecord`] handles both
+//! versions unchanged. v2-only record kinds inside a v1 stream are a
+//! typed error, never a misparse.
 //!
 //! Integers are LEB128 varints; signed values are zigzag-encoded; strings
 //! are varint-length-prefixed UTF-8. The explicit end marker means a stream
@@ -39,17 +67,22 @@
 //! Readers and writers operate over [`io::Read`]/[`io::Write`] and never
 //! require the whole stream in memory.
 
+use crate::lz;
 use home_trace::{
     AccessKind, BarrierId, CommId, Event, EventKind, HomeError, LockId, MemLoc, MonitoredVar,
     MpiCallKind, MpiCallRecord, Rank, RegionId, ReqId, SrcLoc, ThreadLevel, Tid, Trace, VarId,
 };
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 
 /// The four magic bytes opening every HBT stream.
 pub const HBT_MAGIC: [u8; 4] = [0x89, b'H', b'B', b'T'];
 
-/// Current format version.
+/// Version byte of classic uncompressed streams (one record per event).
 pub const HBT_VERSION: u8 = 1;
+
+/// Version byte of compressed, seek-indexed streams (`record --compress`).
+pub const HBT_V2: u8 = 2;
 
 /// Hard ceiling on a single record's payload, to reject corrupt lengths
 /// before attempting a giant allocation.
@@ -64,6 +97,18 @@ const REC_RUN: u8 = 1;
 const REC_EVENT: u8 = 2;
 const REC_INCIDENT: u8 = 3;
 const REC_MANIFEST: u8 = 4;
+const REC_FRAME: u8 = 5;
+const REC_INDEX: u8 = 6;
+
+/// Frame flag bits (see the module docs for the v2 frame layout).
+const FRAME_HAS_SEED: u8 = 1;
+const FRAME_COMPRESSED: u8 = 2;
+const FRAME_CONTINUATION: u8 = 4;
+
+/// A v2 writer flushes the current section into a frame once this many
+/// uncompressed bytes have accumulated, so giant sections split into
+/// bounded, independently decodable (and parallelizable) frames.
+const FRAME_TARGET: usize = 256 * 1024;
 
 /// Does `bytes` start with the HBT magic? Used by the CLI to auto-detect
 /// HBT vs JSON input.
@@ -104,6 +149,32 @@ pub enum HbtRecord {
         /// Declared sections, in stream order.
         sections: Vec<Option<u64>>,
     },
+    /// The v2 seek index: one entry per compressed frame, in stream order.
+    /// Emitted by the writer immediately before the manifest; readers
+    /// validate it against the frames actually observed.
+    Index {
+        /// Declared frames, in stream order.
+        entries: Vec<IndexEntry>,
+    },
+}
+
+/// One entry of the v2 seek index: where a frame starts and what it holds.
+/// A reader can seek to `offset` and decode that frame without touching
+/// any other byte of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Absolute byte offset of the frame record (its length varint).
+    pub offset: u64,
+    /// Section seed, for the first frame of a `RUN`-recorded section.
+    pub seed: Option<u64>,
+    /// True when the frame continues the previous frame's section.
+    pub continuation: bool,
+    /// Events stored in the frame.
+    pub events: u64,
+    /// Incidents stored in the frame.
+    pub incidents: u64,
+    /// Uncompressed length of the frame's record bytes.
+    pub raw_len: u64,
 }
 
 /// Validates a stream of decoded records against its trailing manifest.
@@ -157,8 +228,19 @@ impl ManifestCheck {
             HbtRecord::Manifest { sections } => {
                 self.manifest = Some(sections.clone());
             }
+            // The seek index is validated inside the readers (against the
+            // frames actually seen); for sectioning it is a no-op, but the
+            // record-after-manifest rule above still covers it.
+            HbtRecord::Index { .. } => {}
         }
         Ok(())
+    }
+
+    /// Observe one section directly — used by the v2 layout scanner,
+    /// which sees frame headers rather than individual records.
+    fn note_section(&mut self, seed: Option<u64>) {
+        self.observed.push(seed);
+        self.open = true;
     }
 
     /// Validate at the end marker. `offset` is the reader's final byte
@@ -473,6 +555,68 @@ fn manifest_payload(sections: &[Option<u64>]) -> Vec<u8> {
     buf
 }
 
+/// Encode one v2 frame: header fields uncompressed, record bytes stored
+/// compressed only when that actually saves space.
+fn frame_payload(
+    seed: Option<u64>,
+    continuation: bool,
+    events: u64,
+    incidents: u64,
+    raw: &[u8],
+) -> Vec<u8> {
+    let compressed = lz::compress(raw);
+    let (stored, is_compressed) = if compressed.len() < raw.len() {
+        (&compressed[..], true)
+    } else {
+        (raw, false)
+    };
+    let mut buf = Vec::with_capacity(16 + stored.len());
+    buf.push(REC_FRAME);
+    let mut flags = 0u8;
+    if seed.is_some() {
+        flags |= FRAME_HAS_SEED;
+    }
+    if is_compressed {
+        flags |= FRAME_COMPRESSED;
+    }
+    if continuation {
+        flags |= FRAME_CONTINUATION;
+    }
+    buf.push(flags);
+    if let Some(s) = seed {
+        put_varint(&mut buf, s);
+    }
+    put_varint(&mut buf, events);
+    put_varint(&mut buf, incidents);
+    put_varint(&mut buf, raw.len() as u64);
+    buf.extend_from_slice(stored);
+    buf
+}
+
+fn index_payload(entries: &[IndexEntry]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(2 + entries.len() * 16);
+    buf.push(REC_INDEX);
+    put_varint(&mut buf, entries.len() as u64);
+    for entry in entries {
+        let mut flags = 0u8;
+        if entry.seed.is_some() {
+            flags |= FRAME_HAS_SEED;
+        }
+        if entry.continuation {
+            flags |= FRAME_CONTINUATION;
+        }
+        buf.push(flags);
+        if let Some(s) = entry.seed {
+            put_varint(&mut buf, s);
+        }
+        put_varint(&mut buf, entry.offset);
+        put_varint(&mut buf, entry.events);
+        put_varint(&mut buf, entry.incidents);
+        put_varint(&mut buf, entry.raw_len);
+    }
+    buf
+}
+
 // ---------------------------------------------------------------------------
 // writer
 // ---------------------------------------------------------------------------
@@ -480,15 +624,44 @@ fn manifest_payload(sections: &[Option<u64>]) -> Vec<u8> {
 /// Streaming HBT writer over any [`io::Write`]. Writes the header on
 /// construction; call [`HbtWriter::finish`] to emit the section manifest
 /// and the end marker.
+///
+/// [`HbtWriter::new`] writes classic v1 streams (one record per event);
+/// [`HbtWriter::new_compressed`] writes v2 streams, packing each section
+/// into LZ-compressed frames and emitting a seek index before the
+/// manifest. The per-section API is identical either way.
 #[derive(Debug)]
 pub struct HbtWriter<W: Write> {
     w: W,
     sections: Vec<Option<u64>>,
     open: bool,
+    v2: Option<V2Writer>,
+}
+
+/// v2 writer state: the current section's buffered inner records plus the
+/// seek index accumulated so far.
+#[derive(Debug)]
+struct V2Writer {
+    /// Bytes written to the underlying writer so far (header included), so
+    /// each frame's absolute offset is known when its index entry is made.
+    written: u64,
+    /// v1-encoded `EVENT`/`INCIDENT` records of the current section, not
+    /// yet flushed into a frame.
+    buf: Vec<u8>,
+    /// Seed of the current section (`None` = the anonymous section).
+    seed: Option<u64>,
+    /// Events buffered but not yet framed.
+    events: u64,
+    /// Incidents buffered but not yet framed.
+    incidents: u64,
+    /// True once at least one frame of the current section was emitted
+    /// (later frames of the section set the continuation flag).
+    frame_emitted: bool,
+    /// One entry per frame written, in stream order.
+    index: Vec<IndexEntry>,
 }
 
 impl<W: Write> HbtWriter<W> {
-    /// Open a writer, emitting the magic/version header.
+    /// Open a v1 writer, emitting the magic/version header.
     pub fn new(mut w: W) -> io::Result<Self> {
         w.write_all(&HBT_MAGIC)?;
         w.write_all(&[HBT_VERSION])?;
@@ -496,6 +669,28 @@ impl<W: Write> HbtWriter<W> {
             w,
             sections: Vec::new(),
             open: false,
+            v2: None,
+        })
+    }
+
+    /// Open a v2 writer (`record --compress`): sections are packed into
+    /// LZ-compressed frames and a seek index precedes the manifest.
+    pub fn new_compressed(mut w: W) -> io::Result<Self> {
+        w.write_all(&HBT_MAGIC)?;
+        w.write_all(&[HBT_V2])?;
+        Ok(HbtWriter {
+            w,
+            sections: Vec::new(),
+            open: false,
+            v2: Some(V2Writer {
+                written: 5,
+                buf: Vec::new(),
+                seed: None,
+                events: 0,
+                incidents: 0,
+                frame_emitted: false,
+                index: Vec::new(),
+            }),
         })
     }
 
@@ -503,11 +698,95 @@ impl<W: Write> HbtWriter<W> {
         let mut len = Vec::with_capacity(5);
         put_varint(&mut len, payload.len() as u64);
         self.w.write_all(&len)?;
-        self.w.write_all(payload)
+        self.w.write_all(payload)?;
+        if let Some(st) = self.v2.as_mut() {
+            st.written += (len.len() + payload.len()) as u64;
+        }
+        Ok(())
+    }
+
+    /// v2: write the buffered records as one frame and remember its index
+    /// entry.
+    fn emit_frame(&mut self) -> io::Result<()> {
+        let payload = match &mut self.v2 {
+            Some(st) => {
+                let continuation = st.frame_emitted;
+                let seed = if continuation { None } else { st.seed };
+                let payload = frame_payload(seed, continuation, st.events, st.incidents, &st.buf);
+                st.index.push(IndexEntry {
+                    offset: st.written,
+                    seed,
+                    continuation,
+                    events: st.events,
+                    incidents: st.incidents,
+                    raw_len: st.buf.len() as u64,
+                });
+                st.buf.clear();
+                st.events = 0;
+                st.incidents = 0;
+                st.frame_emitted = true;
+                payload
+            }
+            None => return Ok(()),
+        };
+        self.write_record(&payload)
+    }
+
+    /// v2: flush the open section. A `RUN`-opened section that buffered
+    /// nothing still gets one (empty) frame, so its seed reaches readers.
+    fn close_section(&mut self) -> io::Result<()> {
+        if !self.open {
+            return Ok(());
+        }
+        let needs_frame = match &self.v2 {
+            Some(st) => !st.buf.is_empty() || !st.frame_emitted,
+            None => false,
+        };
+        if needs_frame {
+            self.emit_frame()?;
+        }
+        if let Some(st) = self.v2.as_mut() {
+            st.seed = None;
+            st.frame_emitted = false;
+        }
+        Ok(())
+    }
+
+    /// v2: append one inner record to the frame buffer, flushing a frame
+    /// once it reaches [`FRAME_TARGET`] so giant sections split into
+    /// bounded, independently decodable frames.
+    fn buffer_framed(&mut self, payload: &[u8], is_event: bool) -> io::Result<()> {
+        let full = match self.v2.as_mut() {
+            Some(st) => {
+                put_varint(&mut st.buf, payload.len() as u64);
+                st.buf.extend_from_slice(payload);
+                if is_event {
+                    st.events += 1;
+                } else {
+                    st.incidents += 1;
+                }
+                st.buf.len() >= FRAME_TARGET
+            }
+            None => false,
+        };
+        if full {
+            self.emit_frame()
+        } else {
+            Ok(())
+        }
     }
 
     /// Start a new trace section recorded under `seed`.
     pub fn begin_run(&mut self, seed: u64) -> io::Result<()> {
+        if self.v2.is_some() {
+            self.close_section()?;
+            self.sections.push(Some(seed));
+            self.open = true;
+            if let Some(st) = self.v2.as_mut() {
+                st.seed = Some(seed);
+            }
+            return Ok(());
+        }
         self.sections.push(Some(seed));
         self.open = true;
         self.write_record(&run_payload(seed))
@@ -525,18 +804,34 @@ impl<W: Write> HbtWriter<W> {
     /// Append one event to the current section.
     pub fn write_event(&mut self, e: &Event) -> io::Result<()> {
         self.note_body_record();
-        self.write_record(&event_payload(e))
+        let payload = event_payload(e);
+        if self.v2.is_some() {
+            return self.buffer_framed(&payload, true);
+        }
+        self.write_record(&payload)
     }
 
     /// Append one incident to the current section.
     pub fn write_incident(&mut self, inc: &TraceIncident) -> io::Result<()> {
         self.note_body_record();
-        self.write_record(&incident_payload(inc))
+        let payload = incident_payload(inc);
+        if self.v2.is_some() {
+            return self.buffer_framed(&payload, false);
+        }
+        self.write_record(&payload)
     }
 
-    /// Emit the section manifest and the end marker, flush, and return the
-    /// inner writer.
+    /// Emit the seek index (v2), the section manifest, and the end marker,
+    /// flush, and return the inner writer.
     pub fn finish(mut self) -> io::Result<W> {
+        if self.v2.is_some() {
+            self.close_section()?;
+            let index = match &mut self.v2 {
+                Some(st) => std::mem::take(&mut st.index),
+                None => Vec::new(),
+            };
+            self.write_record(&index_payload(&index))?;
+        }
         let manifest = manifest_payload(&self.sections);
         self.write_record(&manifest)?;
         self.w.write_all(&[0])?;
@@ -549,6 +844,39 @@ impl<W: Write> HbtWriter<W> {
 // reader
 // ---------------------------------------------------------------------------
 
+/// Shared v2 decode state: both readers inflate frames into a queue of
+/// synthesized records and validate the trailing seek index against the
+/// frames actually observed, via the same free functions, so their errors
+/// stay byte-for-byte identical.
+#[derive(Debug, Default)]
+struct V2State {
+    /// Records synthesized from the most recent frame, not yet yielded.
+    pending: VecDeque<HbtRecord>,
+    /// One entry per frame observed, in stream order, to check the index
+    /// against.
+    frames: Vec<IndexEntry>,
+    /// True once the seek index record was seen.
+    index_seen: bool,
+    /// True while a section is open (frames or plain records have started
+    /// one); continuation frames are only legal in this state.
+    section_open: bool,
+}
+
+impl V2State {
+    /// Validate at the end marker: a frame-bearing stream must carry its
+    /// seek index, the same way a `RUN`-bearing stream must carry a
+    /// manifest.
+    fn check_end(&self, offset: u64) -> Result<(), HomeError> {
+        if !self.frames.is_empty() && !self.index_seen {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT stream with {} compressed frame(s) ends without a seek index at byte {offset}",
+                self.frames.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Streaming HBT reader over any [`io::Read`]. Tracks the absolute byte
 /// offset so every decode error points at the offending byte.
 #[derive(Debug)]
@@ -556,15 +884,20 @@ pub struct HbtReader<R: Read> {
     r: R,
     offset: u64,
     finished: bool,
+    version: u8,
+    v2: V2State,
 }
 
 impl<R: Read> HbtReader<R> {
-    /// Open a reader, validating the magic/version header.
+    /// Open a reader, validating the magic/version header. v1 and v2
+    /// streams are both accepted; see the module docs.
     pub fn new(r: R) -> Result<Self, HomeError> {
         let mut reader = HbtReader {
             r,
             offset: 0,
             finished: false,
+            version: HBT_VERSION,
+            v2: V2State::default(),
         };
         let mut header = [0u8; 5];
         reader.read_exact(&mut header, "HBT header")?;
@@ -573,12 +906,13 @@ impl<R: Read> HbtReader<R> {
                 "not an HBT stream: bad magic bytes",
             ));
         }
-        if header[4] != HBT_VERSION {
+        if header[4] != HBT_VERSION && header[4] != HBT_V2 {
             return Err(HomeError::corrupt_trace(format!(
-                "unsupported HBT version {} (expected {HBT_VERSION})",
+                "unsupported HBT version {} (expected {HBT_VERSION} or {HBT_V2}) at byte 4",
                 header[4]
             )));
         }
+        reader.version = header[4];
         Ok(reader)
     }
 
@@ -624,62 +958,73 @@ impl<R: Read> HbtReader<R> {
     }
 
     /// Read the next record, or `Ok(None)` at the end marker. Every
-    /// malformed or truncated input yields a typed error.
+    /// malformed or truncated input yields a typed error. v2 frames are
+    /// inflated and yielded as their synthesized `RUN`/`EVENT`/`INCIDENT`
+    /// records.
     pub fn next_record(&mut self) -> Result<Option<HbtRecord>, HomeError> {
-        if self.finished {
-            return Ok(None);
-        }
-        let len = self.read_varint("record length (or missing end marker)")?;
-        if len == 0 {
-            self.finished = true;
-            return Ok(None);
-        }
-        if len > MAX_RECORD_LEN {
-            return Err(HomeError::corrupt_trace(format!(
-                "HBT record length {len} exceeds limit at byte {}",
-                self.offset
-            )));
-        }
-        let base = self.offset;
-        let len = len as usize;
-        // The length prefix is attacker-controlled: read the payload in
-        // bounded chunks so a lying varint costs at most one chunk of
-        // allocation before the truncation error fires, never `len` bytes.
-        let mut payload: Vec<u8> = Vec::with_capacity(len.min(READ_CHUNK));
-        while payload.len() < len {
-            let start = payload.len();
-            let take = (len - start).min(READ_CHUNK);
-            payload.resize(start + take, 0);
-            match self.r.read_exact(&mut payload[start..]) {
-                Ok(()) => self.offset += take as u64,
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                    return Err(HomeError::trace_parse(format!(
-                        "truncated HBT stream: unexpected end of input in record payload \
-                         at byte {base}"
-                    )));
-                }
-                Err(e) => {
-                    return Err(HomeError::trace_parse(format!(
-                        "I/O error reading HBT stream at byte {}: {e}",
-                        self.offset
-                    )));
+        loop {
+            if let Some(record) = self.v2.pending.pop_front() {
+                return Ok(Some(record));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            let start = self.offset;
+            let len = self.read_varint("record length (or missing end marker)")?;
+            if len == 0 {
+                self.finished = true;
+                self.v2.check_end(self.offset)?;
+                return Ok(None);
+            }
+            if len > MAX_RECORD_LEN {
+                return Err(HomeError::corrupt_trace(format!(
+                    "HBT record length {len} exceeds limit at byte {}",
+                    self.offset
+                )));
+            }
+            let base = self.offset;
+            let len = len as usize;
+            // The length prefix is attacker-controlled: read the payload in
+            // bounded chunks so a lying varint costs at most one chunk of
+            // allocation before the truncation error fires, never `len` bytes.
+            let mut payload: Vec<u8> = Vec::with_capacity(len.min(READ_CHUNK));
+            while payload.len() < len {
+                let filled = payload.len();
+                let take = (len - filled).min(READ_CHUNK);
+                payload.resize(filled + take, 0);
+                match self.r.read_exact(&mut payload[filled..]) {
+                    Ok(()) => self.offset += take as u64,
+                    Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                        return Err(HomeError::trace_parse(format!(
+                            "truncated HBT stream: unexpected end of input in record payload \
+                             at byte {base}"
+                        )));
+                    }
+                    Err(e) => {
+                        return Err(HomeError::trace_parse(format!(
+                            "I/O error reading HBT stream at byte {}: {e}",
+                            self.offset
+                        )));
+                    }
                 }
             }
+            let mut cur = Cur {
+                buf: &payload,
+                pos: 0,
+                base,
+            };
+            let record = process_record(&mut cur, self.version, start, &mut self.v2)?;
+            if cur.pos != payload.len() {
+                return Err(HomeError::corrupt_trace(format!(
+                    "HBT record has {} trailing byte(s) at byte {}",
+                    payload.len() - cur.pos,
+                    base + cur.pos as u64
+                )));
+            }
+            if let Some(record) = record {
+                return Ok(Some(record));
+            }
         }
-        let mut cur = Cur {
-            buf: &payload,
-            pos: 0,
-            base,
-        };
-        let record = decode_payload(&mut cur)?;
-        if cur.pos != payload.len() {
-            return Err(HomeError::corrupt_trace(format!(
-                "HBT record has {} trailing byte(s) at byte {}",
-                payload.len() - cur.pos,
-                base + cur.pos as u64
-            )));
-        }
-        Ok(Some(record))
     }
 
     /// Bytes consumed from the underlying stream so far.
@@ -702,10 +1047,13 @@ pub struct HbtSliceReader<'a> {
     buf: &'a [u8],
     pos: usize,
     finished: bool,
+    version: u8,
+    v2: V2State,
 }
 
 impl<'a> HbtSliceReader<'a> {
     /// Open a reader over `bytes`, validating the magic/version header.
+    /// v1 and v2 streams are both accepted; see the module docs.
     pub fn new(bytes: &'a [u8]) -> Result<Self, HomeError> {
         if bytes.len() < 5 {
             return Err(HomeError::trace_parse(
@@ -717,9 +1065,9 @@ impl<'a> HbtSliceReader<'a> {
                 "not an HBT stream: bad magic bytes",
             ));
         }
-        if bytes[4] != HBT_VERSION {
+        if bytes[4] != HBT_VERSION && bytes[4] != HBT_V2 {
             return Err(HomeError::corrupt_trace(format!(
-                "unsupported HBT version {} (expected {HBT_VERSION})",
+                "unsupported HBT version {} (expected {HBT_VERSION} or {HBT_V2}) at byte 4",
                 bytes[4]
             )));
         }
@@ -727,6 +1075,8 @@ impl<'a> HbtSliceReader<'a> {
             buf: bytes,
             pos: 5,
             finished: false,
+            version: bytes[4],
+            v2: V2State::default(),
         })
     }
 
@@ -758,44 +1108,55 @@ impl<'a> HbtSliceReader<'a> {
     }
 
     /// Read the next record, or `Ok(None)` at the end marker. Every
-    /// malformed or truncated input yields a typed error.
+    /// malformed or truncated input yields a typed error. v2 frames are
+    /// inflated and yielded as their synthesized `RUN`/`EVENT`/`INCIDENT`
+    /// records.
     pub fn next_record(&mut self) -> Result<Option<HbtRecord>, HomeError> {
-        if self.finished {
-            return Ok(None);
+        loop {
+            if let Some(record) = self.v2.pending.pop_front() {
+                return Ok(Some(record));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            let start = self.pos as u64;
+            let len = self.read_varint("record length (or missing end marker)")?;
+            if len == 0 {
+                self.finished = true;
+                self.v2.check_end(self.pos as u64)?;
+                return Ok(None);
+            }
+            if len > MAX_RECORD_LEN {
+                return Err(HomeError::corrupt_trace(format!(
+                    "HBT record length {len} exceeds limit at byte {}",
+                    self.pos
+                )));
+            }
+            let len = len as usize;
+            let base = self.pos as u64;
+            let payload = self
+                .pos
+                .checked_add(len)
+                .and_then(|end| self.buf.get(self.pos..end))
+                .ok_or_else(|| self.truncated("record payload"))?;
+            self.pos += len;
+            let mut cur = Cur {
+                buf: payload,
+                pos: 0,
+                base,
+            };
+            let record = process_record(&mut cur, self.version, start, &mut self.v2)?;
+            if cur.pos != payload.len() {
+                return Err(HomeError::corrupt_trace(format!(
+                    "HBT record has {} trailing byte(s) at byte {}",
+                    payload.len() - cur.pos,
+                    base + cur.pos as u64
+                )));
+            }
+            if let Some(record) = record {
+                return Ok(Some(record));
+            }
         }
-        let len = self.read_varint("record length (or missing end marker)")?;
-        if len == 0 {
-            self.finished = true;
-            return Ok(None);
-        }
-        if len > MAX_RECORD_LEN {
-            return Err(HomeError::corrupt_trace(format!(
-                "HBT record length {len} exceeds limit at byte {}",
-                self.pos
-            )));
-        }
-        let len = len as usize;
-        let base = self.pos as u64;
-        let payload = self
-            .pos
-            .checked_add(len)
-            .and_then(|end| self.buf.get(self.pos..end))
-            .ok_or_else(|| self.truncated("record payload"))?;
-        self.pos += len;
-        let mut cur = Cur {
-            buf: payload,
-            pos: 0,
-            base,
-        };
-        let record = decode_payload(&mut cur)?;
-        if cur.pos != payload.len() {
-            return Err(HomeError::corrupt_trace(format!(
-                "HBT record has {} trailing byte(s) at byte {}",
-                payload.len() - cur.pos,
-                base + cur.pos as u64
-            )));
-        }
-        Ok(Some(record))
     }
 
     /// Bytes consumed from the slice so far.
@@ -1029,8 +1390,291 @@ impl Cur<'_> {
     }
 }
 
-fn decode_payload(cur: &mut Cur<'_>) -> Result<HbtRecord, HomeError> {
-    match cur.u8("record kind")? {
+/// Decode one record payload, dispatching v2 kinds through the shared
+/// reader state. Returns `Ok(None)` when the record was a frame (its
+/// synthesized records were queued in `v2.pending`). `start` is the
+/// absolute offset of the record's length varint — the offset a seek
+/// index must quote for a frame.
+///
+/// Both readers route every record through this one function, so their
+/// validation rules and error strings stay byte-for-byte identical.
+fn process_record(
+    cur: &mut Cur<'_>,
+    version: u8,
+    start: u64,
+    v2: &mut V2State,
+) -> Result<Option<HbtRecord>, HomeError> {
+    let kind = cur.u8("record kind")?;
+    if version < HBT_V2 && (kind == REC_FRAME || kind == REC_INDEX) {
+        return Err(cur.corrupt(format!(
+            "HBT v2 record kind {kind} in a version-{version} stream"
+        )));
+    }
+    if v2.index_seen && kind != REC_MANIFEST && kind != REC_INDEX {
+        return Err(cur.corrupt(format!("HBT record kind {kind} after the seek index")));
+    }
+    match kind {
+        REC_FRAME => {
+            decode_frame(cur, start, v2)?;
+            Ok(None)
+        }
+        REC_INDEX => Ok(Some(HbtRecord::Index {
+            entries: decode_index(cur, v2)?,
+        })),
+        _ => {
+            let record = decode_body(kind, cur)?;
+            if matches!(
+                record,
+                HbtRecord::Run { .. } | HbtRecord::Event(_) | HbtRecord::Incident(_)
+            ) {
+                v2.section_open = true;
+            }
+            Ok(Some(record))
+        }
+    }
+}
+
+/// A v2 frame's decoded header fields (everything before the stored
+/// bytes; never compressed).
+struct FrameHeader {
+    seed: Option<u64>,
+    continuation: bool,
+    compressed: bool,
+    events: u64,
+    incidents: u64,
+    raw_len: u64,
+}
+
+/// Decode and validate a frame header. `section_open` is whether the
+/// stream has a section in progress — continuation frames require one,
+/// and an anonymous (seedless, non-continuation) frame is only legal
+/// before any section has started.
+fn decode_frame_header(cur: &mut Cur<'_>, section_open: bool) -> Result<FrameHeader, HomeError> {
+    let flags = cur.u8("frame flags")?;
+    if flags & !(FRAME_HAS_SEED | FRAME_COMPRESSED | FRAME_CONTINUATION) != 0 {
+        return Err(cur.corrupt(format!("invalid HBT frame flag bits {flags:#x}")));
+    }
+    let continuation = flags & FRAME_CONTINUATION != 0;
+    let seed = if flags & FRAME_HAS_SEED != 0 {
+        if continuation {
+            return Err(cur.corrupt("HBT continuation frame carries a section seed".to_string()));
+        }
+        Some(cur.varint("frame seed")?)
+    } else {
+        None
+    };
+    if continuation && !section_open {
+        return Err(cur.corrupt("HBT continuation frame without an open section".to_string()));
+    }
+    if !continuation && seed.is_none() && section_open {
+        return Err(cur.corrupt("anonymous HBT frame after a recorded section".to_string()));
+    }
+    let events = cur.varint("frame event count")?;
+    let incidents = cur.varint("frame incident count")?;
+    let raw_len = cur.varint("frame uncompressed length")?;
+    if raw_len > MAX_RECORD_LEN {
+        return Err(cur.corrupt(format!(
+            "HBT frame uncompressed length {raw_len} exceeds limit"
+        )));
+    }
+    Ok(FrameHeader {
+        seed,
+        continuation,
+        compressed: flags & FRAME_COMPRESSED != 0,
+        events,
+        incidents,
+        raw_len,
+    })
+}
+
+/// Decode one frame into `v2.pending` (synthesized `RUN` first for
+/// seed-bearing frames) and record its index entry.
+fn decode_frame(cur: &mut Cur<'_>, start: u64, v2: &mut V2State) -> Result<(), HomeError> {
+    let header = decode_frame_header(cur, v2.section_open)?;
+    let stored = &cur.buf[cur.pos..];
+    cur.pos = cur.buf.len();
+    let records = if header.compressed {
+        let raw = lz::decompress(stored, header.raw_len as usize).map_err(|e| {
+            HomeError::corrupt_trace(format!("corrupt compressed HBT frame at byte {start}: {e}"))
+        })?;
+        decode_frame_body(&raw, header.events, header.incidents, start)?
+    } else {
+        if stored.len() as u64 != header.raw_len {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT frame at byte {start} declares {} uncompressed byte(s) but stores {}",
+                header.raw_len,
+                stored.len()
+            )));
+        }
+        decode_frame_body(stored, header.events, header.incidents, start)?
+    };
+    v2.frames.push(IndexEntry {
+        offset: start,
+        seed: header.seed,
+        continuation: header.continuation,
+        events: header.events,
+        incidents: header.incidents,
+        raw_len: header.raw_len,
+    });
+    if let Some(seed) = header.seed {
+        v2.pending.push_back(HbtRecord::Run { seed });
+    }
+    v2.section_open = true;
+    v2.pending.extend(records);
+    Ok(())
+}
+
+/// Wrap an error from inside a frame body: the inner offset is relative
+/// to the (possibly decompressed) frame bytes, so the frame's absolute
+/// stream offset leads the message.
+fn frame_corrupt(start: u64, e: HomeError) -> HomeError {
+    HomeError::corrupt_trace(format!("corrupt HBT frame at byte {start}: {e}"))
+}
+
+/// Parse a frame's uncompressed body: a concatenation of length-prefixed
+/// `EVENT`/`INCIDENT` records, validated against the header's declared
+/// counts.
+fn decode_frame_body(
+    raw: &[u8],
+    events: u64,
+    incidents: u64,
+    start: u64,
+) -> Result<Vec<HbtRecord>, HomeError> {
+    let mut out = Vec::new();
+    let mut cur = Cur {
+        buf: raw,
+        pos: 0,
+        base: 0,
+    };
+    let (mut n_events, mut n_incidents) = (0u64, 0u64);
+    while cur.pos < raw.len() {
+        let len = cur
+            .varint("frame record length")
+            .map_err(|e| frame_corrupt(start, e))?;
+        if len == 0 {
+            return Err(HomeError::corrupt_trace(format!(
+                "empty record inside the HBT frame at byte {start}"
+            )));
+        }
+        let end = cur
+            .pos
+            .checked_add(len as usize)
+            .filter(|&e| e <= raw.len())
+            .ok_or_else(|| frame_corrupt(start, cur.truncated("frame record payload")))?;
+        let payload = &raw[cur.pos..end];
+        let base = cur.pos as u64;
+        cur.pos = end;
+        let mut inner = Cur {
+            buf: payload,
+            pos: 0,
+            base,
+        };
+        let kind = inner
+            .u8("record kind")
+            .map_err(|e| frame_corrupt(start, e))?;
+        if kind != REC_EVENT && kind != REC_INCIDENT {
+            return Err(HomeError::corrupt_trace(format!(
+                "record kind {kind} inside the HBT frame at byte {start}"
+            )));
+        }
+        let record = decode_body(kind, &mut inner).map_err(|e| frame_corrupt(start, e))?;
+        if inner.pos != payload.len() {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT record has {} trailing byte(s) inside the frame at byte {start}",
+                payload.len() - inner.pos
+            )));
+        }
+        match &record {
+            HbtRecord::Event(_) => n_events += 1,
+            _ => n_incidents += 1,
+        }
+        out.push(record);
+    }
+    if n_events != events || n_incidents != incidents {
+        return Err(HomeError::corrupt_trace(format!(
+            "HBT frame at byte {start} declares {events} event(s) and {incidents} incident(s) \
+             but stores {n_events} and {n_incidents}"
+        )));
+    }
+    Ok(out)
+}
+
+/// Decode the seek index record's entries (validation against observed
+/// frames happens in the callers).
+fn decode_index_entries(cur: &mut Cur<'_>) -> Result<Vec<IndexEntry>, HomeError> {
+    let count = cur.varint("index frame count")?;
+    // Each entry is at least five bytes, so the count is bounded by the
+    // bytes actually present — check before sizing any allocation off the
+    // attacker-controlled value.
+    let remaining = (cur.buf.len() - cur.pos) as u64;
+    if count > remaining {
+        return Err(cur.corrupt(format!("HBT index frame count {count} exceeds record size")));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let flags = cur.u8("index entry flags")?;
+        if flags & !(FRAME_HAS_SEED | FRAME_CONTINUATION) != 0 {
+            return Err(cur.corrupt(format!("invalid HBT index entry flag bits {flags:#x}")));
+        }
+        let continuation = flags & FRAME_CONTINUATION != 0;
+        let seed = if flags & FRAME_HAS_SEED != 0 {
+            if continuation {
+                return Err(
+                    cur.corrupt("HBT continuation index entry carries a section seed".to_string())
+                );
+            }
+            Some(cur.varint("index entry seed")?)
+        } else {
+            None
+        };
+        entries.push(IndexEntry {
+            offset: cur.varint("index entry offset")?,
+            seed,
+            continuation,
+            events: cur.varint("index entry event count")?,
+            incidents: cur.varint("index entry incident count")?,
+            raw_len: cur.varint("index entry uncompressed length")?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Reject a seek index that disagrees with the frames actually observed
+/// in the stream — a lying offset, seed, count, or length never reaches
+/// the parallel decode path.
+fn check_index(declared: &[IndexEntry], observed: &[IndexEntry], at: u64) -> Result<(), HomeError> {
+    if declared.len() != observed.len() {
+        return Err(HomeError::corrupt_trace(format!(
+            "HBT seek index declares {} frame(s) but the stream contains {} at byte {at}",
+            declared.len(),
+            observed.len()
+        )));
+    }
+    for (i, (d, o)) in declared.iter().zip(observed).enumerate() {
+        if d != o {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT seek index entry {i} disagrees with the stream: declared {d:?} \
+                 but observed {o:?} at byte {at}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Decode and validate the seek index against the reader's observed
+/// frames.
+fn decode_index(cur: &mut Cur<'_>, v2: &mut V2State) -> Result<Vec<IndexEntry>, HomeError> {
+    if v2.index_seen {
+        return Err(cur.corrupt("duplicate HBT seek index".to_string()));
+    }
+    let entries = decode_index_entries(cur)?;
+    check_index(&entries, &v2.frames, cur.at())?;
+    v2.index_seen = true;
+    Ok(entries)
+}
+
+fn decode_body(kind: u8, cur: &mut Cur<'_>) -> Result<HbtRecord, HomeError> {
+    match kind {
         REC_RUN => Ok(HbtRecord::Run {
             seed: cur.varint("run seed")?,
         }),
@@ -1135,7 +1779,7 @@ pub fn decode_sections(bytes: &[u8]) -> Result<Vec<HbtSection>, HomeError> {
                 incidents.push(i);
                 open = true;
             }
-            HbtRecord::Manifest { .. } => {}
+            HbtRecord::Manifest { .. } | HbtRecord::Index { .. } => {}
         }
     }
     check.finish(reader.offset())?;
@@ -1143,6 +1787,274 @@ pub fn decode_sections(bytes: &[u8]) -> Result<Vec<HbtSection>, HomeError> {
         flush(&mut seed, &mut events, &mut incidents, &mut sections);
     }
     Ok(sections)
+}
+
+/// Stitch a decoded record sequence into trace sections — the same
+/// grouping [`decode_sections`] performs (`RUN` opens a section; leading
+/// bare records form the anonymous section; `MANIFEST`/`INDEX` are
+/// ignored). The parallel replay path uses it to reassemble per-frame
+/// record batches into sections.
+pub fn sections_from_records<I: IntoIterator<Item = HbtRecord>>(records: I) -> Vec<HbtSection> {
+    let mut sections: Vec<HbtSection> = Vec::new();
+    let mut seed: Option<u64> = None;
+    let mut events: Vec<Event> = Vec::new();
+    let mut incidents: Vec<TraceIncident> = Vec::new();
+    let mut open = false;
+    for record in records {
+        match record {
+            HbtRecord::Run { seed: s } => {
+                if open {
+                    sections.push(HbtSection {
+                        seed: seed.take(),
+                        trace: Trace::from_events(std::mem::take(&mut events)),
+                        incidents: std::mem::take(&mut incidents),
+                    });
+                }
+                seed = Some(s);
+                open = true;
+            }
+            HbtRecord::Event(e) => {
+                events.push(e);
+                open = true;
+            }
+            HbtRecord::Incident(i) => {
+                incidents.push(i);
+                open = true;
+            }
+            HbtRecord::Manifest { .. } | HbtRecord::Index { .. } => {}
+        }
+    }
+    if open {
+        sections.push(HbtSection {
+            seed,
+            trace: Trace::from_events(events),
+            incidents,
+        });
+    }
+    sections
+}
+
+// ---------------------------------------------------------------------------
+// v2 layout scan (parallel decode support)
+// ---------------------------------------------------------------------------
+
+/// Where one v2 frame lives in a byte stream and what its header
+/// declares. Produced by [`scan_layout`]; consumed by
+/// [`decode_frame_records`].
+#[derive(Debug, Clone)]
+pub struct FrameLoc {
+    /// The frame's header fields, as a seek-index entry.
+    pub entry: IndexEntry,
+    /// True when the stored bytes are LZ-compressed.
+    compressed: bool,
+    /// Byte range of the stored frame body within the stream.
+    body: std::ops::Range<usize>,
+}
+
+/// The validated structure of a v2 stream: every frame's location, ready
+/// for independent (parallel) decoding.
+#[derive(Debug, Clone)]
+pub struct HbtLayout {
+    /// Frames in stream order.
+    pub frames: Vec<FrameLoc>,
+}
+
+fn scan_varint(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, HomeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos).ok_or_else(|| {
+            HomeError::trace_parse(format!(
+                "truncated HBT stream: unexpected end of input in {what} at byte {}",
+                *pos
+            ))
+        })?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(HomeError::corrupt_trace(format!(
+                "varint overflow in {what} at byte {}",
+                *pos - 1
+            )));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Walk a stream's record headers without decompressing or decoding any
+/// frame body, returning every frame's location for parallel decode.
+///
+/// Returns `Ok(None)` when the stream is v1, or a v2 stream carrying
+/// plain (unframed) body records — callers fall back to the serial
+/// [`decode_sections`] path, which handles every valid stream. The scan
+/// validates the full v2 structure: the end marker, the seek index
+/// against the frame headers actually present, and the manifest against
+/// the sections the frames declare — so a lying index or a spliced
+/// stream is rejected here without inflating a single frame.
+pub fn scan_layout(bytes: &[u8]) -> Result<Option<HbtLayout>, HomeError> {
+    if bytes.len() < 5 {
+        return Err(HomeError::trace_parse(
+            "truncated HBT stream: unexpected end of input in HBT header at byte 0",
+        ));
+    }
+    if bytes[..4] != HBT_MAGIC {
+        return Err(HomeError::corrupt_trace(
+            "not an HBT stream: bad magic bytes",
+        ));
+    }
+    if bytes[4] == HBT_VERSION {
+        return Ok(None);
+    }
+    if bytes[4] != HBT_V2 {
+        return Err(HomeError::corrupt_trace(format!(
+            "unsupported HBT version {} (expected {HBT_VERSION} or {HBT_V2}) at byte 4",
+            bytes[4]
+        )));
+    }
+    let mut pos = 5usize;
+    let mut frames: Vec<FrameLoc> = Vec::new();
+    let mut index_seen = false;
+    let mut manifest_seen = false;
+    let mut section_open = false;
+    let mut check = ManifestCheck::new();
+    loop {
+        let start = pos as u64;
+        let len = scan_varint(bytes, &mut pos, "record length (or missing end marker)")?;
+        if len == 0 {
+            break;
+        }
+        if len > MAX_RECORD_LEN {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT record length {len} exceeds limit at byte {pos}"
+            )));
+        }
+        if manifest_seen {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT record after the section manifest at byte {start}"
+            )));
+        }
+        let base = pos as u64;
+        let len = len as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| {
+                HomeError::trace_parse(format!(
+                    "truncated HBT stream: unexpected end of input in record payload at byte {pos}"
+                ))
+            })?;
+        let payload = &bytes[pos..end];
+        pos = end;
+        let mut cur = Cur {
+            buf: payload,
+            pos: 0,
+            base,
+        };
+        let kind = cur.u8("record kind")?;
+        match kind {
+            REC_FRAME => {
+                if index_seen {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "HBT record kind {kind} after the seek index at byte {base}"
+                    )));
+                }
+                let header = decode_frame_header(&mut cur, section_open)?;
+                let body = (base as usize + cur.pos)..end;
+                if !header.compressed && body.len() as u64 != header.raw_len {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "HBT frame at byte {start} declares {} uncompressed byte(s) but stores {}",
+                        header.raw_len,
+                        body.len()
+                    )));
+                }
+                if !header.continuation {
+                    check.note_section(header.seed);
+                }
+                frames.push(FrameLoc {
+                    entry: IndexEntry {
+                        offset: start,
+                        seed: header.seed,
+                        continuation: header.continuation,
+                        events: header.events,
+                        incidents: header.incidents,
+                        raw_len: header.raw_len,
+                    },
+                    compressed: header.compressed,
+                    body,
+                });
+                section_open = true;
+            }
+            REC_INDEX => {
+                if index_seen {
+                    return Err(cur.corrupt("duplicate HBT seek index".to_string()));
+                }
+                let entries = decode_index_entries(&mut cur)?;
+                if cur.pos != payload.len() {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "HBT record has {} trailing byte(s) at byte {}",
+                        payload.len() - cur.pos,
+                        base + cur.pos as u64
+                    )));
+                }
+                let observed: Vec<IndexEntry> = frames.iter().map(|f| f.entry).collect();
+                check_index(&entries, &observed, base + cur.pos as u64)?;
+                index_seen = true;
+            }
+            REC_MANIFEST => {
+                let record = decode_body(kind, &mut cur)?;
+                if cur.pos != payload.len() {
+                    return Err(HomeError::corrupt_trace(format!(
+                        "HBT record has {} trailing byte(s) at byte {}",
+                        payload.len() - cur.pos,
+                        base + cur.pos as u64
+                    )));
+                }
+                check.on_record(&record, pos as u64)?;
+                manifest_seen = true;
+            }
+            // Plain v1-style body records (or an invalid kind byte): the
+            // serial reader path handles — or properly rejects — these.
+            _ => return Ok(None),
+        }
+    }
+    if !frames.is_empty() && !index_seen {
+        return Err(HomeError::corrupt_trace(format!(
+            "HBT stream with {} compressed frame(s) ends without a seek index at byte {pos}",
+            frames.len()
+        )));
+    }
+    check.finish(pos as u64)?;
+    Ok(Some(HbtLayout { frames }))
+}
+
+/// Decode one frame located by [`scan_layout`] into its records (a
+/// synthesized `RUN` first, for seed-bearing frames). Frames decode
+/// independently — this is the unit of work the parallel replay path
+/// fans out across workers.
+pub fn decode_frame_records(bytes: &[u8], frame: &FrameLoc) -> Result<Vec<HbtRecord>, HomeError> {
+    let start = frame.entry.offset;
+    let stored = bytes.get(frame.body.clone()).ok_or_else(|| {
+        HomeError::corrupt_trace(format!(
+            "HBT frame body at byte {start} extends past the end of the stream"
+        ))
+    })?;
+    let mut records = Vec::new();
+    if let Some(seed) = frame.entry.seed {
+        records.push(HbtRecord::Run { seed });
+    }
+    let body = if frame.compressed {
+        let raw = lz::decompress(stored, frame.entry.raw_len as usize).map_err(|e| {
+            HomeError::corrupt_trace(format!("corrupt compressed HBT frame at byte {start}: {e}"))
+        })?;
+        decode_frame_body(&raw, frame.entry.events, frame.entry.incidents, start)?
+    } else {
+        decode_frame_body(stored, frame.entry.events, frame.entry.incidents, start)?
+    };
+    records.extend(body);
+    Ok(records)
 }
 
 // ---------------------------------------------------------------------------
@@ -1508,5 +2420,183 @@ mod tests {
     fn mmap_reader_missing_file_is_typed_error() {
         let err = HbtMmapReader::open("/nonexistent/definitely/missing.hbt").unwrap_err();
         assert!(matches!(err, HomeError::TraceParse { .. }), "{err:?}");
+    }
+
+    /// Record the same two-section trace through both writers; the v2
+    /// stream must decode to identical sections.
+    fn twin_streams() -> (Vec<u8>, Vec<u8>) {
+        let mut v1 = HbtWriter::new(Vec::new()).unwrap();
+        let mut v2 = HbtWriter::new_compressed(Vec::new()).unwrap();
+        for w in [&mut v1, &mut v2] {
+            w.begin_run(7).unwrap();
+            for seq in 0..100 {
+                w.write_event(&sample_event(seq)).unwrap();
+            }
+            w.write_incident(&TraceIncident {
+                rank: 1,
+                line: 12,
+                call: "MPI_Recv".into(),
+                error: "boom".into(),
+            })
+            .unwrap();
+            w.begin_run(8).unwrap();
+            w.write_event(&sample_event(100)).unwrap();
+        }
+        (v1.finish().unwrap(), v2.finish().unwrap())
+    }
+
+    fn assert_same_sections(a: &[HbtSection], b: &[HbtSection]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.trace.events(), y.trace.events());
+            assert_eq!(x.incidents, y.incidents);
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_matches_v1_sections() {
+        let (v1, v2) = twin_streams();
+        assert!(v2.len() < v1.len(), "{} vs {}", v2.len(), v1.len());
+        assert_same_sections(
+            &decode_sections(&v1).unwrap(),
+            &decode_sections(&v2).unwrap(),
+        );
+    }
+
+    #[test]
+    fn v2_streaming_reader_matches_slice_reader() {
+        let (_, v2) = twin_streams();
+        let mut buffered = HbtReader::new(&v2[..]).unwrap();
+        let mut sliced = HbtSliceReader::new(&v2).unwrap();
+        loop {
+            let a = buffered.next_record().unwrap();
+            let b = sliced.next_record().unwrap();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn v2_every_truncation_is_a_typed_error() {
+        let (_, v2) = twin_streams();
+        for cut in 0..v2.len() {
+            let err = decode_sections(&v2[..cut])
+                .err()
+                .unwrap_or_else(|| panic!("prefix of {cut} bytes decoded cleanly"));
+            assert!(
+                matches!(
+                    err,
+                    HomeError::TraceParse { .. } | HomeError::CorruptTrace { .. }
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_giant_section_splits_into_continuation_frames() {
+        let mut w = HbtWriter::new_compressed(Vec::new()).unwrap();
+        w.begin_run(3).unwrap();
+        // Enough events to overflow FRAME_TARGET several times over.
+        let n = (FRAME_TARGET / 8) as u64;
+        for seq in 0..n {
+            w.write_event(&sample_event(seq)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let layout = scan_layout(&bytes).unwrap().unwrap();
+        assert!(layout.frames.len() > 1, "{} frame(s)", layout.frames.len());
+        assert_eq!(layout.frames[0].entry.seed, Some(3));
+        assert!(layout.frames[1].entry.continuation);
+        assert_eq!(layout.frames.iter().map(|f| f.entry.events).sum::<u64>(), n);
+        // Frame-by-frame decode stitches back to the serial result.
+        let mut records = Vec::new();
+        for frame in &layout.frames {
+            records.extend(decode_frame_records(&bytes, frame).unwrap());
+        }
+        let stitched = sections_from_records(records);
+        assert_same_sections(&stitched, &decode_sections(&bytes).unwrap());
+    }
+
+    #[test]
+    fn scan_layout_returns_none_for_v1() {
+        let (v1, v2) = twin_streams();
+        assert!(scan_layout(&v1).unwrap().is_none());
+        let layout = scan_layout(&v2).unwrap().unwrap();
+        assert_eq!(layout.frames.len(), 2);
+        let mut records = Vec::new();
+        for frame in &layout.frames {
+            records.extend(decode_frame_records(&v2, frame).unwrap());
+        }
+        assert_same_sections(
+            &sections_from_records(records),
+            &decode_sections(&v2).unwrap(),
+        );
+    }
+
+    #[test]
+    fn v2_empty_stream_roundtrips() {
+        let w = HbtWriter::new_compressed(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(decode_sections(&bytes).unwrap().len(), 0);
+        assert!(scan_layout(&bytes).unwrap().unwrap().frames.is_empty());
+    }
+
+    #[test]
+    fn v2_empty_run_section_keeps_its_seed() {
+        let mut w = HbtWriter::new_compressed(Vec::new()).unwrap();
+        w.begin_run(11).unwrap();
+        w.begin_run(12).unwrap();
+        w.write_event(&sample_event(0)).unwrap();
+        let bytes = w.finish().unwrap();
+        let sections = decode_sections(&bytes).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].seed, Some(11));
+        assert_eq!(sections[0].trace.events().len(), 0);
+        assert_eq!(sections[1].seed, Some(12));
+    }
+
+    #[test]
+    fn v2_kinds_in_v1_stream_are_typed_errors() {
+        for kind in [REC_FRAME, REC_INDEX] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&HBT_MAGIC);
+            bytes.push(HBT_VERSION);
+            bytes.push(2); // record length
+            bytes.push(kind);
+            bytes.push(0); // flags / count
+            bytes.push(0); // end marker
+            let err = decode_sections(&bytes).unwrap_err();
+            let msg = format!("{err}");
+            assert!(msg.contains("v2 record kind"), "kind {kind}: {msg}");
+            assert!(msg.contains("byte"), "kind {kind}: {msg}");
+        }
+    }
+
+    #[test]
+    fn v2_stream_without_index_is_rejected() {
+        let (_, v2) = twin_streams();
+        // Locate every record; drop the INDEX one and re-splice.
+        let mut pos = 5usize;
+        let mut out: Vec<u8> = v2[..5].to_vec();
+        loop {
+            let start = pos;
+            let len = scan_varint(&v2, &mut pos, "len").unwrap();
+            if len == 0 {
+                out.push(0);
+                break;
+            }
+            let end = pos + len as usize;
+            if v2[pos] != REC_INDEX {
+                out.extend_from_slice(&v2[start..end]);
+            }
+            pos = end;
+        }
+        let err = decode_sections(&out).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("without a seek index"), "{msg}");
+        assert!(msg.contains("byte"), "{msg}");
     }
 }

@@ -13,12 +13,16 @@
 //! trace format with a magic/version header and an explicit end marker,
 //! readable and writable as a stream (`io::Read`/`io::Write`) with typed
 //! truncation/corruption errors. `home record` writes it, `home replay`
-//! and `home analyze -` consume it.
+//! and `home analyze -` consume it. Version 2 (`record --compress`) packs
+//! sections into [`lz`]-compressed frames behind a writer-emitted seek
+//! index, so replay can decode frames in parallel ([`scan_layout`] /
+//! [`decode_frame_records`]).
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod detector;
 pub mod hbt;
+pub mod lz;
 
 use home_trace::Event;
 
@@ -49,8 +53,9 @@ pub trait RaceSink: Send + Sync {
 
 pub use detector::{detect_stream, StreamDetector, StreamStats};
 pub use hbt::{
-    decode_sections, encode_trace, is_hbt, HbtMmapReader, HbtReader, HbtRecord, HbtSection,
-    HbtSliceReader, HbtWriter, ManifestCheck, TraceIncident, HBT_MAGIC, HBT_VERSION,
-    MAX_RECORD_LEN,
+    decode_frame_records, decode_sections, encode_trace, is_hbt, scan_layout,
+    sections_from_records, FrameLoc, HbtLayout, HbtMmapReader, HbtReader, HbtRecord, HbtSection,
+    HbtSliceReader, HbtWriter, IndexEntry, ManifestCheck, TraceIncident, HBT_MAGIC, HBT_V2,
+    HBT_VERSION, MAX_RECORD_LEN,
 };
 pub use home_dynamic::Race;

@@ -104,6 +104,41 @@ if [ "$serve_code" -ne 0 ]; then
 fi
 rm -rf "$serve_dir"
 
+# v2 round-trip: `record --compress` must produce a smaller trace whose
+# parallel replay (`--jobs 4`) prints the exact verdict lines and exit
+# code of `check` — the compressed, seek-indexed format may never change
+# a verdict.
+echo "==> HBT v2 round-trip (record --compress -> replay --jobs 4 == check)"
+v2_dir="$(mktemp -d)"
+./target/release/home record programs/figure2.hmp -o "$v2_dir/fig2.hbt" > /dev/null
+./target/release/home record programs/figure2.hmp -o "$v2_dir/fig2.v2.hbt" --compress > /dev/null
+v1_size=$(wc -c < "$v2_dir/fig2.hbt")
+v2_size=$(wc -c < "$v2_dir/fig2.v2.hbt")
+if [ "$v2_size" -ge "$v1_size" ]; then
+    echo "v2 round-trip: --compress did not shrink the trace ($v2_size >= $v1_size)" >&2
+    exit 1
+fi
+check_code=0
+./target/release/home check programs/figure2.hmp > "$v2_dir/check.out" || check_code=$?
+v2_code=0
+./target/release/home replay "$v2_dir/fig2.v2.hbt" --jobs 4 > "$v2_dir/replay.out" || v2_code=$?
+if [ "$v2_code" -ne "$check_code" ]; then
+    echo "v2 round-trip: replay exit $v2_code != check's $check_code" >&2
+    exit 1
+fi
+if ! diff <(grep -o 'is[A-Za-z]*Violation' "$v2_dir/check.out" | sort -u) \
+          <(grep -o 'is[A-Za-z]*Violation' "$v2_dir/replay.out" | sort -u); then
+    echo "v2 round-trip: compressed replay verdict differs from check" >&2
+    exit 1
+fi
+serial_out="$v2_dir/replay1.out"
+./target/release/home replay "$v2_dir/fig2.v2.hbt" --jobs 1 > "$serial_out" || true
+if ! diff "$serial_out" "$v2_dir/replay.out"; then
+    echo "v2 round-trip: --jobs 1 and --jobs 4 output differ" >&2
+    exit 1
+fi
+rm -rf "$v2_dir"
+
 # Bench smoke: the throughput harness must build and complete one quick
 # pass (catches bit-rot in home-bench without paying for a full run; the
 # checked-in numbers live in BENCH_throughput.json).

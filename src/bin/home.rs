@@ -9,8 +9,9 @@
 //! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
 //!                          [--trace-out trace.json]
 //! home record  <file.hmp> -o trace.hbt [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
-//! home replay  <trace.hbt>
-//! home analyze <trace.json|trace.hbt|->
+//!                          [--compress]
+//! home replay  <trace.hbt|-> [--jobs N]
+//! home analyze <trace.json|trace.hbt|-> [--jobs N]
 //! home serve   --socket path.sock [--max-sessions N] [--status|--stop]
 //! home submit  <trace.hbt> --socket path.sock [--json]
 //! home fmt     <file.hmp>
@@ -147,7 +148,15 @@ fn print_help() {
     oprintln!();
     oprintln!("record options:");
     oprintln!("  -o trace.hbt    output path for the binary trace (required)");
+    oprintln!("  --compress      write HBT v2: per-section LZ-compressed frames plus a");
+    oprintln!("                  seek index, enabling parallel `replay --jobs N` decode");
     oprintln!("  --procs N / --threads N / --seeds a,b,c / --faithful   as in check");
+    oprintln!();
+    oprintln!("replay / analyze options:");
+    oprintln!("  --jobs N        decode workers for seek-indexed (v2) traces;");
+    oprintln!("                  default = available parallelism. The verdict is");
+    oprintln!("                  identical for every value; v1 traces and stdin");
+    oprintln!("                  pipes decode serially regardless");
     oprintln!();
     oprintln!("run options:");
     oprintln!("  --procs N / --threads N   as above");
@@ -196,10 +205,10 @@ fn main() -> ExitCode {
     // Trace-consuming commands read raw bytes (HBT is binary and `-` means
     // stdin), so they branch off before the program-source path.
     if cmd == "analyze" {
-        return cmd_analyze(file);
+        return cmd_analyze(file, &args);
     }
     if cmd == "replay" {
-        return cmd_replay(file);
+        return cmd_replay(file, &args);
     }
     if cmd == "submit" {
         return cmd_submit(file, &args);
@@ -238,20 +247,31 @@ fn main() -> ExitCode {
 }
 
 /// A trace argument opened for reading. File paths are memory-mapped so
-/// HBT records decode zero-copy straight from the page cache; `-` buffers
-/// standard input (pipes cannot be mapped).
+/// HBT records decode zero-copy straight from the page cache; `-` peeks
+/// only standard input's magic bytes, so an HBT pipe streams through the
+/// chunked reader with bounded memory instead of being buffered whole.
 enum TraceInput {
     Mapped(home::stream::HbtMmapReader),
-    Buffered(Vec<u8>),
+    Stdin { prefix: Vec<u8> },
 }
 
 impl TraceInput {
     fn open(file: &str) -> Result<TraceInput, String> {
         if file == "-" {
-            let mut buf = Vec::new();
-            std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
-                .map_err(|e| format!("cannot read stdin: {e}"))?;
-            Ok(TraceInput::Buffered(buf))
+            // Peek just enough of stdin to classify the format. A pipe
+            // shorter than the magic is classified by what it has.
+            let mut prefix = vec![0u8; home::stream::HBT_MAGIC.len()];
+            let mut filled = 0;
+            while filled < prefix.len() {
+                match std::io::Read::read(&mut std::io::stdin().lock(), &mut prefix[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(format!("cannot read stdin: {e}")),
+                }
+            }
+            prefix.truncate(filled);
+            Ok(TraceInput::Stdin { prefix })
         } else {
             match home::stream::HbtMmapReader::open(file) {
                 Ok(reader) => Ok(TraceInput::Mapped(reader)),
@@ -260,11 +280,83 @@ impl TraceInput {
         }
     }
 
-    fn bytes(&self) -> &[u8] {
+    fn is_hbt(&self) -> bool {
         match self {
-            TraceInput::Mapped(reader) => reader.bytes(),
-            TraceInput::Buffered(bytes) => bytes,
+            TraceInput::Mapped(reader) => home::stream::is_hbt(reader.bytes()),
+            TraceInput::Stdin { prefix } => home::stream::is_hbt(prefix),
         }
+    }
+
+    /// Analyze the trace with the shared session-driven verdict path.
+    /// Mapped files decode frame-parallel across `jobs` workers
+    /// ([`home::core::decode_trace`]); stdin streams record-at-a-time
+    /// through [`home::serve::analyze_stream`] — same verdict, bounded
+    /// memory, `jobs` irrelevant because a pipe cannot seek.
+    fn analyze_hbt(&self, jobs: usize) -> Result<home::serve::TraceOutcome, HomeError> {
+        match self {
+            TraceInput::Mapped(reader) => {
+                let sections = home::core::decode_trace(reader.bytes(), jobs)?;
+                home::serve::analyze_sections(&sections)
+            }
+            TraceInput::Stdin { prefix } => {
+                let rest = std::io::stdin().lock();
+                home::serve::analyze_stream(std::io::Read::chain(
+                    std::io::Cursor::new(prefix.clone()),
+                    rest,
+                ))
+            }
+        }
+    }
+
+    /// The remaining input as one buffer (JSON traces and `submit`, which
+    /// forwards raw bytes). Only here does stdin get slurped.
+    fn read_all(&self) -> Result<std::borrow::Cow<'_, [u8]>, String> {
+        match self {
+            TraceInput::Mapped(reader) => Ok(std::borrow::Cow::Borrowed(reader.bytes())),
+            TraceInput::Stdin { prefix } => {
+                let mut buf = prefix.clone();
+                std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut buf)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                Ok(std::borrow::Cow::Owned(buf))
+            }
+        }
+    }
+}
+
+/// Parse `--jobs` for the trace-consuming commands (replay/analyze):
+/// decode workers for the frame-parallel path, default = available
+/// parallelism. The verdict is identical for every value.
+fn trace_jobs(args: &[String]) -> Result<usize, String> {
+    let jobs = usize_flag(args, "--jobs", home::dynamic::default_jobs())?;
+    if jobs == 0 {
+        return Err("invalid value `0` for --jobs: expected at least 1".into());
+    }
+    Ok(jobs)
+}
+
+/// Render a combined trace verdict (`replay`/`analyze` over HBT input)
+/// and map it to the documented exit code.
+fn print_outcome(label: &str, outcome: &home::serve::TraceOutcome) -> ExitCode {
+    oprintln!(
+        "{label}: {} run(s), {} events, {} monitored race(s), {} violation(s)",
+        outcome.sections.len(),
+        outcome.events,
+        outcome.races,
+        outcome.violations.len()
+    );
+    if outcome.unclassified > 0 {
+        oprintln!(
+            "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
+            outcome.unclassified
+        );
+    }
+    for v in &outcome.violations {
+        oprintln!("  - {v}");
+    }
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -434,7 +526,19 @@ fn cmd_watch(program: &Program, args: &[String]) -> ExitCode {
             options.inject_panic_seeds = parse_seed_list(fails, "--fail-seed")?;
         }
         // Live mode is the streaming engine by definition, and seeds run
-        // serially so emissions arrive in seed order.
+        // serially so emissions arrive in seed order. A `--jobs` request
+        // other than 1 is rejected loudly instead of silently overridden:
+        // the user asked for parallelism watch cannot deliver.
+        match usize_flag(args, "--jobs", 1)? {
+            1 => {}
+            n => {
+                return Err(format!(
+                    "watch runs seeds serially so live output is deterministic; \
+                     --jobs {n} is not supported (use `check --jobs {n}` for a \
+                     parallel batch verdict)"
+                ))
+            }
+        }
         options = options.with_jobs(1).with_engine(Engine::Stream);
         let policy = match flag_value(args, "--flush")? {
             None | Some("every") => FlushPolicy::Every,
@@ -528,7 +632,11 @@ fn print_trace_error(file: &str, e: &HomeError) {
     }
 }
 
-fn cmd_replay(file: &str) -> ExitCode {
+fn cmd_replay(file: &str, args: &[String]) -> ExitCode {
+    let jobs = match trace_jobs(args) {
+        Ok(j) => j,
+        Err(e) => return usage_error(&e),
+    };
     let input = match TraceInput::open(file) {
         Ok(input) => input,
         Err(e) => {
@@ -536,51 +644,27 @@ fn cmd_replay(file: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let bytes = input.bytes();
-    if !home::stream::is_hbt(bytes) {
+    if !input.is_hbt() {
         eprintln!("home: {file}: not an HBT trace (bad magic); produce one with `home record`");
         return ExitCode::from(2);
     }
-    let sections = match home::stream::decode_sections(bytes) {
-        Ok(s) => s,
-        Err(e) => {
-            print_trace_error(file, &e);
-            return ExitCode::from(2);
-        }
-    };
-    // Session-driven detection shared with `analyze` and the serve daemon
-    // (home::serve::analyze_sections): verdict-identical to check.
-    let outcome = match home::serve::analyze_sections(&sections) {
+    // Session-driven detection shared with `analyze` and the serve daemon:
+    // verdict-identical to check for every `--jobs` value.
+    let outcome = match input.analyze_hbt(jobs) {
         Ok(o) => o,
         Err(e) => {
             print_trace_error(file, &e);
             return ExitCode::from(2);
         }
     };
-    oprintln!(
-        "replay: {} run(s), {} events, {} monitored race(s), {} violation(s)",
-        outcome.sections.len(),
-        outcome.events,
-        outcome.races,
-        outcome.violations.len()
-    );
-    if outcome.unclassified > 0 {
-        oprintln!(
-            "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
-            outcome.unclassified
-        );
-    }
-    for v in &outcome.violations {
-        oprintln!("  - {v}");
-    }
-    if outcome.violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    print_outcome("replay", &outcome)
 }
 
-fn cmd_analyze(file: &str) -> ExitCode {
+fn cmd_analyze(file: &str, args: &[String]) -> ExitCode {
+    let jobs = match trace_jobs(args) {
+        Ok(j) => j,
+        Err(e) => return usage_error(&e),
+    };
     let input = match TraceInput::open(file) {
         Ok(input) => input,
         Err(e) => {
@@ -588,47 +672,27 @@ fn cmd_analyze(file: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let bytes = input.bytes();
     // Format auto-detection: HBT traces start with the 0x89 "HBT" magic,
     // which can never open a JSON document.
-    if home::stream::is_hbt(bytes) {
-        let sections = match home::stream::decode_sections(bytes) {
-            Ok(s) => s,
-            Err(e) => {
-                print_trace_error(file, &e);
-                return ExitCode::from(2);
-            }
-        };
-        let outcome = match home::serve::analyze_sections(&sections) {
+    if input.is_hbt() {
+        let outcome = match input.analyze_hbt(jobs) {
             Ok(o) => o,
             Err(e) => {
                 print_trace_error(file, &e);
                 return ExitCode::from(2);
             }
         };
-        oprintln!(
-            "offline analysis: {} run(s), {} events, {} monitored race(s), {} violation(s)",
-            outcome.sections.len(),
-            outcome.events,
-            outcome.races,
-            outcome.violations.len()
-        );
-        if outcome.unclassified > 0 {
-            oprintln!(
-                "warning: {} monitored race(s) lacked MPI call metadata and were not classified",
-                outcome.unclassified
-            );
-        }
-        for v in &outcome.violations {
-            oprintln!("  - {v}");
-        }
-        return if outcome.violations.is_empty() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        };
+        return print_outcome("offline analysis", &outcome);
     }
-    let trace_json = match std::str::from_utf8(bytes) {
+    // JSON traces are documents, not streams: buffer and parse whole.
+    let bytes = match input.read_all() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("home: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace_json = match std::str::from_utf8(&bytes) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("home: {file}: not valid UTF-8 JSON (and not HBT): {e}");
@@ -751,12 +815,20 @@ fn cmd_submit(file: &str, args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let bytes = input.bytes();
-    if !home::stream::is_hbt(bytes) {
+    if !input.is_hbt() {
         eprintln!("home: {file}: not an HBT trace (bad magic); produce one with `home record`");
         return ExitCode::from(2);
     }
-    match home::serve::submit(&socket, bytes) {
+    // `submit` forwards the raw bytes over the socket, so stdin is the one
+    // place it still buffers.
+    let bytes = match input.read_all() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("home: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match home::serve::submit(&socket, &bytes) {
         Ok(reply) if reply.ok => {
             if args.iter().any(|a| a == "--json") {
                 oprintln!("{}", reply.raw);
@@ -888,8 +960,18 @@ impl<W: std::io::Write + Send> home::trace::TraceSink for RecordSink<W> {
     }
 }
 
+/// Parsed `record` flags.
+struct RecordArgs {
+    out: String,
+    procs: usize,
+    threads: usize,
+    seeds: Vec<u64>,
+    policy: SchedPolicy,
+    compress: bool,
+}
+
 fn cmd_record(program: &Program, args: &[String]) -> ExitCode {
-    let parsed = (|| -> Result<(String, usize, usize, Vec<u64>, SchedPolicy), String> {
+    let parsed = (|| -> Result<RecordArgs, String> {
         let out = flag_value(args, "-o")?
             .ok_or_else(|| "record needs an output path: -o trace.hbt".to_string())?
             .to_string();
@@ -904,9 +986,24 @@ fn cmd_record(program: &Program, args: &[String]) -> ExitCode {
         } else {
             SchedPolicy::Random
         };
-        Ok((out, procs, threads, seeds, policy))
+        let compress = args.iter().any(|a| a == "--compress");
+        Ok(RecordArgs {
+            out,
+            procs,
+            threads,
+            seeds,
+            policy,
+            compress,
+        })
     })();
-    let (out, procs, threads, seeds, policy) = match parsed {
+    let RecordArgs {
+        out,
+        procs,
+        threads,
+        seeds,
+        policy,
+        compress,
+    } = match parsed {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
@@ -918,7 +1015,15 @@ fn cmd_record(program: &Program, args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let writer = match home::stream::HbtWriter::new(std::io::BufWriter::new(file)) {
+    // --compress writes HBT v2: per-section LZ frames plus a seek index,
+    // so `replay --jobs N` can decode sections in parallel.
+    let buffered = std::io::BufWriter::new(file);
+    let writer = if compress {
+        home::stream::HbtWriter::new_compressed(buffered)
+    } else {
+        home::stream::HbtWriter::new(buffered)
+    };
+    let writer = match writer {
         Ok(w) => w,
         Err(e) => {
             eprintln!("home: cannot write {out}: {e}");

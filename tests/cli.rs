@@ -364,6 +364,111 @@ fn record_then_replay_reproduces_check_verdicts_on_every_program() {
 }
 
 #[test]
+fn record_compress_replays_identically_for_every_jobs_value() {
+    let dir = tmp_dir("record_compress");
+    for program in ["programs/figure2.hmp", "programs/figure2_fixed.hmp"] {
+        let stem = std::path::Path::new(program).file_stem().unwrap();
+        let v1 = dir.join(format!("{}.hbt", stem.to_str().unwrap()));
+        let v2 = dir.join(format!("{}.v2.hbt", stem.to_str().unwrap()));
+
+        let (_, stderr, code) = home_cli(&["record", program, "-o", v1.to_str().unwrap()]);
+        assert_eq!(code, Some(0), "{program}: {stderr}");
+        let (_, stderr, code) =
+            home_cli(&["record", program, "-o", v2.to_str().unwrap(), "--compress"]);
+        assert_eq!(code, Some(0), "{program}: {stderr}");
+
+        let v1_len = std::fs::metadata(&v1).unwrap().len();
+        let v2_len = std::fs::metadata(&v2).unwrap().len();
+        assert!(
+            v2_len < v1_len,
+            "{program}: --compress must shrink the trace ({v2_len} vs {v1_len})"
+        );
+
+        // The verdict is identical across formats and for every --jobs.
+        let (baseline, _, base_code) = home_cli(&["replay", v1.to_str().unwrap()]);
+        for jobs in ["1", "2", "4"] {
+            let (stdout, stderr, code) =
+                home_cli(&["replay", v2.to_str().unwrap(), "--jobs", jobs]);
+            assert_eq!(code, base_code, "{program} jobs={jobs}: {stderr}");
+            assert_eq!(
+                stdout, baseline,
+                "{program} jobs={jobs}: compressed replay diverges"
+            );
+        }
+        let (check_out, _, check_code) = home_cli(&["check", program]);
+        let (replay_out, _, replay_code) =
+            home_cli(&["replay", v2.to_str().unwrap(), "--jobs", "4"]);
+        assert_eq!(replay_code, check_code, "{program}: exit codes agree");
+        assert_eq!(
+            violation_lines(&check_out),
+            violation_lines(&replay_out),
+            "{program}: violations must agree"
+        );
+    }
+}
+
+#[test]
+fn replay_streams_compressed_traces_from_stdin() {
+    use std::io::Write;
+    let dir = tmp_dir("replay_stdin_v2");
+    let trace = dir.join("fig2.v2.hbt");
+    let (_, stderr, code) = home_cli(&[
+        "record",
+        "programs/figure2.hmp",
+        "-o",
+        trace.to_str().unwrap(),
+        "--compress",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+
+    let (from_file, _, file_code) = home_cli(&["replay", trace.to_str().unwrap()]);
+    let bytes = std::fs::read(&trace).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_home"))
+        .args(["replay", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn home replay -");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(&bytes)
+        .expect("pipe trace");
+    let out = child.wait_with_output().expect("replay exits");
+    assert_eq!(out.status.code(), file_code);
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        from_file,
+        "stdin replay must match file replay"
+    );
+}
+
+#[test]
+fn replay_rejects_jobs_zero() {
+    let (_, stderr, code) = home_cli(&["replay", "whatever.hbt", "--jobs", "0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+#[test]
+fn watch_rejects_parallel_jobs_loudly() {
+    // The old behavior silently forced --jobs 1; the flag must now be
+    // rejected with a clear message instead of being ignored.
+    let (_, stderr, code) = home_cli(&["watch", "programs/figure2.hmp", "--jobs", "4"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(
+        stderr.contains("watch runs seeds serially") && stderr.contains("--jobs 4"),
+        "{stderr}"
+    );
+    // An explicit --jobs 1 matches the default and is accepted.
+    let (_, _, explicit) = home_cli(&["watch", "programs/figure2.hmp", "--jobs", "1"]);
+    let (_, _, default) = home_cli(&["watch", "programs/figure2.hmp"]);
+    assert_eq!(explicit, default);
+}
+
+#[test]
 fn check_engine_stream_is_byte_identical_to_batch() {
     for program in ["programs/figure2.hmp", "programs/figure2_fixed.hmp"] {
         for jobs in ["1", "4"] {

@@ -15,8 +15,8 @@
 
 use home::prelude::*;
 use home::stream::{
-    decode_sections, HbtMmapReader, HbtReader, HbtRecord, HbtSliceReader, HbtWriter, ManifestCheck,
-    HBT_MAGIC, HBT_VERSION, MAX_RECORD_LEN,
+    decode_sections, scan_layout, HbtMmapReader, HbtReader, HbtRecord, HbtSliceReader, HbtWriter,
+    IndexEntry, ManifestCheck, HBT_MAGIC, HBT_V2, HBT_VERSION, MAX_RECORD_LEN,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -28,10 +28,27 @@ const FIGURE2: &str = "programs/figure2.hmp";
 /// Record `program` under `seeds` exactly like `home record`: one `RUN`
 /// record per seed, the instrumented events, then the run's incidents.
 fn record_bytes(path: &str, seeds: &[u64]) -> Vec<u8> {
+    record_into(
+        HbtWriter::new(Vec::new()).expect("header write"),
+        path,
+        seeds,
+    )
+}
+
+/// Same recording through the v2 path (`home record --compress`):
+/// LZ-compressed frames plus the trailing seek index.
+fn record_bytes_v2(path: &str, seeds: &[u64]) -> Vec<u8> {
+    record_into(
+        HbtWriter::new_compressed(Vec::new()).expect("header write"),
+        path,
+        seeds,
+    )
+}
+
+fn record_into(mut writer: HbtWriter<Vec<u8>>, path: &str, seeds: &[u64]) -> Vec<u8> {
     let source = std::fs::read_to_string(path).expect("test program exists");
     let program = parse(&source).expect("test program parses");
     let checklist = Arc::new(analyze(&program).checklist.clone());
-    let mut writer = HbtWriter::new(Vec::new()).expect("header write");
     for &seed in seeds {
         writer.begin_run(seed).expect("run record");
         let mut cfg = RunConfig::test(2, seed)
@@ -399,6 +416,331 @@ fn mutated_traces_share_one_verdict_across_offline_readers() {
             ),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// v2 family: compressed frames and the seek index are attacker-controlled too
+// ---------------------------------------------------------------------------
+
+/// Physical records of a well-formed stream: (record start, kind byte,
+/// payload range). Unlike [`record_starts`] this walks the raw framing, so
+/// v2 `FRAME`/`INDEX` records appear as themselves rather than as the
+/// logical records they inflate into.
+fn physical_records(bytes: &[u8]) -> Vec<(usize, u8, std::ops::Range<usize>)> {
+    let mut pos = 5; // magic + version
+    let mut out = Vec::new();
+    loop {
+        let start = pos;
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = bytes[pos];
+            pos += 1;
+            len |= u64::from(b & 0x7f) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        if len == 0 {
+            return out;
+        }
+        let payload = pos..pos + len as usize;
+        out.push((start, bytes[payload.start], payload.clone()));
+        pos = payload.end;
+    }
+}
+
+/// Encode a seek-index record (length prefix + payload) from entries, the
+/// writer's wire format re-implemented so tests can forge variants.
+fn encode_index_record(entries: &[IndexEntry]) -> Vec<u8> {
+    const REC_INDEX: u8 = 6;
+    const FRAME_HAS_SEED: u8 = 1;
+    const FRAME_CONTINUATION: u8 = 4;
+    let mut payload = vec![REC_INDEX];
+    put_varint(&mut payload, entries.len() as u64);
+    for e in entries {
+        let mut flags = 0u8;
+        if e.seed.is_some() {
+            flags |= FRAME_HAS_SEED;
+        }
+        if e.continuation {
+            flags |= FRAME_CONTINUATION;
+        }
+        payload.push(flags);
+        if let Some(s) = e.seed {
+            put_varint(&mut payload, s);
+        }
+        put_varint(&mut payload, e.offset);
+        put_varint(&mut payload, e.events);
+        put_varint(&mut payload, e.incidents);
+        put_varint(&mut payload, e.raw_len);
+    }
+    let mut record = Vec::with_capacity(payload.len() + 2);
+    put_varint(&mut record, payload.len() as u64);
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// Splice a forged seek index into a real v2 recording, keeping the
+/// manifest and end marker that follow the genuine index.
+fn with_forged_index(base: &[u8], entries: &[IndexEntry]) -> Vec<u8> {
+    let records = physical_records(base);
+    let (index_start, _, _) = *records
+        .iter()
+        .find(|(_, kind, _)| *kind == 6)
+        .expect("v2 recording carries a seek index");
+    let (tail_start, _, _) = *records
+        .iter()
+        .find(|(start, _, _)| *start > index_start)
+        .expect("manifest follows the index");
+    let mut forged = base[..index_start].to_vec();
+    forged.extend_from_slice(&encode_index_record(entries));
+    forged.extend_from_slice(&base[tail_start..]);
+    forged
+}
+
+/// Seek-index entries of a v2 recording, via the validated layout scan.
+fn index_entries(bytes: &[u8]) -> Vec<IndexEntry> {
+    scan_layout(bytes)
+        .expect("recording is well-formed")
+        .expect("recording is v2 with frames")
+        .frames
+        .iter()
+        .map(|f| f.entry)
+        .collect()
+}
+
+#[test]
+fn v2_random_mutations_never_panic_and_readers_agree() {
+    let base = record_bytes_v2(FIGURE2, &[1, 2]);
+    assert!(base.len() > 64, "v2 recording is non-trivial");
+    for case in 0u64..200 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB2AD_0000 + case);
+        let mut bytes = base.clone();
+        if rng.gen_bool(0.25) {
+            let cut = rng.gen_range(0u64..bytes.len() as u64) as usize;
+            bytes.truncate(cut);
+        } else {
+            let flips = 1 + rng.gen_range(0u64..4) as usize;
+            for _ in 0..flips {
+                let at = rng.gen_range(0u64..bytes.len() as u64) as usize;
+                bytes[at] = rng.gen_range(0u64..256) as u8;
+            }
+        }
+
+        let streamed = stream_read(&bytes);
+        let sliced = slice_read(&bytes);
+        assert_eq!(
+            streamed, sliced,
+            "case {case}: streaming and slice readers disagree on a v2 mutation"
+        );
+        if let Err(msg) = &streamed {
+            assert!(
+                msg.contains("byte"),
+                "case {case}: error lacks a byte offset: {msg}"
+            );
+        }
+
+        // The frame-parallel decoder must reach the same conclusion as the
+        // serial one — same sections, or a typed error on both sides.
+        let outcome = std::panic::catch_unwind(|| {
+            let serial = decode_sections(&bytes);
+            let parallel = home::core::decode_trace(&bytes, 4);
+            match (serial, parallel) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "case {case}: parallel decode diverges from serial"
+                ),
+                (Err(a), Err(b)) => {
+                    for msg in [a.to_string(), b.to_string()] {
+                        assert!(
+                            msg.contains("byte"),
+                            "case {case}: error lacks a byte offset: {msg}"
+                        );
+                    }
+                }
+                (a, b) => panic!(
+                    "case {case}: decoders disagree on validity: serial={:?} parallel={:?}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        });
+        assert!(outcome.is_ok(), "case {case}: v2 decode panicked");
+    }
+}
+
+#[test]
+fn v2_truncation_at_many_byte_positions_is_typed() {
+    let base = record_bytes_v2(FIGURE2, &[1]);
+    // Every cut in the header and trailer neighborhoods, strided through
+    // the frame bodies (each body byte behaves like its neighbors).
+    let cuts: Vec<usize> = (0..base.len().min(64))
+        .chain((64..base.len()).step_by(13))
+        .chain(base.len().saturating_sub(200)..base.len())
+        .collect();
+    for cut in cuts {
+        let bytes = &base[..cut];
+        let streamed = stream_read(bytes);
+        let sliced = slice_read(bytes);
+        assert_eq!(streamed, sliced, "cut {cut}: readers disagree");
+        let msg = streamed.expect_err("every truncation must be an error");
+        assert!(msg.contains("byte"), "cut {cut}: no byte offset: {msg}");
+        let parallel = home::core::decode_trace(bytes, 4)
+            .map(|s| s.len())
+            .map_err(|e| e.to_string());
+        assert!(parallel.is_err(), "cut {cut}: parallel decoder accepted it");
+    }
+}
+
+#[test]
+fn v2_forged_index_offset_is_rejected() {
+    let base = record_bytes_v2(FIGURE2, &[1, 2]);
+    let mut entries = index_entries(&base);
+    assert!(entries.len() >= 2, "two seeds record at least two frames");
+    entries[1].offset += 1;
+    let forged = with_forged_index(&base, &entries);
+
+    for result in [stream_read(&forged), slice_read(&forged)] {
+        let msg = result.expect_err("lying index offset must be rejected");
+        assert!(
+            msg.contains("disagrees with the stream") && msg.contains("byte"),
+            "unexpected error: {msg}"
+        );
+    }
+    let msg = home::core::decode_trace(&forged, 4)
+        .expect_err("parallel decode must reject a lying offset before decompressing")
+        .to_string();
+    assert!(
+        msg.contains("disagrees with the stream") && msg.contains("byte"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn v2_forged_index_count_and_counters_are_rejected() {
+    let base = record_bytes_v2(FIGURE2, &[1, 2]);
+    let entries = index_entries(&base);
+
+    // Dropped entry: the index under-declares the frame population.
+    let dropped = with_forged_index(&base, &entries[..entries.len() - 1]);
+    // Inflated event counter: per-frame accounting must match.
+    let mut inflated = entries.clone();
+    inflated[0].events += 1;
+    let inflated = with_forged_index(&base, &inflated);
+
+    for (what, forged, needle) in [
+        ("dropped entry", dropped, "seek index declares"),
+        ("inflated events", inflated, "disagrees with the stream"),
+    ] {
+        for result in [stream_read(&forged), slice_read(&forged)] {
+            match result {
+                Ok(_) => panic!("{what}: forged index must be rejected"),
+                Err(msg) => assert!(
+                    msg.contains(needle) && msg.contains("byte"),
+                    "{what}: unexpected error: {msg}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_frame_raw_len_lie_is_rejected() {
+    // Hand-built v2 stream: one uncompressed frame whose header declares
+    // more raw bytes than it stores.
+    let mut payload = vec![5u8, 1u8]; // REC_FRAME, flags = HAS_SEED
+    put_varint(&mut payload, 7); // seed
+    put_varint(&mut payload, 0); // events
+    put_varint(&mut payload, 0); // incidents
+    put_varint(&mut payload, 99); // raw_len lie: nothing follows
+    let mut bytes = HBT_MAGIC.to_vec();
+    bytes.push(HBT_V2);
+    put_varint(&mut bytes, payload.len() as u64);
+    bytes.extend_from_slice(&payload);
+    bytes.push(0);
+
+    for result in [stream_read(&bytes), slice_read(&bytes)] {
+        let msg = result.expect_err("raw-length lie must be rejected");
+        assert!(
+            msg.contains("declares 99 uncompressed byte(s) but stores 0") && msg.contains("byte"),
+            "unexpected error: {msg}"
+        );
+    }
+}
+
+#[test]
+fn v2_corrupt_compressed_frame_is_typed_on_every_path() {
+    let base = record_bytes_v2(FIGURE2, &[1, 2]);
+    let layout = scan_layout(&base).expect("valid").expect("v2 layout");
+    // Flip a byte in the middle of the first frame's stored body (past the
+    // header fields, so the LZ payload itself is what breaks).
+    let entry = layout.frames[0].entry;
+    let records = physical_records(&base);
+    let (_, _, payload) = records
+        .iter()
+        .find(|(start, kind, _)| *start as u64 == entry.offset && *kind == 5)
+        .expect("first frame record");
+    let mut bytes = base.clone();
+    let mid = payload.start + (payload.len() / 2).max(16);
+    bytes[mid] ^= 0x5A;
+
+    let streamed = stream_read(&bytes);
+    let sliced = slice_read(&bytes);
+    assert_eq!(streamed, sliced, "readers disagree on the corrupt frame");
+    // A mid-body flip can land in an event payload and still parse; what is
+    // forbidden is a panic or a silent readers/paths divergence.
+    if let Err(msg) = &streamed {
+        assert!(msg.contains("byte"), "no byte offset: {msg}");
+    }
+    let serial = decode_sections(&bytes).map(|s| format!("{s:?}"));
+    let parallel = home::core::decode_trace(&bytes, 4).map(|s| format!("{s:?}"));
+    match (serial, parallel) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "paths diverge on the corrupt frame"),
+        (Err(a), Err(b)) => {
+            assert!(a.to_string().contains("byte"), "{a}");
+            assert!(b.to_string().contains("byte"), "{b}");
+        }
+        (a, b) => panic!(
+            "paths disagree on validity: serial={:?} parallel={:?}",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn version_byte_confusion_is_handled_on_both_sides() {
+    // A v2 body labeled v1: the first FRAME record is an unknown kind in a
+    // version-1 stream — typed error, not a misparse.
+    let mut v2_as_v1 = record_bytes_v2(FIGURE2, &[1]);
+    v2_as_v1[4] = HBT_VERSION;
+    for result in [stream_read(&v2_as_v1), slice_read(&v2_as_v1)] {
+        let msg = result.expect_err("v2 kinds under a v1 label must be rejected");
+        assert!(
+            msg.contains("HBT v2 record kind") && msg.contains("byte"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    // A v1 body labeled v2: plain records are legal in a v2 stream (the
+    // format is a superset), so this decodes to the identical sections.
+    let v1 = record_bytes(FIGURE2, &[1]);
+    let mut v1_as_v2 = v1.clone();
+    v1_as_v2[4] = HBT_V2;
+    let original = decode_sections(&v1).expect("v1 recording decodes");
+    let relabeled = decode_sections(&v1_as_v2).expect("plain records are legal v2");
+    assert_eq!(
+        format!("{original:?}"),
+        format!("{relabeled:?}"),
+        "relabeling a plain stream must not change its sections"
+    );
+    assert!(
+        scan_layout(&v1_as_v2).expect("still well-formed").is_none(),
+        "a frameless stream has no parallel layout"
+    );
 }
 
 fn tmp_dir(name: &str) -> std::path::PathBuf {

@@ -169,6 +169,108 @@ fn hostile_streams_get_typed_errors_and_the_daemon_survives() {
 }
 
 #[test]
+fn trickling_clients_hit_the_session_deadline_and_release_their_slot() {
+    use std::time::{Duration, Instant};
+
+    let dir = tmp_dir("serve_trickle");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+
+    // One ingest slot, a generous per-read timeout, and a tight overall
+    // session deadline: a client feeding one byte per read period would
+    // hold the only slot forever if the deadline were not enforced.
+    let mut config = ServeConfig::new(&socket_path);
+    config.max_sessions = 1;
+    config.read_timeout = Some(Duration::from_secs(10));
+    config.session_deadline = Some(Duration::from_millis(250));
+    let (socket, server) = start_server(config);
+
+    let start = Instant::now();
+    let mut trickler = UnixStream::connect(&socket).expect("connect");
+    trickler
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client read timeout");
+    // Valid HBT header, then a record declaring a 100000-byte payload
+    // (varint 0xA0 0x8D 0x06) dribbled one byte at a time: the reader
+    // legitimately needs more data, so only the deadline can cut it.
+    // Writes start failing once the daemon does — that's the signal.
+    let _ = trickler.write_all(&[0x89, b'H', b'B', b'T', 1, 0xA0, 0x8D, 0x06]);
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(20));
+        if trickler.write_all(&[0x01]).is_err() || trickler.flush().is_err() {
+            break;
+        }
+    }
+    let mut reply = String::new();
+    let _ = BufReader::new(&trickler).read_line(&mut reply);
+    if !reply.is_empty() {
+        assert!(reply.contains("\"ok\":false"), "reply: {reply}");
+        assert!(
+            reply.contains("deadline"),
+            "rejection names the deadline: {reply}"
+        );
+    }
+    drop(trickler);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the trickler was cut by the deadline, not by its own patience"
+    );
+
+    // The slot is free again: a real submission on the 1-slot daemon works.
+    let trace = recorded_trace(&[1]);
+    let reply = submit(&socket, &trace).expect("submit after trickler");
+    assert!(reply.ok, "daemon still ingests: {:?}", reply.error);
+    let fleet = status(&socket).expect("status");
+    assert!(
+        fleet.raw.contains("\"rejected\":1"),
+        "the trickled session was rejected and counted: {}",
+        fleet.raw
+    );
+
+    stop(&socket).expect("stop");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn compressed_submissions_reach_the_same_verdict() {
+    // A v2 (`record --compress`) stream through the daemon's record-at-a-
+    // time ingest loop must produce the exact verdict of the v1 stream.
+    let dir = tmp_dir("serve_v2");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+    let (socket, server) = start_server(ServeConfig::new(&socket_path));
+
+    let v1 = recorded_trace(&[1, 2]);
+    let sections = decode_sections(&v1).expect("v1 decodes");
+    let mut writer = HbtWriter::new_compressed(Vec::new()).expect("v2 header");
+    for s in &sections {
+        if let Some(seed) = s.seed {
+            writer.begin_run(seed).expect("run record");
+        }
+        for e in s.trace.events() {
+            writer.write_event(e).expect("event record");
+        }
+        for i in &s.incidents {
+            writer.write_incident(i).expect("incident record");
+        }
+    }
+    let v2 = writer.finish().expect("v2 trailer");
+    assert!(v2.len() < v1.len(), "compression shrinks the figure2 trace");
+
+    let a = submit(&socket, &v1).expect("v1 submit");
+    let b = submit(&socket, &v2).expect("v2 submit");
+    assert!(a.ok && b.ok);
+    assert_eq!(a.runs, b.runs, "same run count through both formats");
+    assert_eq!(
+        a.violations, b.violations,
+        "v1 and v2 submissions must reach identical verdicts"
+    );
+
+    stop(&socket).expect("stop");
+    server.join().expect("server thread");
+}
+
+#[test]
 fn unknown_commands_are_rejected_politely() {
     let dir = tmp_dir("serve_commands");
     let socket_path = dir.join("collector.sock");
