@@ -1,0 +1,67 @@
+use home::stream::{HBT_MAGIC, HBT_V2};
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 { buf.push(b); break; }
+        buf.push(b | 0x80);
+    }
+}
+
+fn rec(out: &mut Vec<u8>, payload: &[u8]) {
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+// Stream A: empty anonymous frame + index + empty manifest.
+fn stream_a() -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&HBT_MAGIC);
+    b.push(HBT_V2);
+    // frame: kind 5, flags 0, events 0, incidents 0, raw_len 0
+    rec(&mut b, &[5, 0, 0, 0, 0]);
+    // index: kind 6, count 1, entry flags 0, offset 5, events 0, incidents 0, raw_len 0
+    rec(&mut b, &[6, 1, 0, 5, 0, 0, 0]);
+    // manifest: kind 4, nsections 0
+    rec(&mut b, &[4, 0]);
+    b.push(0);
+    b
+}
+
+// Stream B: same but manifest declares one anonymous section.
+fn stream_b() -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&HBT_MAGIC);
+    b.push(HBT_V2);
+    rec(&mut b, &[5, 0, 0, 0, 0]);
+    rec(&mut b, &[6, 1, 0, 5, 0, 0, 0]);
+    // manifest: kind 4, nsections 1, flag 0 (= no seed / anonymous)
+    rec(&mut b, &[4, 1, 0]);
+    b.push(0);
+    b
+}
+
+#[test]
+fn review_divergence_stream_a() {
+    let bytes = stream_a();
+    let serial = home::stream::decode_sections(&bytes);
+    let scan = home::stream::scan_layout(&bytes);
+    eprintln!("A serial: {:?}", serial.as_ref().map(|s| s.len()).map_err(|e| e.to_string()));
+    eprintln!("A scan:   {:?}", scan.as_ref().map(|l| l.as_ref().map(|l| l.frames.len())).map_err(|e| e.to_string()));
+    let j1 = home::core::decode_trace(&bytes, 1);
+    let j4 = home::core::decode_trace(&bytes, 4);
+    eprintln!("A jobs=1: {:?}", j1.as_ref().map(|s| s.len()).map_err(|e| e.to_string()));
+    eprintln!("A jobs=4: {:?}", j4.as_ref().map(|s| s.len()).map_err(|e| e.to_string()));
+    assert_eq!(j1.is_ok(), j4.is_ok(), "verdict diverges between jobs=1 and jobs=4");
+}
+
+#[test]
+fn review_divergence_stream_b() {
+    let bytes = stream_b();
+    let j1 = home::core::decode_trace(&bytes, 1);
+    let j4 = home::core::decode_trace(&bytes, 4);
+    eprintln!("B jobs=1: {:?}", j1.as_ref().map(|s| s.len()).map_err(|e| e.to_string()));
+    eprintln!("B jobs=4: {:?}", j4.as_ref().map(|s| s.len()).map_err(|e| e.to_string()));
+    assert_eq!(j1.is_ok(), j4.is_ok(), "verdict diverges between jobs=1 and jobs=4");
+}
