@@ -30,10 +30,12 @@ mod rules;
 mod session;
 mod sink;
 
+pub use fanout::fan_out_indexed;
 pub use pipeline::{check, check_with_sink, CheckOptions, Engine};
-pub use replay::decode_trace;
+pub use replay::{decode_trace, decode_trace_run};
 pub use report::{
-    EmitOrder, EmittedViolation, HomeReport, SeedRun, SeedStatus, Violation, ViolationKind,
+    violation_identity, EmitOrder, EmittedViolation, HomeReport, SeedRun, SeedStatus, Violation,
+    ViolationIdentity, ViolationKind,
 };
 pub use rules::{match_rules, match_violations, RuleEngine, RuleFinish, RuleOutcome};
 pub use session::{Session, SessionOutcome};

@@ -48,6 +48,10 @@ pub struct CheckOptions {
     /// broadly; `EarliestClockFirst` is time-faithful (what the accuracy
     /// table uses, so manifest-dependent baselines behave realistically).
     pub sched_policy: home_sched::SchedPolicy,
+    /// Thread-name → priority pins for [`home_sched::SchedPolicy::Priority`]
+    /// (directed rescheduling pins one racy access's thread high and the
+    /// other low to flip their order). Ignored under other policies.
+    pub priority_pins: Vec<(String, i64)>,
     /// Worker threads for the per-seed simulate→detect→match chains. Seeds
     /// are independent, so they fan out over up to `jobs` threads; each
     /// seed's results land in an indexed slot and merge back in seed-list
@@ -75,6 +79,7 @@ impl Default for CheckOptions {
             detector: DetectorConfig::hybrid(),
             instrumentation: Instrumentation::home(),
             sched_policy: home_sched::SchedPolicy::Random,
+            priority_pins: Vec::new(),
             jobs: home_dynamic::default_jobs(),
             inject_panic_seeds: Vec::new(),
             engine: Engine::default(),
@@ -116,6 +121,18 @@ impl CheckOptions {
     /// Select the detection engine (see [`Engine`]).
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Replace the scheduling policy (see [`CheckOptions::sched_policy`]).
+    pub fn with_sched_policy(mut self, policy: home_sched::SchedPolicy) -> Self {
+        self.sched_policy = policy;
+        self
+    }
+
+    /// Replace the priority pins (see [`CheckOptions::priority_pins`]).
+    pub fn with_priority_pins(mut self, pins: Vec<(String, i64)>) -> Self {
+        self.priority_pins = pins;
         self
     }
 }
@@ -185,6 +202,7 @@ pub fn check_with_sink(
                 .with_checklist(Arc::clone(&checklist));
             cfg.threads_per_proc = options.threads_per_proc;
             cfg.sched.policy = options.sched_policy;
+            cfg.sched.priority_pins = options.priority_pins.clone();
 
             let (result, races, outcome) = match options.engine {
                 Engine::Batch => {
@@ -316,7 +334,7 @@ pub fn check_with_sink(
     let mut seen = std::collections::BTreeSet::new();
     report
         .violations
-        .retain(|v| seen.insert((v.kind, v.rank, v.locations.clone())));
+        .retain(|v| seen.insert(crate::report::violation_identity(v)));
     report
 }
 

@@ -39,6 +39,74 @@ pub fn decode_trace(bytes: &[u8], jobs: usize) -> Result<Vec<HbtSection>, HomeEr
     Ok(sections_from_records(records))
 }
 
+/// Decode only the section recorded under `seed`, seeking straight to its
+/// frames via the v2 index instead of inflating the whole stream. Frames
+/// belonging to other sections are never touched. Errors:
+///
+/// * v1 streams (no index) get a typed error suggesting re-recording with
+///   `--compress`;
+/// * an absent seed gets a typed error listing the seeds the index holds.
+pub fn decode_trace_run(
+    bytes: &[u8],
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<HbtSection>, HomeError> {
+    let layout = scan_layout(bytes)?.ok_or_else(|| {
+        HomeError::trace_parse(
+            "this HBT stream is v1 and carries no seek index; \
+             re-record it with --compress to enable --run seeking",
+        )
+    })?;
+    // A section = its head frame (entry.seed set) plus any continuation
+    // frames that follow it in stream order.
+    let mut wanted = Vec::new();
+    let mut in_section = false;
+    for frame in &layout.frames {
+        if frame.entry.continuation {
+            if in_section {
+                wanted.push(frame.clone());
+            }
+        } else {
+            in_section = frame.entry.seed == Some(seed);
+            if in_section {
+                wanted.push(frame.clone());
+            }
+        }
+    }
+    if wanted.is_empty() {
+        let mut available: Vec<u64> = layout.frames.iter().filter_map(|f| f.entry.seed).collect();
+        available.sort_unstable();
+        available.dedup();
+        let listing = if available.is_empty() {
+            "the index holds no seeded sections".to_string()
+        } else {
+            format!(
+                "available seeds: {}",
+                available
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        return Err(HomeError::seed(
+            seed,
+            format!("no recorded section for this seed; {listing}"),
+        ));
+    }
+    let slots = fan_out_indexed(&wanted, jobs, |_, frame| decode_frame_records(bytes, frame));
+    let mut records = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let decoded = slot.unwrap_or_else(|| {
+            Err(HomeError::corrupt_trace(format!(
+                "HBT frame {i} produced no decode result"
+            )))
+        })?;
+        records.extend(decoded);
+    }
+    Ok(sections_from_records(records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +152,37 @@ mod tests {
                 assert_eq!(p.incidents, s.incidents);
             }
         }
+    }
+
+    #[test]
+    fn run_seek_decodes_only_the_requested_section() {
+        let bytes = big_v2_stream();
+        let sections = decode_trace_run(&bytes, 8, 2).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].seed, Some(8));
+        assert_eq!(sections[0].trace.events().len(), 40_000);
+        let full = decode_sections(&bytes).unwrap();
+        let full8 = full.iter().find(|s| s.seed == Some(8)).unwrap();
+        assert_eq!(sections[0].trace.events(), full8.trace.events());
+    }
+
+    #[test]
+    fn run_seek_miss_lists_available_seeds() {
+        let bytes = big_v2_stream();
+        let err = decode_trace_run(&bytes, 99, 1).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("99"), "{msg}");
+        assert!(msg.contains("7, 8, 9"), "{msg}");
+    }
+
+    #[test]
+    fn run_seek_on_v1_stream_suggests_compress() {
+        let mut w = HbtWriter::new(Vec::new()).unwrap();
+        w.begin_run(7).unwrap();
+        w.write_event(&sample_event(0)).unwrap();
+        let bytes = w.finish().unwrap();
+        let err = decode_trace_run(&bytes, 7, 1).unwrap_err();
+        assert!(format!("{err}").contains("--compress"), "{err}");
     }
 
     #[test]

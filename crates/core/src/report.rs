@@ -91,6 +91,18 @@ impl fmt::Display for Violation {
     }
 }
 
+/// The deduplication key for a [`Violation`]: two violations with the same
+/// kind, rank, and location set are the same finding, regardless of which
+/// seed or schedule surfaced them. Used by the batch pipeline's cross-seed
+/// merge, the serve daemon's cross-section merge, and the exploration
+/// engine's cross-schedule aggregation.
+pub type ViolationIdentity = (ViolationKind, Rank, Vec<SrcLoc>);
+
+/// The [`ViolationIdentity`] of `v`.
+pub fn violation_identity(v: &Violation) -> ViolationIdentity {
+    (v.kind, v.rank, v.locations.clone())
+}
+
 /// Deterministic position of one emission in the canonical (batch) rule
 /// evaluation order.
 ///

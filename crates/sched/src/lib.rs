@@ -59,7 +59,7 @@ mod state;
 mod vtid;
 
 pub use clock::SimTime;
-pub use config::{SchedConfig, SchedMode};
+pub use config::{SchedConfig, SchedMode, PRIORITY_BASE_MAX, PRIORITY_BASE_MIN};
 pub use deadlock::{BlockedThread, DeadlockInfo};
 pub use handle::{JoinError, JoinHandle};
 pub use policy::SchedPolicy;

@@ -1,14 +1,15 @@
 //! The virtual-thread runtime.
 
 use crate::clock::SimTime;
-use crate::config::{SchedConfig, SchedMode};
+use crate::config::{SchedConfig, SchedMode, PRIORITY_BASE_MAX, PRIORITY_BASE_MIN};
 use crate::deadlock::{BlockedThread, DeadlockInfo};
 use crate::handle::JoinHandle;
+use crate::policy::SchedPolicy;
 use crate::state::{BlockReason, Inner, ThreadSlot, ThreadStatus};
 use crate::vtid::Vtid;
 use crate::{SchedError, SchedResult};
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -36,11 +37,31 @@ pub fn current_runtime() -> Option<Runtime> {
     CURRENT.with(|c| c.borrow().as_ref().map(|ctx| ctx.rt.clone()))
 }
 
+/// PCT bookkeeping for [`SchedPolicy::Priority`]: which scheduling
+/// decisions are priority-change points, how many decisions have been
+/// taken, and the next (descending, non-positive) demotion priority.
+#[derive(Default)]
+struct PctState {
+    /// Sorted decision indices (1-based) at which the would-be winner is
+    /// demoted below every other thread. Drawn from the seed at
+    /// [`Runtime::new`], so `(seed, depth)` fully names the schedule.
+    change_points: Vec<u64>,
+    /// Scheduling decisions taken under the priority policy.
+    decisions: u64,
+    /// Priority assigned by the most recent demotion; each demotion takes
+    /// the next lower value, so later demotions rank below earlier ones
+    /// (PCT's ordering) and all demotions rank below unpinned draws.
+    next_demotion: i64,
+}
+
 struct RtShared {
     config: SchedConfig,
     mu: Mutex<Inner>,
     /// RNG for the random policy. Only ever locked while `mu` is held.
     rng: Mutex<ChaCha8Rng>,
+    /// Priority-change-point state ([`SchedPolicy::Priority`] only).
+    /// Only ever locked while `mu` is held.
+    pct: Mutex<PctState>,
     /// Signalled on every thread finish (drives `run` and driver-side joins).
     driver_cv: Condvar,
     /// Global maximum over all per-thread virtual clocks, ever.
@@ -65,11 +86,29 @@ impl Runtime {
     /// Create a runtime with the given configuration.
     pub fn new(config: SchedConfig) -> Runtime {
         let seed = config.seed;
+        // Priority policy: draw the d change points up front from a stream
+        // derived from (but independent of) the decision RNG, so the same
+        // (seed, depth) always names the same schedule.
+        let pct = if let SchedPolicy::Priority { depth } = config.policy {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+            let horizon = config.pct_horizon.max(1);
+            let mut change_points: Vec<u64> =
+                (0..depth).map(|_| rng.gen_range(0..horizon) + 1).collect();
+            change_points.sort_unstable();
+            change_points.dedup();
+            PctState {
+                change_points,
+                ..PctState::default()
+            }
+        } else {
+            PctState::default()
+        };
         Runtime {
             shared: Arc::new(RtShared {
                 config,
                 mu: Mutex::new(Inner::new()),
                 rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+                pct: Mutex::new(pct),
                 driver_cv: Condvar::new(),
                 makespan: AtomicU64::new(0),
                 poisoned: AtomicBool::new(false),
@@ -103,6 +142,26 @@ impl Runtime {
             let mut slot = ThreadSlot::new(name.clone());
             if !self.deterministic() {
                 slot.status = ThreadStatus::Running;
+            }
+            // Priority policy: a pinned thread takes its pin verbatim;
+            // everything else draws from the base range. Spawn order is
+            // deterministic in deterministic mode, so the draw sequence —
+            // and thus the whole priority assignment — is a function of
+            // the seed.
+            if let SchedPolicy::Priority { .. } = self.shared.config.policy {
+                slot.priority = match self
+                    .shared
+                    .config
+                    .priority_pins
+                    .iter()
+                    .find(|(pin, _)| *pin == name)
+                {
+                    Some((_, p)) => *p,
+                    None => {
+                        let mut rng = self.shared.rng.lock();
+                        rng.gen_range(PRIORITY_BASE_MIN..PRIORITY_BASE_MAX + 1)
+                    }
+                };
             }
             clock = Arc::clone(&slot.clock);
             inner.slots.push(slot);
@@ -211,7 +270,7 @@ impl Runtime {
             return Err(p.clone());
         }
         inner.slot_mut(me).status = ThreadStatus::Runnable;
-        let chosen = self.choose(&inner);
+        let chosen = self.choose(&mut inner);
         self.count_step(&mut inner)?;
         if chosen == Some(me) {
             let slot = inner.slot_mut(me);
@@ -242,7 +301,7 @@ impl Runtime {
         }
         inner.slot_mut(me).status = ThreadStatus::Blocked(reason);
         if self.deterministic() {
-            match self.choose(&inner) {
+            match self.choose(&mut inner) {
                 Some(next) => {
                     self.count_step(&mut inner)?;
                     self.grant(&mut inner, next);
@@ -318,7 +377,7 @@ impl Runtime {
         }
         self.shared.driver_cv.notify_all();
         if self.deterministic() && inner.live > 0 {
-            match self.choose(&inner) {
+            match self.choose(&mut inner) {
                 Some(next) => {
                     if self.count_step(&mut inner).is_ok() {
                         self.grant(&mut inner, next);
@@ -369,18 +428,51 @@ impl Runtime {
 
     // ---- internal scheduling helpers -------------------------------------
 
-    fn choose(&self, inner: &Inner) -> Option<Vtid> {
+    fn choose(&self, inner: &mut Inner) -> Option<Vtid> {
         let runnable = inner.runnable();
         if runnable.is_empty() {
             return None;
         }
+        if let SchedPolicy::Priority { .. } = self.shared.config.policy {
+            // PCT change point: when this decision's index was drawn at
+            // construction, the thread that would win is demoted below
+            // every other thread (and below all earlier demotions), handing
+            // the step — and all subsequent ones until the next change
+            // point — to the runner-up.
+            let mut pct = self.shared.pct.lock();
+            pct.decisions += 1;
+            if pct.change_points.binary_search(&pct.decisions).is_ok() {
+                let top = Self::top_priority(inner, &runnable);
+                pct.next_demotion -= 1;
+                let demoted = pct.next_demotion;
+                inner.slot_mut(top).priority = demoted;
+            }
+        }
+        let inner: &Inner = inner;
         let mut rng = self.shared.rng.lock();
         Some(self.shared.config.policy.choose(
             &runnable,
             |v| inner.slot(v).clock_now(),
+            |v| inner.slot(v).priority,
             inner.last_granted,
             &mut rng,
         ))
+    }
+
+    /// The thread the priority policy would pick: maximum priority, ties
+    /// toward the smaller id. Mirrors the policy's own arm so change-point
+    /// demotion targets exactly the would-be winner.
+    fn top_priority(inner: &Inner, runnable: &[Vtid]) -> Vtid {
+        let mut best = runnable[0];
+        let mut best_prio = inner.slot(best).priority;
+        for &v in &runnable[1..] {
+            let p = inner.slot(v).priority;
+            if p > best_prio || (p == best_prio && v < best) {
+                best = v;
+                best_prio = p;
+            }
+        }
+        best
     }
 
     fn grant(&self, inner: &mut Inner, next: Vtid) {
@@ -789,6 +881,60 @@ mod tests {
         });
         rt.run().unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    fn priority_order(seed: u64, depth: u8, pins: Vec<(String, i64)>) -> Vec<usize> {
+        let rt = Runtime::new(
+            SchedConfig::deterministic(seed)
+                .with_policy(SchedPolicy::Priority { depth })
+                .with_pct_horizon(16)
+                .with_priority_pins(pins),
+        );
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..4 {
+            let rt2 = rt.clone();
+            let log2 = Arc::clone(&log);
+            rt.spawn(format!("t{i}"), move || {
+                for _ in 0..5 {
+                    log2.lock().push(i);
+                    rt2.yield_now().unwrap();
+                }
+            });
+        }
+        rt.run().unwrap();
+        Arc::try_unwrap(log).unwrap().into_inner()
+    }
+
+    #[test]
+    fn priority_schedule_is_reproducible() {
+        assert_eq!(
+            priority_order(42, 3, Vec::new()),
+            priority_order(42, 3, Vec::new())
+        );
+    }
+
+    #[test]
+    fn priority_depth_changes_the_schedule() {
+        // depth 0 = fixed priorities: strictly one thread to completion,
+        // then the next. With change points the prefix winner gets demoted
+        // at some step, so (very likely for this seed) the orders differ.
+        assert_ne!(
+            priority_order(42, 0, Vec::new()),
+            priority_order(42, 4, Vec::new())
+        );
+    }
+
+    #[test]
+    fn priority_pins_override_draws() {
+        // Pin t2 above PRIORITY_BASE_MAX and t0 below zero: t2 must run all
+        // its steps first and t0 all its steps last, regardless of seed.
+        let pins = vec![
+            ("t2".to_string(), PRIORITY_BASE_MAX + 10),
+            ("t0".to_string(), -10),
+        ];
+        let order = priority_order(7, 0, pins);
+        assert_eq!(&order[..5], &[2usize, 2, 2, 2, 2][..]);
+        assert_eq!(&order[15..], &[0usize, 0, 0, 0, 0][..]);
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub(crate) struct ThreadSlot {
     pub(crate) clock: Arc<AtomicU64>,
     /// Threads blocked in `join` on this thread.
     pub(crate) join_waiters: Vec<Vtid>,
+    /// Scheduling priority ([`crate::SchedPolicy::Priority`] only): drawn
+    /// or pinned at spawn, lowered by change-point demotions.
+    pub(crate) priority: i64,
 }
 
 impl ThreadSlot {
@@ -81,6 +84,7 @@ impl ThreadSlot {
             cv: Arc::new(Condvar::new()),
             clock: Arc::new(AtomicU64::new(0)),
             join_waiters: Vec::new(),
+            priority: 0,
         }
     }
 

@@ -8,22 +8,18 @@
 //! with each kept violation carrying the minimum [`EmitOrder`] it was
 //! emitted under (the canonical batch-evaluation position).
 
-use home_core::{EmitOrder, Session, Violation, ViolationCollector, ViolationKind};
+use home_core::{EmitOrder, Session, Violation, ViolationCollector};
 use home_dynamic::DetectorConfig;
 use home_interp::MpiIncident;
 use home_stream::{HbtReader, HbtRecord, HbtSection, ManifestCheck, TraceIncident};
-use home_trace::{HomeError, Rank, SrcLoc};
+use home_trace::HomeError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// The cross-section identity of a violation: two runs reporting the same
-/// `(kind, rank, locations)` found the same bug.
-pub type ViolationIdentity = (ViolationKind, Rank, Vec<SrcLoc>);
-
-/// Identity key of one violation (see [`ViolationIdentity`]).
-pub fn violation_identity(v: &Violation) -> ViolationIdentity {
-    (v.kind, v.rank, v.locations.clone())
-}
+// The identity keying lives in `home_core` (it is also the batch pipeline's
+// and the exploration engine's dedup key); re-exported here because serve's
+// public API grew it first.
+pub use home_core::{violation_identity, ViolationIdentity};
 
 /// One violation with its canonical emission key.
 #[derive(Debug, Clone, PartialEq)]

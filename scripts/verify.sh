@@ -31,9 +31,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # partial reports. --no-deps keeps the lints scoped to exactly these
 # crates; no --all-targets, so #[cfg(test)] code is exempt. (The same
 # policy is pinned in-source via crate-root deny attributes.)
-echo "==> clippy unwrap/expect gate (home-trace, home-core, home-dynamic, home-stream, home-serve, CLI)"
+echo "==> clippy unwrap/expect gate (home-trace, home-core, home-dynamic, home-stream, home-serve, home-explore, CLI)"
 cargo clippy --offline --no-deps -p home-trace -p home-core -p home-dynamic -p home-stream \
-    -p home-serve \
+    -p home-serve -p home-explore \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 cargo clippy --offline --no-deps -p home --bins \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
@@ -138,6 +138,35 @@ if ! diff "$serial_out" "$v2_dir/replay.out"; then
     exit 1
 fi
 rm -rf "$v2_dir"
+
+# Explore smoke: a small budget on the paper's figure1 must find the known
+# initialization violation (exit 1), print a reproduction token, and that
+# token must replay through `check` to the same verdict (exit 1).
+echo "==> home explore smoke (figure1, budget 8)"
+explore_dir="$(mktemp -d)"
+explore_code=0
+./target/release/home explore programs/figure1.hmp --budget 8 > "$explore_dir/explore.out" || explore_code=$?
+if [ "$explore_code" -ne 1 ]; then
+    echo "explore smoke: expected exit 1 (violation found), got $explore_code" >&2
+    cat "$explore_dir/explore.out" >&2
+    exit 1
+fi
+grep -q "isInitializationViolation" "$explore_dir/explore.out" || {
+    echo "explore smoke: figure1 violation not found" >&2
+    cat "$explore_dir/explore.out" >&2
+    exit 1
+}
+repro_flags=$(grep -m1 'reproduce: home check' "$explore_dir/explore.out" \
+    | sed 's/.*reproduce: home check //')
+repro_code=0
+# shellcheck disable=SC2086  # the token is a flag list by construction
+./target/release/home check $repro_flags > "$explore_dir/repro.out" || repro_code=$?
+if [ "$repro_code" -ne 1 ] || ! grep -q "isInitializationViolation" "$explore_dir/repro.out"; then
+    echo "explore smoke: token '$repro_flags' did not reproduce the violation (exit $repro_code)" >&2
+    cat "$explore_dir/repro.out" >&2
+    exit 1
+fi
+rm -rf "$explore_dir"
 
 # Bench smoke: the throughput harness must build and complete one quick
 # pass (catches bit-rot in home-bench without paying for a full run; the

@@ -3,6 +3,9 @@
 //! ```text
 //! home check   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--jobs N] [--faithful]
 //!                          [--fail-seed a,b] [--engine batch|stream]
+//!                          [--pct-depth D] [--pins thread:prio,...]
+//! home explore <file.hmp> [--budget N] [--strategy pct|random|directed|all] [--depth D]
+//!                          [--procs N] [--threads N] [--jobs N] [--seed S]
 //! home watch   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
 //!                          [--fail-seed a,b] [--flush every|seed|end]
 //! home static  <file.hmp>
@@ -10,7 +13,7 @@
 //!                          [--trace-out trace.json]
 //! home record  <file.hmp> -o trace.hbt [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
 //!                          [--compress]
-//! home replay  <trace.hbt|-> [--jobs N]
+//! home replay  <trace.hbt|-> [--jobs N] [--run SEED]
 //! home analyze <trace.json|trace.hbt|-> [--jobs N]
 //! home serve   --socket path.sock [--max-sessions N] [--status|--stop]
 //! home submit  <trace.hbt> --socket path.sock [--json]
@@ -19,6 +22,9 @@
 //! ```
 //!
 //! * `check`   — the full HOME pipeline; exits nonzero if violations found.
+//! * `explore` — guided schedule-space search over one program: PCT priority
+//!   schedules, race-directed rescheduling of suspects, and DPOR-lite
+//!   fingerprint dedup; every finding carries a token `check` reproduces.
 //! * `watch`   — live mode: the same pipeline on the streaming engine, but
 //!   each violation is printed the moment its evidence is complete, while
 //!   the simulation is still running. Same verdicts and exit codes as
@@ -30,7 +36,8 @@
 //!   binary HBT trace file instead of detecting.
 //! * `replay`  — offline detection over a recorded HBT trace; same verdicts
 //!   and exit codes as `check` on the same program/seeds (deadlocks excepted:
-//!   a deadlocked run has no terminal event to replay).
+//!   a deadlocked run has no terminal event to replay). `--run SEED` seeks
+//!   straight to one recorded run via the v2 index and replays only it.
 //! * `analyze` — offline mode: run the dynamic phase + rule matching over a
 //!   previously dumped trace (the paper's offline analysis). Accepts JSON or
 //!   HBT, auto-detected by magic bytes; `-` reads from stdin.
@@ -93,7 +100,7 @@ macro_rules! oprint {
 }
 
 const USAGE: &str =
-    "usage: home <check|watch|serve|static|run|record|replay|analyze|submit|fmt|help> [<file>] [options]";
+    "usage: home <check|explore|watch|serve|static|run|record|replay|analyze|submit|fmt|help> [<file>] [options]";
 
 fn print_help() {
     oprintln!("home — detect thread-safety violations in hybrid OpenMP/MPI programs");
@@ -103,6 +110,9 @@ fn print_help() {
     oprintln!("commands:");
     oprintln!("  check   <file.hmp>   full pipeline: static analysis, multi-seed simulation,");
     oprintln!("                       race detection, violation matching; exit 1 on findings");
+    oprintln!("  explore <file.hmp>   guided schedule-space search: PCT priority schedules,");
+    oprintln!("                       race-directed rescheduling, fingerprint dedup; each");
+    oprintln!("                       finding carries a token `check` reproduces");
     oprintln!("  watch   <file.hmp>   live mode: the same pipeline on the streaming engine,");
     oprintln!("                       printing each violation the moment its evidence is");
     oprintln!("                       complete, while the simulation runs; same exit codes");
@@ -136,6 +146,23 @@ fn print_help() {
     oprintln!("                  seed's trace before detecting; `stream` detects online");
     oprintln!("                  while the program runs, retiring dead segments as");
     oprintln!("                  regions join. The report is identical either way.");
+    oprintln!("  --pct-depth D   schedule under PCT priorities with D change points");
+    oprintln!("                  (reproduces `explore` pct findings; implies the");
+    oprintln!("                  priority scheduler, incompatible with --faithful)");
+    oprintln!("  --pins t:p,...  pin named scheduler threads to fixed priorities");
+    oprintln!("                  (reproduces `explore` directed findings)");
+    oprintln!();
+    oprintln!("explore options:");
+    oprintln!("  --budget N      total schedules to attempt (default 64); deduplicated");
+    oprintln!("                  and failed schedules count against the budget");
+    oprintln!("  --strategy S    pct | random | directed | all (default all):");
+    oprintln!("                  pct = PCT priority schedules; random = seeded uniform");
+    oprintln!("                  baseline; directed = random plus race-directed flips");
+    oprintln!("                  of every suspect; all = pct plus directed flips");
+    oprintln!("  --depth D       PCT priority-change points per schedule (default 3)");
+    oprintln!("  --seed S        first base-schedule seed (default 1)");
+    oprintln!("  --procs N / --threads N / --jobs N   as in check; the report is");
+    oprintln!("                  byte-identical for every --jobs value");
     oprintln!();
     oprintln!("watch options:");
     oprintln!("  --procs N / --threads N / --seeds a,b,c / --faithful / --fail-seed a,b");
@@ -157,6 +184,9 @@ fn print_help() {
     oprintln!("                  default = available parallelism. The verdict is");
     oprintln!("                  identical for every value; v1 traces and stdin");
     oprintln!("                  pipes decode serially regardless");
+    oprintln!("  --run SEED      (replay only) seek to the one recorded run with this");
+    oprintln!("                  scheduler seed via the v2 index and replay only its");
+    oprintln!("                  frames; a miss lists the seeds the trace does hold");
     oprintln!();
     oprintln!("run options:");
     oprintln!("  --procs N / --threads N   as above");
@@ -231,6 +261,7 @@ fn main() -> ExitCode {
 
     match cmd {
         "check" => cmd_check(&program, &args),
+        "explore" => cmd_explore(&program, file, &args),
         "watch" => cmd_watch(&program, &args),
         "static" => cmd_static(&program),
         "run" => cmd_run(&program, &args),
@@ -405,6 +436,32 @@ fn parse_seed_list(value: &str, flag: &str) -> Result<Vec<u64>, String> {
     Ok(seeds)
 }
 
+/// Parse `--pins thread:priority,...` (the directed-reschedule pins an
+/// `explore` token prints). Names are scheduler thread names (`rank0`,
+/// `rank1.r4.t1`); priorities may be negative.
+fn parse_pins(value: &str) -> Result<Vec<(String, i64)>, String> {
+    let mut pins = Vec::new();
+    for part in value.split(',') {
+        let part = part.trim();
+        let (name, prio) = match part.rsplit_once(':') {
+            Some(split) => split,
+            None => {
+                return Err(format!(
+                    "invalid pin `{part}` in --pins: expected thread:priority"
+                ))
+            }
+        };
+        if name.is_empty() {
+            return Err(format!("invalid pin `{part}` in --pins: empty thread name"));
+        }
+        let prio: i64 = prio
+            .parse()
+            .map_err(|_| format!("invalid priority `{prio}` in --pins: expected an integer"))?;
+        pins.push((name.to_string(), prio));
+    }
+    Ok(pins)
+}
+
 fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
     let parsed = (|| -> Result<CheckOptions, String> {
         let mut options = CheckOptions::new(
@@ -422,6 +479,31 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
         if args.iter().any(|a| a == "--faithful") {
             options.sched_policy = SchedPolicy::EarliestClockFirst;
         }
+        // Priority-schedule reproduction flags (the tokens `explore`
+        // prints): --pct-depth replays a PCT schedule, --pins a directed
+        // flip. Either selects the priority scheduler outright.
+        let pct_depth = match flag_value(args, "--pct-depth")? {
+            None => None,
+            Some(v) => Some(v.parse::<u8>().map_err(|_| {
+                format!("invalid value `{v}` for --pct-depth: expected an integer in 0..=255")
+            })?),
+        };
+        let pins = match flag_value(args, "--pins")? {
+            None => Vec::new(),
+            Some(v) => parse_pins(v)?,
+        };
+        if (pct_depth.is_some() || !pins.is_empty()) && args.iter().any(|a| a == "--faithful") {
+            return Err(
+                "--pct-depth/--pins select the priority scheduler and cannot combine with --faithful"
+                    .into(),
+            );
+        }
+        if let Some(depth) = pct_depth {
+            options.sched_policy = SchedPolicy::Priority { depth };
+        } else if !pins.is_empty() {
+            options.sched_policy = SchedPolicy::Priority { depth: 0 };
+        }
+        options.priority_pins = pins;
         if let Some(fails) = flag_value(args, "--fail-seed")? {
             options.inject_panic_seeds = parse_seed_list(fails, "--fail-seed")?;
         }
@@ -451,6 +533,61 @@ fn cmd_check(program: &Program, args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn cmd_explore(program: &Program, file: &str, args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<ExploreOptions, String> {
+        let defaults = ExploreOptions::default();
+        let budget = usize_flag(args, "--budget", defaults.budget)?;
+        if budget == 0 {
+            return Err("invalid value `0` for --budget: expected at least 1".into());
+        }
+        let strategy = match flag_value(args, "--strategy")? {
+            None => defaults.strategy,
+            Some(s) => Strategy::parse(s).ok_or_else(|| {
+                format!("unknown strategy `{s}`: expected `pct`, `random`, `directed`, or `all`")
+            })?,
+        };
+        let depth = usize_flag(args, "--depth", defaults.depth as usize)?;
+        let depth = u8::try_from(depth)
+            .map_err(|_| format!("invalid value `{depth}` for --depth: expected 0..=255"))?;
+        let jobs = usize_flag(args, "--jobs", home::dynamic::default_jobs())?;
+        if jobs == 0 {
+            return Err("invalid value `0` for --jobs: expected at least 1".into());
+        }
+        let base_seed = match flag_value(args, "--seed")? {
+            None => defaults.base_seed,
+            Some(v) => v.parse().map_err(|_| {
+                format!("invalid value `{v}` for --seed: expected an unsigned integer")
+            })?,
+        };
+        let mut detector = defaults.detector;
+        detector.jobs = jobs;
+        Ok(ExploreOptions {
+            nprocs: usize_flag(args, "--procs", defaults.nprocs)?,
+            threads_per_proc: usize_flag(args, "--threads", defaults.threads_per_proc)?,
+            budget,
+            strategy,
+            depth,
+            jobs,
+            base_seed,
+            detector,
+        })
+    })();
+    let options = match parsed {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let report = home::explore::explore(program, &options);
+    oprint!("{}", report.render(file));
+    // Same exit-code precedence as `check`: partial trumps findings.
+    if report.partial {
+        ExitCode::from(3)
+    } else if report.found_anything() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -637,6 +774,18 @@ fn cmd_replay(file: &str, args: &[String]) -> ExitCode {
         Ok(j) => j,
         Err(e) => return usage_error(&e),
     };
+    let run_seed = match flag_value(args, "--run") {
+        Ok(None) => None,
+        Ok(Some(v)) => match v.parse::<u64>() {
+            Ok(s) => Some(s),
+            Err(_) => {
+                return usage_error(&format!(
+                    "invalid value `{v}` for --run: expected a scheduler seed (unsigned integer)"
+                ))
+            }
+        },
+        Err(e) => return usage_error(&e),
+    };
     let input = match TraceInput::open(file) {
         Ok(input) => input,
         Err(e) => {
@@ -647,6 +796,28 @@ fn cmd_replay(file: &str, args: &[String]) -> ExitCode {
     if !input.is_hbt() {
         eprintln!("home: {file}: not an HBT trace (bad magic); produce one with `home record`");
         return ExitCode::from(2);
+    }
+    // --run SEED: seek straight to one recorded section via the v2 index
+    // and decode only its frames. Needs a mapped file — a pipe cannot seek.
+    if let Some(seed) = run_seed {
+        let reader = match &input {
+            TraceInput::Mapped(reader) => reader,
+            TraceInput::Stdin { .. } => {
+                return usage_error(
+                    "--run needs a seekable trace file; a stdin pipe cannot seek \
+                     (save the trace to a file and replay that)",
+                )
+            }
+        };
+        let outcome = home::core::decode_trace_run(reader.bytes(), seed, jobs)
+            .and_then(|sections| home::serve::analyze_sections(&sections));
+        return match outcome {
+            Ok(o) => print_outcome(&format!("replay (run {seed})"), &o),
+            Err(e) => {
+                print_trace_error(file, &e);
+                ExitCode::from(2)
+            }
+        };
     }
     // Session-driven detection shared with `analyze` and the serve daemon:
     // verdict-identical to check for every `--jobs` value.

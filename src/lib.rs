@@ -16,6 +16,7 @@
 //! | streaming | [`stream`] | online (event-at-a-time) detection and the HBT binary trace format |
 //! | interpreter | [`interp`] | runs IR programs over the substrates with tool instrumentation |
 //! | tool | [`core`] | the HOME pipeline and the six violation rules |
+//! | exploration | [`explore`] | guided schedule search: PCT priorities, race-directed flips, DPOR-lite dedup |
 //! | collector | [`serve`] | multi-tenant HBT trace-ingest daemon and client |
 //! | baselines | [`baselines`] | Marmot and Intel-Thread-Checker models |
 //! | workloads | [`npb`] | NPB-MZ-style LU/BT/SP with violation injection |
@@ -45,6 +46,7 @@ pub use home_trace::{HomeError, HomeResult};
 pub use home_baselines as baselines;
 pub use home_core as core;
 pub use home_dynamic as dynamic;
+pub use home_explore as explore;
 pub use home_interp as interp;
 pub use home_ir as ir;
 pub use home_mpi as mpi;
@@ -64,6 +66,7 @@ pub mod prelude {
         Violation, ViolationKind, ViolationSink,
     };
     pub use home_dynamic::{detect, DetectorConfig, DetectorMode, Race};
+    pub use home_explore::{ExploreOptions, ExploreReport, ScheduleToken, Strategy};
     pub use home_interp::{run, run_with_sink, Instrumentation, RunConfig};
     pub use home_ir::{parse, print_program, Program};
     pub use home_npb::{accuracy_row, build_injected, generate, Benchmark, Class};

@@ -671,6 +671,80 @@ fn v2_frame_raw_len_lie_is_rejected() {
     }
 }
 
+/// Hand-built v2 stream: one empty *anonymous* frame (no seed flag), a
+/// matching one-entry seek index, and a manifest declaring `declared`
+/// sections — each declared section anonymous. The frame walk counts the
+/// frame as a section while record inflation produces none, so no declared
+/// count can satisfy both; what matters is that the contradiction is a
+/// typed error at every fan-out width, never an accept-at-one-width skew.
+fn empty_anonymous_frame_stream(declared: u64) -> Vec<u8> {
+    let mut bytes = HBT_MAGIC.to_vec();
+    bytes.push(HBT_V2);
+    // frame: kind 5, flags 0 (anonymous), events 0, incidents 0, raw_len 0
+    let frame = [5u8, 0, 0, 0, 0];
+    put_varint(&mut bytes, frame.len() as u64);
+    bytes.extend_from_slice(&frame);
+    bytes.extend_from_slice(&encode_index_record(&[IndexEntry {
+        offset: 5,
+        seed: None,
+        continuation: false,
+        events: 0,
+        incidents: 0,
+        raw_len: 0,
+    }]));
+    let mut manifest = vec![4u8]; // REC_MANIFEST
+    put_varint(&mut manifest, declared);
+    // one flag byte per declared section: 0 = anonymous, no seed
+    manifest.extend(std::iter::repeat_n(0u8, declared as usize));
+    put_varint(&mut bytes, manifest.len() as u64);
+    bytes.extend_from_slice(&manifest);
+    bytes.push(0);
+    bytes
+}
+
+/// `decode_trace` verdict (sections or error string) at one width.
+fn decode_at(bytes: &[u8], jobs: usize) -> Result<String, String> {
+    home::core::decode_trace(bytes, jobs)
+        .map(|s| format!("{s:?}"))
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn v2_empty_anonymous_frame_under_empty_manifest_is_jobs_invariant() {
+    // The frame walk sees one (anonymous) section, the manifest declares
+    // zero: rejected with the same byte-anchored diagnostic at every width.
+    let bytes = empty_anonymous_frame_stream(0);
+    let verdict = decode_at(&bytes, 1);
+    assert_eq!(
+        verdict,
+        decode_at(&bytes, 4),
+        "verdict diverges across jobs"
+    );
+    let msg = verdict.expect_err("declared/contained mismatch must be rejected");
+    assert!(
+        msg.contains("declares 0 section(s)") && msg.contains("byte"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn v2_manifest_declared_anonymous_section_is_jobs_invariant() {
+    // The mirror image: the manifest declares one anonymous section but the
+    // empty frame inflates to no records at all.
+    let bytes = empty_anonymous_frame_stream(1);
+    let verdict = decode_at(&bytes, 1);
+    assert_eq!(
+        verdict,
+        decode_at(&bytes, 4),
+        "verdict diverges across jobs"
+    );
+    let msg = verdict.expect_err("declared/contained mismatch must be rejected");
+    assert!(
+        msg.contains("declares 1 section(s)") && msg.contains("byte"),
+        "unexpected error: {msg}"
+    );
+}
+
 #[test]
 fn v2_corrupt_compressed_frame_is_typed_on_every_path() {
     let base = record_bytes_v2(FIGURE2, &[1, 2]);
