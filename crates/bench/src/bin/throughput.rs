@@ -15,7 +15,7 @@ use home_dynamic::{detect, DetectorConfig};
 use home_interp::{run, Instrumentation, RunConfig};
 use home_ir::parse;
 use home_static::analyze;
-use home_stream::{decode_sections, detect_stream, encode_trace, HbtWriter};
+use home_stream::{decode_sections, detect_stream, detect_stream_batched, encode_trace, HbtWriter};
 use home_trace::{AccessKind, Event, EventKind, LockId, MemLoc, Rank, RegionId, Tid, Trace, VarId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -194,19 +194,18 @@ fn main() {
                 .map(|(r, _)| r.len())
                 .unwrap_or(0)
         });
-        // The shim JSON parser is superlinear in document size; parsing the
-        // multi-megabyte synthetic corpus would dominate the whole run, so
-        // JSON decode is only measured on the program-sized corpora (HBT vs
-        // mmap-HBT is the interesting comparison at scale). 0 = not measured.
-        let dec_json = if json.len() < 1 << 20 {
-            measure(n, min_iters, min_secs, || {
-                Trace::from_json(std::hint::black_box(&json))
-                    .map(|t| t.len())
-                    .unwrap_or(0)
-            })
-        } else {
-            0.0
-        };
+        // The amortized batch feed path: shard locks and rank state
+        // resolved once per run of same-rank events.
+        let stream_batched = measure(n, min_iters, min_secs, || {
+            detect_stream_batched(std::hint::black_box(trace), &config, 0)
+                .map(|(r, _)| r.len())
+                .unwrap_or(0)
+        });
+        let dec_json = measure(n, min_iters, min_secs, || {
+            Trace::from_json(std::hint::black_box(&json))
+                .map(|t| t.len())
+                .unwrap_or(0)
+        });
         let dec_hbt = measure(n, min_iters, min_secs, || {
             decode_sections(std::hint::black_box(&hbt))
                 .map(|s| s.len())
@@ -225,12 +224,29 @@ fn main() {
                 .map(|s| s.len())
                 .unwrap_or(0)
         });
+        // End-to-end replay: v2 decode + session-driven analysis, first
+        // event-at-a-time (the pre-batching feed path) then batch-wise
+        // (what `home replay` runs) — the honest before/after pair.
+        let replay_eventwise = measure(n, min_iters, min_secs, || {
+            home_core::decode_trace(std::hint::black_box(&hbt_v2), 1)
+                .ok()
+                .and_then(|sections| home_serve::analyze_sections_batched(&sections, Some(1)).ok())
+                .map(|o| o.events as usize)
+                .unwrap_or(0)
+        });
+        let replay_e2e = measure(n, min_iters, min_secs, || {
+            home_core::decode_trace(std::hint::black_box(&hbt_v2), 1)
+                .ok()
+                .and_then(|sections| home_serve::analyze_sections(&sections).ok())
+                .map(|o| o.events as usize)
+                .unwrap_or(0)
+        });
         let bpe_v1 = hbt.len() as f64 / n.max(1) as f64;
         let bpe_v2 = hbt_v2.len() as f64 / n.max(1) as f64;
 
         eprintln!(
-            "{}: {} events | batch {:.0} | stream {:.0} | json-decode {:.0} | hbt-decode {:.0} | hbt-mmap {:.0} | v2-decode {:.0} | v2-jobs4 {:.0} | B/ev {:.1} -> {:.1}",
-            corpus.name, n, batch, stream, dec_json, dec_hbt, dec_hbt_mmap, dec_v2, dec_v2_par, bpe_v1, bpe_v2,
+            "{}: {} events | batch {:.0} | stream {:.0} | stream-batched {:.0} | json-decode {:.0} | hbt-decode {:.0} | hbt-mmap {:.0} | v2-decode {:.0} | v2-jobs4 {:.0} | replay-eventwise {:.0} | replay-e2e {:.0} | B/ev {:.1} -> {:.1}",
+            corpus.name, n, batch, stream, stream_batched, dec_json, dec_hbt, dec_hbt_mmap, dec_v2, dec_v2_par, replay_eventwise, replay_e2e, bpe_v1, bpe_v2,
         );
         let comma = if ci + 1 < corpora.len() { "," } else { "" };
         println!("    {{");
@@ -238,11 +254,14 @@ fn main() {
         println!("      \"events\": {n},");
         println!("      \"detect_batch\": {batch:.0},");
         println!("      \"detect_stream\": {stream:.0},");
+        println!("      \"detect_stream_batched\": {stream_batched:.0},");
         println!("      \"decode_json\": {dec_json:.0},");
         println!("      \"decode_hbt\": {dec_hbt:.0},");
         println!("      \"decode_hbt_mmap\": {dec_hbt_mmap:.0},");
         println!("      \"decode_hbt_v2\": {dec_v2:.0},");
         println!("      \"decode_hbt_v2_jobs4\": {dec_v2_par:.0},");
+        println!("      \"replay_e2e_eventwise\": {replay_eventwise:.0},");
+        println!("      \"replay_e2e\": {replay_e2e:.0},");
         println!("      \"bytes_per_event_v1\": {bpe_v1:.2},");
         println!("      \"bytes_per_event_v2\": {bpe_v2:.2}");
         println!("    }}{comma}");

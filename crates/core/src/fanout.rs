@@ -17,19 +17,34 @@ pub fn fan_out_indexed<T: Sync, R: Send>(
     jobs: usize,
     work: impl Fn(usize, &T) -> R + Sync,
 ) -> Vec<Option<R>> {
+    fan_out_indexed_with(items, jobs, || (), |(), i, item| work(i, item))
+}
+
+/// [`fan_out_indexed`] with per-worker scratch state: each spawned worker
+/// calls `init` once and threads the resulting state through every item
+/// of its chunk. The v2 frame decoder uses this to reuse one
+/// decompression buffer and one event batch per worker instead of
+/// allocating per frame.
+pub fn fan_out_indexed_with<T: Sync, S, R: Send>(
+    items: &[T],
+    jobs: usize,
+    init: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<Option<R>> {
     let jobs = jobs.max(1).min(items.len().max(1));
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(items.len(), || None);
     let chunk = items.len().div_ceil(jobs).max(1);
-    let work = &work;
+    let (init, work) = (&init, &work);
     std::thread::scope(|scope| {
         for (chunk_i, (slot_chunk, item_chunk)) in
             slots.chunks_mut(chunk).zip(items.chunks(chunk)).enumerate()
         {
             let base = chunk_i * chunk;
             scope.spawn(move || {
+                let mut state = init();
                 for (off, (slot, item)) in slot_chunk.iter_mut().zip(item_chunk).enumerate() {
-                    *slot = Some(work(base + off, item));
+                    *slot = Some(work(&mut state, base + off, item));
                 }
             });
         }

@@ -30,7 +30,7 @@ mod rules;
 mod session;
 mod sink;
 
-pub use fanout::fan_out_indexed;
+pub use fanout::{fan_out_indexed, fan_out_indexed_with};
 pub use pipeline::{check, check_with_sink, CheckOptions, Engine};
 pub use replay::{decode_trace, decode_trace_run};
 pub use report::{

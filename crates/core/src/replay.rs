@@ -9,11 +9,40 @@
 //! sections, so downstream verdicts are byte-identical for every
 //! `--jobs` value.
 
-use crate::fanout::fan_out_indexed;
+use crate::fanout::fan_out_indexed_with;
 use home_stream::{
-    decode_frame_records, decode_sections, scan_layout, sections_from_records, HbtSection,
+    decode_frame_into, decode_sections, scan_layout, sections_from_batches, FrameBatch, FrameLoc,
+    FrameScratch, HbtSection,
 };
 use home_trace::HomeError;
+
+/// Inflate `frames` across `jobs` workers into per-frame batches and
+/// stitch them into sections. Each worker reuses one decompression
+/// buffer ([`FrameScratch`]) across its whole chunk; decoded events land
+/// directly in the [`FrameBatch`] buffers the sections are built from,
+/// so no intermediate record list is materialized. The first frame
+/// error in stream order wins, matching the serial reader.
+fn decode_frames_parallel(
+    bytes: &[u8],
+    frames: &[FrameLoc],
+    jobs: usize,
+) -> Result<Vec<HbtSection>, HomeError> {
+    let slots = fan_out_indexed_with(frames, jobs, FrameScratch::new, |scratch, _, frame| {
+        let mut batch = FrameBatch::new();
+        decode_frame_into(bytes, frame, scratch, &mut batch)?;
+        Ok::<FrameBatch, HomeError>(batch)
+    });
+    let mut batches = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let batch = slot.unwrap_or_else(|| {
+            Err(HomeError::corrupt_trace(format!(
+                "HBT frame {i} produced no decode result"
+            )))
+        })?;
+        batches.push(batch);
+    }
+    Ok(sections_from_batches(batches))
+}
 
 /// Decode an HBT byte stream into its trace sections, inflating v2
 /// frames in parallel across `jobs` workers. The first frame error in
@@ -21,22 +50,10 @@ use home_trace::HomeError;
 /// first.
 pub fn decode_trace(bytes: &[u8], jobs: usize) -> Result<Vec<HbtSection>, HomeError> {
     let layout = match scan_layout(bytes)? {
-        Some(layout) if jobs > 1 && layout.frames.len() > 1 => layout,
-        _ => return decode_sections(bytes),
+        Some(layout) => layout,
+        None => return decode_sections(bytes),
     };
-    let slots = fan_out_indexed(&layout.frames, jobs, |_, frame| {
-        decode_frame_records(bytes, frame)
-    });
-    let mut records = Vec::new();
-    for (i, slot) in slots.into_iter().enumerate() {
-        let decoded = slot.unwrap_or_else(|| {
-            Err(HomeError::corrupt_trace(format!(
-                "HBT frame {i} produced no decode result"
-            )))
-        })?;
-        records.extend(decoded);
-    }
-    Ok(sections_from_records(records))
+    decode_frames_parallel(bytes, &layout.frames, jobs)
 }
 
 /// Decode only the section recorded under `seed`, seeking straight to its
@@ -94,17 +111,7 @@ pub fn decode_trace_run(
             format!("no recorded section for this seed; {listing}"),
         ));
     }
-    let slots = fan_out_indexed(&wanted, jobs, |_, frame| decode_frame_records(bytes, frame));
-    let mut records = Vec::new();
-    for (i, slot) in slots.into_iter().enumerate() {
-        let decoded = slot.unwrap_or_else(|| {
-            Err(HomeError::corrupt_trace(format!(
-                "HBT frame {i} produced no decode result"
-            )))
-        })?;
-        records.extend(decoded);
-    }
-    Ok(sections_from_records(records))
+    decode_frames_parallel(bytes, &wanted, jobs)
 }
 
 #[cfg(test)]

@@ -181,6 +181,34 @@ impl RuleEngine {
         self.take_new(fresh)
     }
 
+    /// True when [`RuleEngine::observe_event`] would ignore `e` entirely:
+    /// no evidence folded, nothing emitted. The batch feed path uses this
+    /// to skip the engine lock for batches of plain access/sync events —
+    /// the overwhelming majority of a monitored stream.
+    pub fn event_is_inert(e: &Event) -> bool {
+        match &e.kind {
+            EventKind::MpiInit { .. } => false,
+            EventKind::Fork { nthreads, .. } => *nthreads <= 1,
+            EventKind::MpiCall { .. } => e.region.is_none(),
+            EventKind::MonitoredWrite { var, .. } => *var != MonitoredVar::Finalize,
+            _ => true,
+        }
+    }
+
+    /// Fold a batch of trace events, skipping inert ones without the
+    /// per-event match. Byte-identical to calling
+    /// [`RuleEngine::observe_event`] per event in order.
+    pub fn observe_batch(&mut self, events: &[Event]) -> Vec<EmittedViolation> {
+        let mut out = Vec::new();
+        for e in events {
+            if RuleEngine::event_is_inert(e) {
+                continue;
+            }
+            out.extend(self.observe_event(e));
+        }
+        out
+    }
+
     /// Fold one race candidate into the evidence, returning any violations
     /// it just made decidable. Races must arrive in per-rank discovery
     /// order (any interleaving across ranks is fine).

@@ -75,6 +75,17 @@ impl EngineTap {
         self.forward(&fresh);
     }
 
+    /// Observe a batch of events with one lock acquisition — or none at
+    /// all when every event in the batch is inert (the common case for
+    /// monitored access/sync streams).
+    fn observe_batch(&self, events: &[Event]) {
+        if events.iter().all(RuleEngine::event_is_inert) {
+            return;
+        }
+        let fresh = self.lock().observe_batch(events);
+        self.forward(&fresh);
+    }
+
     fn observe_incident(&self, incident: &MpiIncident) {
         let fresh = self.lock().observe_incident(incident);
         self.forward(&fresh);
@@ -189,6 +200,26 @@ impl Session {
         self.tap.observe_event(e);
         if let Some(detector) = &self.detector {
             detector.consume(e);
+        }
+    }
+
+    /// Feed a batch of events through the amortized path: the rule engine
+    /// observes the whole batch under one lock (or none, when every event
+    /// is inert), then the detector consumes it with per-rank-run shard
+    /// resolution. Byte-identical to feeding each event individually —
+    /// the engine-before-detector order of [`Session::feed_event`] holds
+    /// batch-wise, and every rule emission key is position-derived, so
+    /// moving engine observations ahead of detector callbacks within a
+    /// batch changes no emitted bytes.
+    pub fn feed_batch(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        self.events
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        self.tap.observe_batch(events);
+        if let Some(detector) = &self.detector {
+            detector.consume_batch(events);
         }
     }
 

@@ -110,6 +110,13 @@ impl SectionSession {
         self.session.feed_event(e);
     }
 
+    /// Feed a batch of events through the amortized lock-once path
+    /// ([`Session::feed_batch`]). Byte-identical to feeding each event
+    /// individually, for every batch size.
+    pub fn feed_batch(&self, events: &[home_trace::Event]) {
+        self.session.feed_batch(events);
+    }
+
     /// Buffer one incident for end-of-section classification.
     pub fn push_incident(&mut self, i: &TraceIncident) {
         self.incidents.push(to_incident(i));
@@ -164,9 +171,26 @@ impl SectionSession {
 /// single verdict path shared by `replay`, `analyze`, and the serve daemon
 /// (which drives [`SectionSession`] record-at-a-time instead).
 pub fn analyze_section(section: &HbtSection) -> Result<SectionVerdict, HomeError> {
+    analyze_section_batched(section, None)
+}
+
+/// [`analyze_section`] with an explicit feed granularity: events go
+/// through [`SectionSession::feed_batch`] in chunks of `batch` events
+/// (the whole section at once for `None`). Every granularity produces
+/// byte-identical verdicts; the parity suite pins it.
+pub fn analyze_section_batched(
+    section: &HbtSection,
+    batch: Option<usize>,
+) -> Result<SectionVerdict, HomeError> {
     let mut session = SectionSession::open(section.seed);
-    for e in section.trace.events() {
-        session.feed_event(e);
+    let events = section.trace.events();
+    match batch {
+        Some(n) if n > 0 => {
+            for chunk in events.chunks(n) {
+                session.feed_batch(chunk);
+            }
+        }
+        _ => session.feed_batch(events),
     }
     for i in &section.incidents {
         session.push_incident(i);
@@ -196,9 +220,18 @@ pub fn combine_verdicts(verdicts: Vec<SectionVerdict>) -> TraceOutcome {
 
 /// Analyze every section of a decoded trace and combine the verdicts.
 pub fn analyze_sections(sections: &[HbtSection]) -> Result<TraceOutcome, HomeError> {
+    analyze_sections_batched(sections, None)
+}
+
+/// [`analyze_sections`] with an explicit feed granularity (see
+/// [`analyze_section_batched`]); `None` feeds each section as one batch.
+pub fn analyze_sections_batched(
+    sections: &[HbtSection],
+    batch: Option<usize>,
+) -> Result<TraceOutcome, HomeError> {
     let mut verdicts = Vec::with_capacity(sections.len());
     for section in sections {
-        verdicts.push(analyze_section(section)?);
+        verdicts.push(analyze_section_batched(section, batch)?);
     }
     Ok(combine_verdicts(verdicts))
 }

@@ -31,8 +31,9 @@ mod protocol;
 mod server;
 
 pub use analyze::{
-    analyze_section, analyze_sections, analyze_stream, combine_verdicts, violation_identity,
-    KeyedViolation, SectionSession, SectionVerdict, TraceOutcome, ViolationIdentity,
+    analyze_section, analyze_section_batched, analyze_sections, analyze_sections_batched,
+    analyze_stream, combine_verdicts, violation_identity, KeyedViolation, SectionSession,
+    SectionVerdict, TraceOutcome, ViolationIdentity,
 };
 pub use client::{ping, status, stop, submit};
 pub use protocol::{parse_reply, Reply};

@@ -66,6 +66,7 @@ pub fn status_reply(fleet: &Fleet, active: usize) -> String {
         ("submissions", Value::UInt(fleet.submissions)),
         ("rejected", Value::UInt(fleet.rejected)),
         ("runs", Value::UInt(fleet.runs)),
+        ("skipped_known_runs", Value::UInt(fleet.skipped_known_runs)),
         ("events", Value::UInt(fleet.events)),
         ("races", Value::UInt(fleet.races)),
         ("unclassified", Value::UInt(fleet.unclassified)),

@@ -22,12 +22,15 @@
 //! daemon's life. Malformed streams produce a typed JSON error reply; the
 //! daemon never panics on input.
 
-use crate::analyze::{violation_identity, ViolationIdentity};
+use crate::analyze::{
+    combine_verdicts, violation_identity, SectionSession, SectionVerdict, ViolationIdentity,
+};
 use crate::protocol::{error_reply, status_reply, submit_reply};
 use home_core::{EmitOrder, Violation};
-use home_stream::HBT_MAGIC;
-use home_trace::HomeError;
+use home_stream::{decode_frame_into, scan_layout, FrameBatch, FrameLoc, FrameScratch, HBT_MAGIC};
+use home_trace::{FxHasher, HomeError};
 use std::collections::BTreeMap;
+use std::hash::Hasher;
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -79,6 +82,17 @@ pub struct AggViolation {
     pub order: EmitOrder,
 }
 
+/// One seeded section the daemon has already analyzed: its byte-level
+/// fingerprint and the verdict it produced. A later v2 submission whose
+/// index carries the same seed with the same fingerprint replays this
+/// verdict without decompressing the frames; the same seed with a
+/// *different* fingerprint rejects the submission.
+#[derive(Debug, Clone)]
+struct KnownRun {
+    fingerprint: u64,
+    verdict: SectionVerdict,
+}
+
 /// Cross-run aggregate over everything the daemon has ingested.
 #[derive(Debug, Default)]
 pub struct Fleet {
@@ -94,7 +108,12 @@ pub struct Fleet {
     pub races: u64,
     /// Races the rules could not classify.
     pub unclassified: u64,
+    /// Sections whose verdict was replayed from the cross-run cache by
+    /// the v2 index fast path instead of re-analyzed (still counted in
+    /// `runs`/`events` — only the decompress + analysis was skipped).
+    pub skipped_known_runs: u64,
     violations: BTreeMap<ViolationIdentity, AggViolation>,
+    known: BTreeMap<u64, KnownRun>,
 }
 
 impl Fleet {
@@ -357,17 +376,240 @@ impl Read for DeadlineReader<'_> {
     }
 }
 
-/// Ingest one HBT stream record-at-a-time via the shared
-/// [`analyze_stream`](crate::analyze::analyze_stream) loop, under the
-/// session deadline, and fold the verdict into the fleet aggregate.
+/// Cap on how much of one submission the daemon buffers for the v2 index
+/// fast path. Larger submissions fall back to the record-at-a-time
+/// streaming loop (bounded memory, no fast path).
+const INGEST_BUFFER_CAP: usize = 512 << 20;
+
+/// Ingest one HBT stream under the session deadline and fold the verdict
+/// into the fleet aggregate.
+///
+/// The stream is buffered (up to [`INGEST_BUFFER_CAP`]) so a v2
+/// submission can take the index fast path: [`scan_layout`] validates
+/// the seek index against the frame headers actually present, and only
+/// then are its `(seed, fingerprint)` pairs trusted to skip
+/// decompressing sections the fleet has already analyzed. v1 streams,
+/// plain-record v2 streams, and oversized submissions go through the
+/// shared [`analyze_stream`](crate::analyze::analyze_stream) loop
+/// exactly as before.
 fn ingest(first: u8, stream: &mut UnixStream, state: &State) -> Result<String, HomeError> {
-    let prefix = io::Cursor::new([first]);
-    let deadline = DeadlineReader::new(stream, state.read_timeout, state.session_deadline);
-    let outcome = crate::analyze::analyze_stream(prefix.chain(deadline))?;
+    let mut reader = DeadlineReader::new(stream, state.read_timeout, state.session_deadline);
+    let mut bytes = vec![first];
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if bytes.len() > INGEST_BUFFER_CAP {
+            // Oversized: hand the buffered prefix plus the still-unread
+            // tail to the streaming loop without buffering further.
+            let prefix = io::Cursor::new(bytes);
+            let outcome = crate::analyze::analyze_stream(prefix.chain(reader))?;
+            let mut fleet = state.fleet();
+            fleet.absorb(&outcome);
+            return Ok(submit_reply(&outcome));
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(HomeError::trace_parse(format!(
+                    "I/O error reading HBT stream at byte {}: {e}",
+                    bytes.len()
+                )))
+            }
+        }
+    }
+    ingest_buffered(&bytes, state)
+}
+
+/// One recorded section of a v2 stream, as its head frame plus any
+/// continuation frames.
+struct SectionFrames<'a> {
+    seed: Option<u64>,
+    frames: Vec<&'a FrameLoc>,
+}
+
+/// Fingerprint a section's identity: every frame's header fields plus its
+/// stored (still-compressed) body bytes. Deliberately excludes the byte
+/// offset, so the same section embedded at a different stream position
+/// fingerprints identically.
+fn section_fingerprint(bytes: &[u8], section: &SectionFrames<'_>) -> Result<u64, HomeError> {
+    let mut h = FxHasher::default();
+    h.write_usize(section.frames.len());
+    for f in &section.frames {
+        h.write_u8(u8::from(f.entry.continuation));
+        h.write_u8(u8::from(f.compressed()));
+        match f.entry.seed {
+            Some(s) => {
+                h.write_u8(1);
+                h.write_u64(s);
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u64(f.entry.events);
+        h.write_u64(f.entry.incidents);
+        h.write_u64(f.entry.raw_len);
+        let stored = f.stored(bytes)?;
+        h.write_usize(stored.len());
+        h.write(stored);
+    }
+    Ok(h.finish())
+}
+
+/// Decode and analyze one v2 section frame-batch-at-a-time, reusing the
+/// caller's scratch buffers across frames. Returns `None` for a section
+/// that holds no records and no seed (the streaming loop would never
+/// open a session for it).
+fn analyze_v2_section(
+    bytes: &[u8],
+    section: &SectionFrames<'_>,
+    scratch: &mut FrameScratch,
+    batch: &mut FrameBatch,
+) -> Result<Option<SectionVerdict>, HomeError> {
+    let empty = section
+        .frames
+        .iter()
+        .all(|f| f.entry.events == 0 && f.entry.incidents == 0);
+    if section.seed.is_none() && empty {
+        return Ok(None);
+    }
+    let mut session = SectionSession::open(section.seed);
+    for frame in &section.frames {
+        decode_frame_into(bytes, frame, scratch, batch)?;
+        session.feed_batch(&batch.events);
+        for i in &batch.incidents {
+            session.push_incident(i);
+        }
+    }
+    session.finish().map(Some)
+}
+
+/// The verdict of a v2 submission's section: replayed from the cross-run
+/// cache, or freshly analyzed (and then offered to the cache).
+enum SectionOutcome {
+    Cached(SectionVerdict),
+    Fresh {
+        fingerprint: u64,
+        verdict: SectionVerdict,
+    },
+}
+
+/// Analyze a fully buffered submission, taking the v2 index fast path
+/// when the stream carries a validated seek index.
+fn ingest_buffered(bytes: &[u8], state: &State) -> Result<String, HomeError> {
+    let layout = match scan_layout(bytes)? {
+        Some(layout) => layout,
+        None => {
+            // v1 or plain-record v2: the shared streaming loop, with the
+            // exact error surface it has always had.
+            let outcome = crate::analyze::analyze_stream(io::Cursor::new(bytes))?;
+            let mut fleet = state.fleet();
+            fleet.absorb(&outcome);
+            return Ok(submit_reply(&outcome));
+        }
+    };
+    // Group frames into sections; scan_layout already rejected a
+    // continuation frame without an open section.
+    let mut sections: Vec<SectionFrames<'_>> = Vec::new();
+    for frame in &layout.frames {
+        match sections.last_mut() {
+            Some(last) if frame.entry.continuation => last.frames.push(frame),
+            _ => sections.push(SectionFrames {
+                seed: frame.entry.seed,
+                frames: vec![frame],
+            }),
+        }
+    }
+    // Decide per section under the fleet lock: replay a cached verdict,
+    // or analyze fresh. A known seed with a different fingerprint
+    // rejects the whole submission — an index entry claiming an
+    // already-seen seed must carry the already-seen records.
+    let mut plan: Vec<(u64, Option<SectionVerdict>)> = Vec::with_capacity(sections.len());
+    {
+        let fleet = state.fleet();
+        for section in &sections {
+            let fingerprint = section_fingerprint(bytes, section)?;
+            let cached = match section.seed.and_then(|s| fleet.known.get(&s)) {
+                Some(known) if known.fingerprint == fingerprint => Some(known.verdict.clone()),
+                Some(_) => return Err(conflicting_seed_error(section.seed)),
+                None => None,
+            };
+            plan.push((fingerprint, cached));
+        }
+    }
+    // Analyze the sections the cache did not cover — outside the fleet
+    // lock, reusing one decompression buffer and one event batch.
+    let mut outcomes: Vec<SectionOutcome> = Vec::with_capacity(sections.len());
+    let mut scratch = FrameScratch::new();
+    let mut batch = FrameBatch::new();
+    for (section, (fingerprint, cached)) in sections.iter().zip(plan) {
+        match cached {
+            Some(verdict) => outcomes.push(SectionOutcome::Cached(verdict)),
+            None => {
+                if let Some(verdict) = analyze_v2_section(bytes, section, &mut scratch, &mut batch)?
+                {
+                    outcomes.push(SectionOutcome::Fresh {
+                        fingerprint,
+                        verdict,
+                    });
+                }
+            }
+        }
+    }
+    // Absorb atomically: re-check every fresh seeded section against the
+    // cache (a concurrent submission may have raced us to the seed), and
+    // only then fold the whole outcome in. On a conflict nothing is
+    // absorbed.
     let mut fleet = state.fleet();
+    for outcome in &outcomes {
+        if let SectionOutcome::Fresh {
+            fingerprint,
+            verdict,
+        } = outcome
+        {
+            if let Some(known) = verdict.seed.and_then(|s| fleet.known.get(&s)) {
+                if known.fingerprint != *fingerprint {
+                    return Err(conflicting_seed_error(verdict.seed));
+                }
+            }
+        }
+    }
+    let mut skipped = 0u64;
+    let mut verdicts = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            SectionOutcome::Cached(verdict) => {
+                skipped += 1;
+                verdicts.push(verdict);
+            }
+            SectionOutcome::Fresh {
+                fingerprint,
+                verdict,
+            } => {
+                if let Some(seed) = verdict.seed {
+                    fleet.known.entry(seed).or_insert_with(|| KnownRun {
+                        fingerprint,
+                        verdict: verdict.clone(),
+                    });
+                }
+                verdicts.push(verdict);
+            }
+        }
+    }
+    let outcome = combine_verdicts(verdicts);
     fleet.absorb(&outcome);
+    fleet.skipped_known_runs += skipped;
     drop(fleet);
     Ok(submit_reply(&outcome))
+}
+
+fn conflicting_seed_error(seed: Option<u64>) -> HomeError {
+    let seed = seed.unwrap_or(0);
+    HomeError::seed(
+        seed,
+        "this HBT submission's index claims a seed the collector has already \
+         aggregated, but its records differ from the known run; rejecting the \
+         submission (re-record under a fresh seed to submit a different run)",
+    )
 }
 
 /// Serve one ASCII command line (the first byte was already consumed).

@@ -621,6 +621,52 @@ impl StreamDetector {
         }
     }
 
+    /// Consume a batch of events, resolving the shard lock and rank-state
+    /// lookup once per run of same-rank events instead of once per event.
+    /// HBT sections are rank-clustered, so a batch typically dissolves
+    /// into a handful of long runs. Byte-identical to calling
+    /// [`StreamDetector::consume`] per event: per-rank event order is
+    /// preserved, and on a structural error the events up to and
+    /// including the failing one are counted, none after.
+    pub fn consume_batch(&self, events: &[Event]) {
+        let mut rest = events;
+        while let Some(first) = rest.first() {
+            if self.failed.load(Ordering::Relaxed) {
+                return;
+            }
+            self.start.get_or_init(Instant::now);
+            let rank = first.rank;
+            let run_len = rest
+                .iter()
+                .position(|e| e.rank != rank)
+                .unwrap_or(rest.len());
+            let (run, tail) = rest.split_at(run_len);
+            rest = tail;
+            let shard = &self.shards[rank.index() % RANK_SHARDS];
+            let mut guard = shard.lock();
+            let st = guard.ranks.entry(rank).or_insert_with(RankStream::new);
+            let mut consumed = 0u64;
+            let mut failure = None;
+            for e in run {
+                consumed += 1;
+                if let Err(err) = st.on_event(rank, e, &self.config, self.race_sink.as_deref()) {
+                    failure = Some(err);
+                    break;
+                }
+            }
+            drop(guard);
+            self.events.fetch_add(consumed, Ordering::Relaxed);
+            if let Some(err) = failure {
+                self.failed.store(true, Ordering::Relaxed);
+                let mut slot = self.error.lock();
+                if slot.is_none() {
+                    *slot = Some(err);
+                }
+                return;
+            }
+        }
+    }
+
     /// Finalize: drain all rank states and return the races (concatenated
     /// in ascending rank order, matching the batch engine's merge) plus
     /// run statistics. Call once; a second call sees an empty detector.
@@ -678,6 +724,27 @@ pub fn detect_stream(
     let detector = StreamDetector::new(config.clone());
     for e in trace.events() {
         detector.consume(e);
+    }
+    detector.finish()
+}
+
+/// [`detect_stream`] over the amortized batch feed path: events go
+/// through [`StreamDetector::consume_batch`] in chunks of `batch`
+/// events (the whole trace at once when `batch` is 0). Byte-identical
+/// results for every batch size.
+pub fn detect_stream_batched(
+    trace: &Trace,
+    config: &DetectorConfig,
+    batch: usize,
+) -> Result<(Vec<Race>, StreamStats), HomeError> {
+    let detector = StreamDetector::new(config.clone());
+    let events = trace.events();
+    if batch == 0 {
+        detector.consume_batch(events);
+    } else {
+        for chunk in events.chunks(batch) {
+            detector.consume_batch(chunk);
+        }
     }
     detector.finish()
 }

@@ -1541,6 +1541,20 @@ fn decode_frame_body(
     start: u64,
 ) -> Result<Vec<HbtRecord>, HomeError> {
     let mut out = Vec::new();
+    walk_frame_body(raw, events, incidents, start, |record| out.push(record))?;
+    Ok(out)
+}
+
+/// The core frame-body walk shared by [`decode_frame_body`] (record list)
+/// and [`decode_frame_into`] (reusable batch): one validation loop, one
+/// set of error messages, the caller chooses where records land.
+fn walk_frame_body(
+    raw: &[u8],
+    events: u64,
+    incidents: u64,
+    start: u64,
+    mut sink: impl FnMut(HbtRecord),
+) -> Result<(), HomeError> {
     let mut cur = Cur {
         buf: raw,
         pos: 0,
@@ -1588,7 +1602,7 @@ fn decode_frame_body(
             HbtRecord::Event(_) => n_events += 1,
             _ => n_incidents += 1,
         }
-        out.push(record);
+        sink(record);
     }
     if n_events != events || n_incidents != incidents {
         return Err(HomeError::corrupt_trace(format!(
@@ -1596,7 +1610,7 @@ fn decode_frame_body(
              but stores {n_events} and {n_incidents}"
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decode the seek index record's entries (validation against observed
@@ -1840,7 +1854,7 @@ pub fn sections_from_records<I: IntoIterator<Item = HbtRecord>>(records: I) -> V
 
 /// Where one v2 frame lives in a byte stream and what its header
 /// declares. Produced by [`scan_layout`]; consumed by
-/// [`decode_frame_records`].
+/// [`decode_frame_records`] / [`decode_frame_into`].
 #[derive(Debug, Clone)]
 pub struct FrameLoc {
     /// The frame's header fields, as a seek-index entry.
@@ -1849,6 +1863,25 @@ pub struct FrameLoc {
     compressed: bool,
     /// Byte range of the stored frame body within the stream.
     body: std::ops::Range<usize>,
+}
+
+impl FrameLoc {
+    /// True when the stored bytes are LZ-compressed.
+    pub fn compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// The frame's stored (still-compressed) body bytes within `stream`.
+    /// The serve ingest fast path fingerprints these without inflating
+    /// them; the decode paths inflate them.
+    pub fn stored<'a>(&self, stream: &'a [u8]) -> Result<&'a [u8], HomeError> {
+        stream.get(self.body.clone()).ok_or_else(|| {
+            HomeError::corrupt_trace(format!(
+                "HBT frame body at byte {} extends past the end of the stream",
+                self.entry.offset
+            ))
+        })
+    }
 }
 
 /// The validated structure of a v2 stream: every frame's location, ready
@@ -1920,6 +1953,9 @@ pub fn scan_layout(bytes: &[u8]) -> Result<Option<HbtLayout>, HomeError> {
     let mut manifest_seen = false;
     let mut section_open = false;
     let mut check = ManifestCheck::new();
+    // Per header-level section: its seed and total stored record count,
+    // for the record-level manifest cross-check after the walk.
+    let mut section_records: Vec<(Option<u64>, u64)> = Vec::new();
     loop {
         let start = pos as u64;
         let len = scan_varint(bytes, &mut pos, "record length (or missing end marker)")?;
@@ -1972,6 +2008,9 @@ pub fn scan_layout(bytes: &[u8]) -> Result<Option<HbtLayout>, HomeError> {
                 }
                 if !header.continuation {
                     check.note_section(header.seed);
+                    section_records.push((header.seed, header.events + header.incidents));
+                } else if let Some(last) = section_records.last_mut() {
+                    last.1 += header.events + header.incidents;
                 }
                 frames.push(FrameLoc {
                     entry: IndexEntry {
@@ -2027,6 +2066,25 @@ pub fn scan_layout(bytes: &[u8]) -> Result<Option<HbtLayout>, HomeError> {
         )));
     }
     check.finish(pos as u64)?;
+    // Header-level sectioning counts an anonymous frame as a section even
+    // when it stores no records; the record-level reader only opens an
+    // anonymous section when records actually arrive. A manifest that
+    // matches the headers but not the records is the serial reader's
+    // mismatch — reject it here with the same diagnostic so every decode
+    // path (any `--jobs`) agrees.
+    if let Some(declared) = &check.manifest {
+        let materialized = section_records
+            .iter()
+            .filter(|(seed, records)| seed.is_some() || *records > 0)
+            .count();
+        if declared.len() != materialized {
+            return Err(HomeError::corrupt_trace(format!(
+                "HBT manifest declares {} section(s) but the stream contains {} at byte {pos}",
+                declared.len(),
+                materialized
+            )));
+        }
+    }
     Ok(Some(HbtLayout { frames }))
 }
 
@@ -2036,11 +2094,7 @@ pub fn scan_layout(bytes: &[u8]) -> Result<Option<HbtLayout>, HomeError> {
 /// fans out across workers.
 pub fn decode_frame_records(bytes: &[u8], frame: &FrameLoc) -> Result<Vec<HbtRecord>, HomeError> {
     let start = frame.entry.offset;
-    let stored = bytes.get(frame.body.clone()).ok_or_else(|| {
-        HomeError::corrupt_trace(format!(
-            "HBT frame body at byte {start} extends past the end of the stream"
-        ))
-    })?;
+    let stored = frame.stored(bytes)?;
     let mut records = Vec::new();
     if let Some(seed) = frame.entry.seed {
         records.push(HbtRecord::Run { seed });
@@ -2055,6 +2109,158 @@ pub fn decode_frame_records(bytes: &[u8], frame: &FrameLoc) -> Result<Vec<HbtRec
     };
     records.extend(body);
     Ok(records)
+}
+
+/// One decoded frame's contents as reusable flat buffers: the batched
+/// counterpart of [`decode_frame_records`]. A `FrameBatch` survives
+/// across frames — [`decode_frame_into`] clears it but keeps its
+/// capacity, so a decode loop allocates event storage once per worker
+/// instead of once per frame.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBatch {
+    /// Section seed, for the first frame of a `RUN`-recorded section.
+    pub seed: Option<u64>,
+    /// True when the frame continues the previous frame's section.
+    pub continuation: bool,
+    /// The frame's events, in stream order.
+    pub events: Vec<Event>,
+    /// The frame's incidents, in stream order.
+    pub incidents: Vec<TraceIncident>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> FrameBatch {
+        FrameBatch::default()
+    }
+
+    /// Empty the batch, keeping its buffers' capacity for reuse.
+    pub fn clear(&mut self) {
+        self.seed = None;
+        self.continuation = false;
+        self.events.clear();
+        self.incidents.clear();
+    }
+}
+
+/// Reusable working storage for [`decode_frame_into`]: holds the inflated
+/// frame body so consecutive frames share one decompression buffer.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    raw: Vec<u8>,
+}
+
+impl FrameScratch {
+    /// Fresh scratch space.
+    pub fn new() -> FrameScratch {
+        FrameScratch::default()
+    }
+}
+
+/// Decode one frame located by [`scan_layout`] straight into a reusable
+/// [`FrameBatch`], sharing the validation loop (and error messages) of
+/// [`decode_frame_records`] without materializing a `Vec<HbtRecord>`.
+/// On error the batch holds partial contents; the next call clears it.
+pub fn decode_frame_into(
+    bytes: &[u8],
+    frame: &FrameLoc,
+    scratch: &mut FrameScratch,
+    batch: &mut FrameBatch,
+) -> Result<(), HomeError> {
+    batch.clear();
+    batch.seed = frame.entry.seed;
+    batch.continuation = frame.entry.continuation;
+    let start = frame.entry.offset;
+    let stored = frame.stored(bytes)?;
+    // Size the buffers from the header's declared counts, bounded by the
+    // bytes actually present (every record is at least two bytes), so a
+    // lying count can't force a giant allocation before the body is read.
+    let body_len = if frame.compressed {
+        frame.entry.raw_len as usize
+    } else {
+        stored.len()
+    };
+    let cap = |declared: u64| (declared as usize).min(body_len / 2);
+    batch.events.reserve(cap(frame.entry.events));
+    batch.incidents.reserve(cap(frame.entry.incidents));
+    let raw: &[u8] = if frame.compressed {
+        lz::decompress_into(stored, frame.entry.raw_len as usize, &mut scratch.raw).map_err(
+            |e| {
+                HomeError::corrupt_trace(format!(
+                    "corrupt compressed HBT frame at byte {start}: {e}"
+                ))
+            },
+        )?;
+        &scratch.raw
+    } else {
+        stored
+    };
+    let (events, incidents) = (&mut batch.events, &mut batch.incidents);
+    walk_frame_body(
+        raw,
+        frame.entry.events,
+        frame.entry.incidents,
+        start,
+        |record| match record {
+            HbtRecord::Event(e) => events.push(e),
+            HbtRecord::Incident(i) => incidents.push(i),
+            // walk_frame_body only yields EVENT/INCIDENT records (any
+            // other kind byte is a decode error before the sink runs).
+            _ => {}
+        },
+    )
+}
+
+/// Stitch decoded frame batches into trace sections — the batched
+/// counterpart of [`sections_from_records`]: a non-continuation batch
+/// closes the current section and opens a new one, a continuation batch
+/// extends it. Batches donate their buffers to the sections they open,
+/// so the common one-frame-per-section case moves rather than copies.
+pub fn sections_from_batches<I: IntoIterator<Item = FrameBatch>>(batches: I) -> Vec<HbtSection> {
+    let mut sections: Vec<HbtSection> = Vec::new();
+    let mut seed: Option<u64> = None;
+    let mut events: Vec<Event> = Vec::new();
+    let mut incidents: Vec<TraceIncident> = Vec::new();
+    let mut open = false;
+    for batch in batches {
+        if !batch.continuation && batch.seed.is_some() {
+            if open {
+                sections.push(HbtSection {
+                    seed: seed.take(),
+                    trace: Trace::from_events(std::mem::take(&mut events)),
+                    incidents: std::mem::take(&mut incidents),
+                });
+            }
+            seed = batch.seed;
+            events = batch.events;
+            incidents = batch.incidents;
+            open = true;
+        } else {
+            // Continuation frames and the anonymous head frame carry no
+            // `RUN` record, so their records extend the current section
+            // and only open it if they are non-empty — exactly what
+            // [`sections_from_records`] does with their record streams.
+            if events.is_empty() {
+                events = batch.events;
+            } else {
+                events.extend(batch.events);
+            }
+            if incidents.is_empty() {
+                incidents = batch.incidents;
+            } else {
+                incidents.extend(batch.incidents);
+            }
+            open |= !events.is_empty() || !incidents.is_empty();
+        }
+    }
+    if open {
+        sections.push(HbtSection {
+            seed,
+            trace: Trace::from_events(events),
+            incidents,
+        });
+    }
+    sections
 }
 
 // ---------------------------------------------------------------------------

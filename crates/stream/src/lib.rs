@@ -51,11 +51,11 @@ pub trait RaceSink: Send + Sync {
     fn on_race(&self, race: &home_dynamic::Race);
 }
 
-pub use detector::{detect_stream, StreamDetector, StreamStats};
+pub use detector::{detect_stream, detect_stream_batched, StreamDetector, StreamStats};
 pub use hbt::{
-    decode_frame_records, decode_sections, encode_trace, is_hbt, scan_layout,
-    sections_from_records, FrameLoc, HbtLayout, HbtMmapReader, HbtReader, HbtRecord, HbtSection,
-    HbtSliceReader, HbtWriter, IndexEntry, ManifestCheck, TraceIncident, HBT_MAGIC, HBT_V2,
-    HBT_VERSION, MAX_RECORD_LEN,
+    decode_frame_into, decode_frame_records, decode_sections, encode_trace, is_hbt, scan_layout,
+    sections_from_batches, sections_from_records, FrameBatch, FrameLoc, FrameScratch, HbtLayout,
+    HbtMmapReader, HbtReader, HbtRecord, HbtSection, HbtSliceReader, HbtWriter, IndexEntry,
+    ManifestCheck, TraceIncident, HBT_MAGIC, HBT_V2, HBT_VERSION, MAX_RECORD_LEN,
 };
 pub use home_dynamic::Race;

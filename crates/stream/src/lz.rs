@@ -309,10 +309,25 @@ fn read_offset(input: &[u8], pos: &mut usize) -> Result<usize, LzError> {
 /// bound on both allocation and output; any disagreement between the block
 /// and the declaration is a typed error.
 pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::new();
+    decompress_into(input, expected_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer: `out` is cleared and
+/// refilled, retaining its capacity — the frame-batch decode path reuses
+/// one buffer across every frame it inflates instead of allocating a
+/// fresh `Vec` per frame.
+pub fn decompress_into(
+    input: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), LzError> {
+    out.clear();
     // Grow-as-produced: reserve at most 1 MiB up front so a lying
     // `expected_len` cannot force a giant allocation before the block's
     // own bytes justify it.
-    let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+    out.reserve(expected_len.min(1 << 20).saturating_sub(out.capacity()));
     let mut pos = 0usize;
     let mut last_offset = 0usize;
     loop {
@@ -380,7 +395,7 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, LzError>
             produced: out.len(),
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

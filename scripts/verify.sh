@@ -137,6 +137,21 @@ if ! diff "$serial_out" "$v2_dir/replay.out"; then
     echo "v2 round-trip: --jobs 1 and --jobs 4 output differ" >&2
     exit 1
 fi
+
+# Batch parity: forcing the feed granularity (`--batch`) may never change
+# a replay's output — byte-identical at every batch size, on both the v1
+# and the compressed v2 recording.
+echo "==> batch parity (replay --batch {1,7} == replay == check)"
+for b in 1 7; do
+    for t in fig2.hbt fig2.v2.hbt; do
+        batch_out="$v2_dir/replay_batch_${b}_${t}.out"
+        ./target/release/home replay "$v2_dir/$t" --batch "$b" > "$batch_out" || true
+        if ! diff "$batch_out" "$serial_out"; then
+            echo "batch parity: $t --batch $b output differs from default replay" >&2
+            exit 1
+        fi
+    done
+done
 rm -rf "$v2_dir"
 
 # Explore smoke: a small budget on the paper's figure1 must find the known

@@ -287,13 +287,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slicing
-                    // at char boundaries is safe via str iteration).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-consume the run of plain bytes up to the next
+                    // quote or backslash. Both delimiters are ASCII, so
+                    // the run never splits a UTF-8 scalar; one validation
+                    // per run keeps the whole parse linear instead of
+                    // re-validating the remaining input per character.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
                 None => return Err(self.error("unterminated string")),
             }

@@ -13,8 +13,8 @@
 //!                          [--trace-out trace.json]
 //! home record  <file.hmp> -o trace.hbt [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
 //!                          [--compress]
-//! home replay  <trace.hbt|-> [--jobs N] [--run SEED]
-//! home analyze <trace.json|trace.hbt|-> [--jobs N]
+//! home replay  <trace.hbt|-> [--jobs N] [--run SEED] [--batch N]
+//! home analyze <trace.json|trace.hbt|-> [--jobs N] [--batch N]
 //! home serve   --socket path.sock [--max-sessions N] [--status|--stop]
 //! home submit  <trace.hbt> --socket path.sock [--json]
 //! home fmt     <file.hmp>
@@ -187,6 +187,9 @@ fn print_help() {
     oprintln!("  --run SEED      (replay only) seek to the one recorded run with this");
     oprintln!("                  scheduler seed via the v2 index and replay only its");
     oprintln!("                  frames; a miss lists the seeds the trace does hold");
+    oprintln!("  --batch N       feed granularity of the detection engine: events go");
+    oprintln!("                  in N-sized batches (default: one batch per section).");
+    oprintln!("                  The verdict is byte-identical for every value");
     oprintln!();
     oprintln!("run options:");
     oprintln!("  --procs N / --threads N   as above");
@@ -323,11 +326,15 @@ impl TraceInput {
     /// ([`home::core::decode_trace`]); stdin streams record-at-a-time
     /// through [`home::serve::analyze_stream`] — same verdict, bounded
     /// memory, `jobs` irrelevant because a pipe cannot seek.
-    fn analyze_hbt(&self, jobs: usize) -> Result<home::serve::TraceOutcome, HomeError> {
+    fn analyze_hbt(
+        &self,
+        jobs: usize,
+        batch: Option<usize>,
+    ) -> Result<home::serve::TraceOutcome, HomeError> {
         match self {
             TraceInput::Mapped(reader) => {
                 let sections = home::core::decode_trace(reader.bytes(), jobs)?;
-                home::serve::analyze_sections(&sections)
+                home::serve::analyze_sections_batched(&sections, batch)
             }
             TraceInput::Stdin { prefix } => {
                 let rest = std::io::stdin().lock();
@@ -363,6 +370,21 @@ fn trace_jobs(args: &[String]) -> Result<usize, String> {
         return Err("invalid value `0` for --jobs: expected at least 1".into());
     }
     Ok(jobs)
+}
+
+/// Parse `--batch N` (replay/analyze feed granularity): `None` when
+/// absent — each section feeds as one whole batch, the fastest path.
+/// Verdicts are byte-identical for every granularity.
+fn trace_batch(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value(args, "--batch")? {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "invalid value `{v}` for --batch: expected a batch size of at least 1"
+            )),
+        },
+    }
 }
 
 /// Render a combined trace verdict (`replay`/`analyze` over HBT input)
@@ -774,6 +796,10 @@ fn cmd_replay(file: &str, args: &[String]) -> ExitCode {
         Ok(j) => j,
         Err(e) => return usage_error(&e),
     };
+    let batch = match trace_batch(args) {
+        Ok(b) => b,
+        Err(e) => return usage_error(&e),
+    };
     let run_seed = match flag_value(args, "--run") {
         Ok(None) => None,
         Ok(Some(v)) => match v.parse::<u64>() {
@@ -810,7 +836,7 @@ fn cmd_replay(file: &str, args: &[String]) -> ExitCode {
             }
         };
         let outcome = home::core::decode_trace_run(reader.bytes(), seed, jobs)
-            .and_then(|sections| home::serve::analyze_sections(&sections));
+            .and_then(|sections| home::serve::analyze_sections_batched(&sections, batch));
         return match outcome {
             Ok(o) => print_outcome(&format!("replay (run {seed})"), &o),
             Err(e) => {
@@ -820,8 +846,8 @@ fn cmd_replay(file: &str, args: &[String]) -> ExitCode {
         };
     }
     // Session-driven detection shared with `analyze` and the serve daemon:
-    // verdict-identical to check for every `--jobs` value.
-    let outcome = match input.analyze_hbt(jobs) {
+    // verdict-identical to check for every `--jobs` and `--batch` value.
+    let outcome = match input.analyze_hbt(jobs, batch) {
         Ok(o) => o,
         Err(e) => {
             print_trace_error(file, &e);
@@ -836,6 +862,10 @@ fn cmd_analyze(file: &str, args: &[String]) -> ExitCode {
         Ok(j) => j,
         Err(e) => return usage_error(&e),
     };
+    let batch = match trace_batch(args) {
+        Ok(b) => b,
+        Err(e) => return usage_error(&e),
+    };
     let input = match TraceInput::open(file) {
         Ok(input) => input,
         Err(e) => {
@@ -846,7 +876,7 @@ fn cmd_analyze(file: &str, args: &[String]) -> ExitCode {
     // Format auto-detection: HBT traces start with the 0x89 "HBT" magic,
     // which can never open a JSON document.
     if input.is_hbt() {
-        let outcome = match input.analyze_hbt(jobs) {
+        let outcome = match input.analyze_hbt(jobs, batch) {
             Ok(o) => o,
             Err(e) => {
                 print_trace_error(file, &e);

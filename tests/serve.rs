@@ -270,6 +270,116 @@ fn compressed_submissions_reach_the_same_verdict() {
     server.join().expect("server thread");
 }
 
+/// Record `programs/figure2.hmp` under `seeds` as a compressed v2 stream.
+fn recorded_v2(seeds: &[u64]) -> Vec<u8> {
+    let source = std::fs::read_to_string("programs/figure2.hmp").expect("sample program");
+    let program = parse(&source).expect("sample program parses");
+    let checklist = Arc::new(analyze(&program).checklist.clone());
+    let mut writer = home::stream::HbtWriter::new_compressed(Vec::new()).expect("v2 header");
+    for &seed in seeds {
+        writer.begin_run(seed).expect("run record");
+        let mut cfg = RunConfig::test(2, seed)
+            .with_instrumentation(Instrumentation::home())
+            .with_checklist(Arc::clone(&checklist));
+        cfg.threads_per_proc = 2;
+        let result = run(&program, &cfg);
+        for e in result.trace.events() {
+            writer.write_event(e).expect("event record");
+        }
+    }
+    writer.finish().expect("v2 trailer")
+}
+
+/// A forged v2 stream whose run record claims `claimed` but whose events
+/// are `source`'s section for `actual` with the final event dropped —
+/// a well-formed stream that reuses a known seed over different records.
+fn forged_v2(source: &[u8], claimed: u64, actual: u64) -> Vec<u8> {
+    let sections = decode_sections(source).expect("source decodes");
+    let section = sections
+        .iter()
+        .find(|s| s.seed == Some(actual))
+        .expect("seed recorded in source");
+    let events = section.trace.events();
+    assert!(events.len() > 1, "need an event to drop");
+    let mut writer = home::stream::HbtWriter::new_compressed(Vec::new()).expect("v2 header");
+    writer.begin_run(claimed).expect("run record");
+    for e in &events[..events.len() - 1] {
+        writer.write_event(e).expect("event record");
+    }
+    writer.finish().expect("v2 trailer")
+}
+
+#[test]
+fn known_runs_are_skipped_and_conflicting_seed_reuse_is_rejected() {
+    let dir = tmp_dir("serve_known_runs");
+    let socket_path = dir.join("collector.sock");
+    let _ = std::fs::remove_file(&socket_path);
+    let (socket, server) = start_server(ServeConfig::new(&socket_path));
+
+    // First submission of a seeded compressed stream: analyzed in full.
+    let good = recorded_v2(&[1, 2]);
+    let first = submit(&socket, &good).expect("first submit");
+    assert!(first.ok, "honest v2 stream ingests: {:?}", first.error);
+    assert_eq!(first.runs, 2);
+
+    // Resubmitting byte-identical runs hits the validated-index fast
+    // path: the verdict is byte-identical, and the daemon reports the
+    // frames it never had to re-decompress.
+    let second = submit(&socket, &good).expect("second submit");
+    assert!(second.ok);
+    assert_eq!(second.runs, first.runs, "cached verdict covers both runs");
+    assert_eq!(
+        second.violations, first.violations,
+        "fast-path verdict must be byte-identical to the analyzed one"
+    );
+    let fleet = status(&socket).expect("status");
+    assert!(
+        fleet.raw.contains("\"skipped_known_runs\":2"),
+        "STATUS reports the skipped runs: {}",
+        fleet.raw
+    );
+    assert_eq!(fleet.runs, 4, "cached runs still aggregate into the fleet");
+
+    // A hostile stream whose index entry claims an already-seen seed but
+    // carries different records (seed 1's section with the final event
+    // dropped) must be rejected as a whole — not silently skipped as
+    // known, and nothing absorbed.
+    let imposter = forged_v2(&good, 1, 1);
+    let reply = submit(&socket, &imposter).expect("imposter submit");
+    assert!(!reply.ok, "conflicting seed reuse must be rejected");
+    assert!(
+        reply
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("already aggregated"),
+        "rejection names the conflict: {:?}",
+        reply.error
+    );
+
+    // The rejection absorbed nothing and was counted; the known-run
+    // cache was not polluted, so the honest stream still fast-paths.
+    let fleet = status(&socket).expect("status");
+    assert_eq!(fleet.runs, 4, "rejected submission absorbs nothing");
+    assert!(
+        fleet.raw.contains("\"rejected\":1"),
+        "conflict counted as a rejection: {}",
+        fleet.raw
+    );
+    let third = submit(&socket, &good).expect("third submit");
+    assert!(third.ok);
+    assert_eq!(third.violations, first.violations);
+    let fleet = status(&socket).expect("status");
+    assert!(
+        fleet.raw.contains("\"skipped_known_runs\":4"),
+        "fast path still live after the attack: {}",
+        fleet.raw
+    );
+
+    stop(&socket).expect("stop");
+    server.join().expect("server thread");
+}
+
 #[test]
 fn unknown_commands_are_rejected_politely() {
     let dir = tmp_dir("serve_commands");
