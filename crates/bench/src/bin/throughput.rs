@@ -26,17 +26,44 @@ struct Corpus {
     trace: Trace,
 }
 
-/// Record a HOME-instrumented trace of one bundled program.
-fn program_trace(file: &str, procs: usize, threads: usize, seed: u64) -> Trace {
+/// Parse one bundled program.
+fn load_program(file: &str) -> home_ir::Program {
     let path = format!("{}/../../programs/{file}", env!("CARGO_MANIFEST_DIR"));
     let src = std::fs::read_to_string(&path).expect("bundled program readable");
-    let program = parse(&src).expect("bundled program parses");
+    parse(&src).expect("bundled program parses")
+}
+
+/// Record a HOME-instrumented trace of one bundled program.
+fn program_trace(file: &str, procs: usize, threads: usize, seed: u64) -> Trace {
+    let program = load_program(file);
     let checklist = Arc::new(analyze(&program).checklist.clone());
     let mut cfg = RunConfig::test(procs, seed)
         .with_instrumentation(Instrumentation::home())
         .with_checklist(checklist);
     cfg.threads_per_proc = threads;
     run(&program, &cfg).trace
+}
+
+/// Event-volume comparison of the coarse (per-kind table) and per-site
+/// monitored-write models on one bundled program: (monitored writes
+/// coarse/per-site, total events coarse/per-site).
+fn instrumentation_reduction(file: &str, procs: usize, seed: u64) -> (usize, usize, usize, usize) {
+    let program = load_program(file);
+    let checklist = analyze(&program).checklist;
+    let run_with = |cl| {
+        let cfg = RunConfig::test(procs, seed)
+            .with_instrumentation(Instrumentation::home())
+            .with_checklist(Arc::new(cl));
+        run(&program, &cfg).trace
+    };
+    let coarse = run_with(checklist.coarse());
+    let fine = run_with(checklist);
+    (
+        coarse.monitored_writes().count(),
+        fine.monitored_writes().count(),
+        coarse.len(),
+        fine.len(),
+    )
 }
 
 /// A synthetic trace stressing the detector inner loop: `regions` fork/join
@@ -264,6 +291,45 @@ fn main() {
         println!("      \"replay_e2e\": {replay_e2e:.0},");
         println!("      \"bytes_per_event_v1\": {bpe_v1:.2},");
         println!("      \"bytes_per_event_v2\": {bpe_v2:.2}");
+        println!("    }}{comma}");
+    }
+    println!("  ],");
+
+    // Per-site vs coarse monitored-write volume on the bundled programs:
+    // how much event traffic the interprocedural per-site checklists save
+    // while keeping every verdict (parity suites enforce the latter).
+    let reduction_programs = [
+        "figure1.hmp",
+        "figure2.hmp",
+        "figure2_fixed.hmp",
+        "hidden.hmp",
+        "interproc.hmp",
+        "interproc2.hmp",
+        "pipeline.hmp",
+    ];
+    println!("  \"instrumentation_reduction\": [");
+    for (pi, file) in reduction_programs.iter().enumerate() {
+        let (mw_coarse, mw_fine, ev_coarse, ev_fine) = instrumentation_reduction(file, 2, 1);
+        let pct = if mw_coarse > 0 {
+            100.0 * (mw_coarse - mw_fine) as f64 / mw_coarse as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{file}: monitored writes {mw_coarse} -> {mw_fine} ({pct:.0}% fewer) | events {ev_coarse} -> {ev_fine}",
+        );
+        let comma = if pi + 1 < reduction_programs.len() {
+            ","
+        } else {
+            ""
+        };
+        println!("    {{");
+        println!("      \"program\": \"{file}\",");
+        println!("      \"monitored_writes_coarse\": {mw_coarse},");
+        println!("      \"monitored_writes_per_site\": {mw_fine},");
+        println!("      \"events_total_coarse\": {ev_coarse},");
+        println!("      \"events_total_per_site\": {ev_fine},");
+        println!("      \"write_reduction_pct\": {pct:.1}");
         println!("    }}{comma}");
     }
     println!("  ]");

@@ -34,8 +34,8 @@ pub use fanout::{fan_out_indexed, fan_out_indexed_with};
 pub use pipeline::{check, check_with_sink, CheckOptions, Engine};
 pub use replay::{decode_trace, decode_trace_run};
 pub use report::{
-    violation_identity, EmitOrder, EmittedViolation, HomeReport, SeedRun, SeedStatus, Violation,
-    ViolationIdentity, ViolationKind,
+    violation_identity, CandidateOutcome, CandidateStatus, EmitOrder, EmittedViolation, HomeReport,
+    SeedRun, SeedStatus, Violation, ViolationIdentity, ViolationKind,
 };
 pub use rules::{match_rules, match_violations, RuleEngine, RuleFinish, RuleOutcome};
 pub use session::{Session, SessionOutcome};

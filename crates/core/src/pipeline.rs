@@ -335,6 +335,10 @@ pub fn check_with_sink(
     report
         .violations
         .retain(|v| seen.insert(crate::report::violation_identity(v)));
+
+    // Cross-check the static phase's candidates against the merged
+    // dynamic findings (confirmed / not reproduced / dynamic-only).
+    report.cross_check(&static_report.candidates);
     report
 }
 
@@ -440,6 +444,115 @@ mod tests {
         assert!(r.has(ViolationKind::ConcurrentRecv), "{}", r.render());
         // The fix (thread-distinct tags) must not be flagged — covered by
         // `clean_hybrid_program_has_no_violations`.
+    }
+
+    #[test]
+    fn cross_check_confirms_concurrent_recv_candidate() {
+        // Figure 2's shape: the static phase flags the unprotected recvs,
+        // and the dynamic phase reproduces them — confirmed.
+        let r = check_src(
+            r#"
+            program confirm {
+                mpi_init_thread(multiple);
+                shared int tag = 0;
+                omp parallel num_threads(2) {
+                    if (rank == 0) {
+                        mpi_send(to: 1, tag: tag, count: 1);
+                        mpi_recv(from: 1, tag: tag);
+                    }
+                    if (rank == 1) {
+                        mpi_recv(from: 0, tag: tag);
+                        mpi_send(to: 0, tag: tag, count: 1);
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.cross_checked);
+        let confirmed: Vec<&crate::report::CandidateOutcome> = r
+            .candidates
+            .iter()
+            .filter(|c| c.status == crate::report::CandidateStatus::Confirmed)
+            .collect();
+        assert!(
+            confirmed.iter().any(|c| c.candidate.violation_hint.as_deref()
+                == Some("isConcurrentRecvViolation")),
+            "{}",
+            r.render()
+        );
+        let text = r.render();
+        assert!(text.contains("static candidates:"), "{text}");
+        assert!(text.contains("  * [confirmed]"), "{text}");
+    }
+
+    #[test]
+    fn cross_check_marks_unreproduced_deadlock_candidate() {
+        // A lock-guarded blocking recv in a multi-threaded region is a
+        // static deadlock candidate, but the run completes: not reproduced.
+        let r = check_src(
+            r#"
+            program notrepro {
+                fn fetch() { mpi_recv(from: 0, tag: 4); }
+                mpi_init_thread(multiple);
+                if (rank == 0) {
+                    mpi_send(to: 1, tag: 4, count: 1);
+                    mpi_send(to: 1, tag: 4, count: 1);
+                }
+                if (rank == 1) {
+                    omp parallel num_threads(2) {
+                        omp critical(net) { call fetch(); }
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.deadlocks.is_empty(), "{}", r.render());
+        let dl: Vec<_> = r
+            .candidates
+            .iter()
+            .filter(|c| c.candidate.kind == home_static::CandidateKind::PotentialDeadlock)
+            .collect();
+        assert!(!dl.is_empty(), "{}", r.render());
+        assert!(dl
+            .iter()
+            .all(|c| c.status == crate::report::CandidateStatus::NotReproduced));
+        assert!(
+            r.render().contains("  * [not reproduced]"),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn init_violation_is_dynamic_only() {
+        // Figure 1's initialization violation has no static candidate (it
+        // depends on the initialized thread level at runtime): the cross-
+        // check lists it as dynamic-only.
+        let r = check_src(
+            r#"
+            program dynonly {
+                mpi_init();
+                omp parallel num_threads(2) {
+                    omp sections {
+                        section { if (rank == 0) { mpi_send(to: 1, tag: 0, count: 1); } }
+                        section { if (rank == 1) { mpi_recv(from: 0, tag: 0); } }
+                    }
+                }
+                mpi_finalize();
+            }
+            "#,
+        );
+        assert!(r.has(ViolationKind::Initialization), "{}", r.render());
+        assert!(
+            r.dynamic_only
+                .iter()
+                .any(|v| v.kind == ViolationKind::Initialization),
+            "{}",
+            r.render()
+        );
+        assert!(r.render().contains("dynamic-only"), "{}", r.render());
     }
 
     #[test]

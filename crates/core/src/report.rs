@@ -3,7 +3,7 @@
 use home_dynamic::Race;
 use home_interp::MpiIncident;
 use home_sched::DeadlockInfo;
-use home_static::StaticStats;
+use home_static::{CandidateKind, StaticCandidate, StaticStats};
 use home_trace::{Rank, SrcLoc, Tid};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -215,6 +215,42 @@ impl SeedRun {
     }
 }
 
+/// Outcome of cross-checking one static candidate against the dynamic
+/// findings of the same check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStatus {
+    /// The dynamic phase produced a matching finding.
+    Confirmed,
+    /// No checked schedule reproduced the candidate: either a static
+    /// false positive, or a schedule-dependent issue the seed set missed.
+    NotReproduced,
+}
+
+impl CandidateStatus {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CandidateStatus::Confirmed => "confirmed",
+            CandidateStatus::NotReproduced => "not reproduced",
+        }
+    }
+}
+
+/// One static candidate with its cross-check verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateOutcome {
+    /// The static phase's warning.
+    pub candidate: StaticCandidate,
+    /// What the dynamic phase made of it.
+    pub status: CandidateStatus,
+}
+
+/// Does candidate `c` cover violation `v` (same predicate, same line)?
+fn covers(c: &StaticCandidate, v: &Violation) -> bool {
+    c.violation_hint.as_deref() == Some(v.kind.predicate())
+        && v.locations.iter().any(|l| l.line == c.line)
+}
+
 /// Final output of a HOME check: merged violations plus supporting data.
 #[derive(Debug, Default)]
 pub struct HomeReport {
@@ -242,6 +278,14 @@ pub struct HomeReport {
     pub runs: usize,
     /// Total instrumentation events recorded across runs.
     pub total_events: u64,
+    /// Static candidates with their cross-check verdicts (empty unless
+    /// [`HomeReport::cross_check`] ran).
+    pub candidates: Vec<CandidateOutcome>,
+    /// Violations no static candidate covered: purely dynamic findings.
+    pub dynamic_only: Vec<Violation>,
+    /// True when this report went through a static-vs-dynamic cross-check
+    /// (replay/ingest reports have no static phase and stay false).
+    pub cross_checked: bool,
 }
 
 impl HomeReport {
@@ -261,6 +305,43 @@ impl HomeReport {
         ks.sort_unstable();
         ks.dedup();
         ks
+    }
+
+    /// Cross-check the static phase's candidates against this report's
+    /// dynamic findings: each candidate becomes confirmed (a matching
+    /// dynamic finding exists) or not-reproduced, and violations no
+    /// candidate predicted are collected as dynamic-only.
+    ///
+    /// A deadlock candidate is confirmed by any observed deadlock; an
+    /// unprotected-write candidate by a violation whose predicate matches
+    /// the candidate's hint at the candidate's line.
+    pub fn cross_check(&mut self, candidates: &[StaticCandidate]) {
+        self.cross_checked = true;
+        self.candidates = candidates
+            .iter()
+            .map(|c| {
+                let confirmed = match c.kind {
+                    CandidateKind::PotentialDeadlock => !self.deadlocks.is_empty(),
+                    CandidateKind::UnprotectedMonitoredWrite => {
+                        self.violations.iter().any(|v| covers(c, v))
+                    }
+                };
+                CandidateOutcome {
+                    candidate: c.clone(),
+                    status: if confirmed {
+                        CandidateStatus::Confirmed
+                    } else {
+                        CandidateStatus::NotReproduced
+                    },
+                }
+            })
+            .collect();
+        self.dynamic_only = self
+            .violations
+            .iter()
+            .filter(|v| !candidates.iter().any(|c| covers(c, v)))
+            .cloned()
+            .collect();
     }
 
     /// Render the final report as text (what the tool prints).
@@ -329,6 +410,40 @@ impl HomeReport {
         }
         for (seed, d) in &self.deadlocks {
             let _ = writeln!(out, "deadlock under seed {seed}: {d}");
+        }
+        if self.cross_checked && !(self.candidates.is_empty() && self.dynamic_only.is_empty()) {
+            let confirmed = self
+                .candidates
+                .iter()
+                .filter(|c| c.status == CandidateStatus::Confirmed)
+                .count();
+            let _ = writeln!(
+                out,
+                "static candidates: {} ({confirmed} confirmed, {} not reproduced)",
+                self.candidates.len(),
+                self.candidates.len() - confirmed,
+            );
+            for c in &self.candidates {
+                let _ = writeln!(
+                    out,
+                    "  * [{}] {} at line {} ({}): {}",
+                    c.status.label(),
+                    c.candidate.kind.label(),
+                    c.candidate.line,
+                    c.candidate.site,
+                    c.candidate.description,
+                );
+            }
+            if !self.dynamic_only.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "dynamic-only finding(s) with no static candidate: {}",
+                    self.dynamic_only.len()
+                );
+                for v in &self.dynamic_only {
+                    let _ = writeln!(out, "  * {v}");
+                }
+            }
         }
         for i in &self.incidents {
             let _ = writeln!(

@@ -598,6 +598,20 @@ fn monitored_vars_of(kind: MpiCallKind) -> &'static [MonitoredVar] {
     }
 }
 
+/// Map a checklist monitored-variable name onto the trace enum.
+fn monitored_var_of_name(name: &str) -> Option<MonitoredVar> {
+    use MonitoredVar::*;
+    match name {
+        "srctmp" => Some(Src),
+        "tagtmp" => Some(Tag),
+        "commtmp" => Some(Comm),
+        "requesttmp" => Some(Request),
+        "collectivetmp" => Some(Collective),
+        "finalizetmp" => Some(Finalize),
+        _ => None,
+    }
+}
+
 fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), ExecError> {
     let cfg = Arc::clone(&st.shared.cfg);
     let instr = &cfg.instrumentation;
@@ -617,6 +631,23 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
     if matches!(call, MpiStmt::Probe { .. } | MpiStmt::Iprobe { .. }) && !instr.wrap_probe {
         instrumented = false;
     }
+
+    // Per-site monitored set from the interprocedural checklist: when the
+    // static phase attached one, this site's wrapper stores exactly those
+    // variables. Coarse checklists (`monitored: None`) and unselective
+    // tools fall back to the per-kind table in `monitored_vars_of`.
+    let site_monitored: Option<Vec<MonitoredVar>> = if instr.selective {
+        cfg.checklist
+            .as_ref()
+            .and_then(|c| c.site_monitored(stmt.id))
+            .map(|vars| {
+                vars.iter()
+                    .filter_map(|v| monitored_var_of_name(v))
+                    .collect()
+            })
+    } else {
+        None
+    };
 
     // Marmot-style central-manager cost applies to every MPI call when set.
     if instr.mpi_call_extra > SimTime::ZERO {
@@ -664,7 +695,11 @@ fn exec_mpi(st: &mut ExecState<'_>, stmt: &Stmt, call: &MpiStmt) -> Result<(), E
                 call: record.clone(),
             },
         );
-        for &var in monitored_vars_of(record.kind) {
+        let vars: &[MonitoredVar] = match &site_monitored {
+            Some(vars) => vars,
+            None => monitored_vars_of(record.kind),
+        };
+        for &var in vars {
             st.emit(
                 &loc,
                 EventKind::MonitoredWrite {

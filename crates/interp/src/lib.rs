@@ -136,6 +136,91 @@ mod tests {
     }
 
     #[test]
+    fn per_site_checklist_shrinks_monitored_writes_but_not_mpi_calls() {
+        let src = r#"
+            program shrink {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) {
+                    mpi_send(to: rank, tag: tid, count: 1);
+                    mpi_recv(from: rank, tag: tid);
+                    mpi_barrier();
+                }
+                mpi_finalize();
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let checklist = analyze(&p).checklist;
+        let run_with = |cl: home_static::Checklist, seed: u64| {
+            let cfg = RunConfig::test(1, seed)
+                .with_instrumentation(Instrumentation::home())
+                .with_checklist(Arc::new(cl));
+            run(&p, &cfg)
+        };
+        let per_site = run_with(checklist.clone(), 5);
+        let coarse = run_with(checklist.coarse(), 5);
+        // Same sites wrapped either way.
+        assert_eq!(
+            per_site.trace.mpi_calls().count(),
+            coarse.trace.mpi_calls().count()
+        );
+        // Coarse: p2p writes src+tag+comm, barrier writes collective+comm.
+        // Per-site: p2p writes only tagtmp, barrier only collectivetmp.
+        let mw_coarse = coarse.trace.monitored_writes().count();
+        let mw_per_site = per_site.trace.monitored_writes().count();
+        assert_eq!(
+            mw_coarse,
+            2 * (2 * 3 + 2),
+            "2 threads × (2 p2p × 3 + collective × 2)"
+        );
+        assert_eq!(mw_per_site, 6, "2 threads × (2 p2p × 1 + collective × 1)");
+        assert!(mw_per_site < mw_coarse);
+        // The rule-bearing writes are untouched.
+        assert_eq!(
+            per_site
+                .trace
+                .monitored_writes_of(MonitoredVar::Tag)
+                .count(),
+            coarse.trace.monitored_writes_of(MonitoredVar::Tag).count()
+        );
+        assert_eq!(
+            per_site
+                .trace
+                .monitored_writes_of(MonitoredVar::Collective)
+                .count(),
+            coarse
+                .trace
+                .monitored_writes_of(MonitoredVar::Collective)
+                .count()
+        );
+    }
+
+    #[test]
+    fn unselective_tools_ignore_per_site_sets() {
+        let src = r#"
+            program unsel {
+                mpi_init_thread(multiple);
+                omp parallel num_threads(2) { mpi_barrier(); }
+                mpi_finalize();
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let checklist = Arc::new(analyze(&p).checklist);
+        // `RunConfig::test` wraps everything (selective = false): the
+        // per-kind table applies even though the checklist carries
+        // per-site sets.
+        let r = run(&p, &RunConfig::test(1, 4).with_checklist(checklist));
+        assert_eq!(
+            r.trace.monitored_writes_of(MonitoredVar::Comm).count(),
+            2,
+            "collective wrapper still writes commtmp when unselective"
+        );
+        assert_eq!(
+            r.trace.monitored_writes_of(MonitoredVar::Finalize).count(),
+            1
+        );
+    }
+
+    #[test]
     fn case_study_2_same_tag_runs_but_mixes_messages_across_threads() {
         // Paper Figure 2: both threads of each rank send/recv with the same
         // tag, so arrival messages are not differentiated per thread. The

@@ -30,6 +30,21 @@ pub struct StaticCallSite {
     pub peer_thread_distinct: Option<bool>,
     /// For `mpi_init`/`mpi_init_thread`: the requested thread level.
     pub init_level: Option<IrThreadLevel>,
+    /// Monitored variables this site's wrapper must store. `Some(set)` —
+    /// possibly empty — is authoritative; `None` means the checklist
+    /// predates per-site sets (or was stripped back to the coarse model),
+    /// and the interpreter falls back to its per-kind table.
+    #[serde(default)]
+    pub monitored: Option<Vec<String>>,
+    /// Critical-section names provably held whenever this site executes
+    /// (interprocedural must-intersection over all call contexts).
+    #[serde(default)]
+    pub must_locks: Vec<String>,
+    /// Can two threads of one team reach this site within the same region
+    /// instance? False outside parallel regions and under serializing
+    /// constructs (`master`, `single`, one `section`).
+    #[serde(default)]
+    pub multi_thread: bool,
 }
 
 /// The paper's six monitored variables, named as strings so `home-static`
@@ -83,6 +98,24 @@ impl Checklist {
     pub fn skipped_count(&self) -> usize {
         self.sites.iter().filter(|s| !s.instrument).count()
     }
+
+    /// The per-site monitored-variable set of `node`, when this checklist
+    /// carries one (see [`StaticCallSite::monitored`]).
+    pub fn site_monitored(&self, node: NodeId) -> Option<&[String]> {
+        self.site(node).and_then(|s| s.monitored.as_deref())
+    }
+
+    /// A copy with every per-site monitored set stripped: the pre-
+    /// interprocedural coarse model, where each wrapper writes the full
+    /// per-kind variable table. Used by benches and back-compat tests to
+    /// measure/verify the per-site refinement against the old contract.
+    pub fn coarse(&self) -> Checklist {
+        let mut c = self.clone();
+        for s in &mut c.sites {
+            s.monitored = None;
+        }
+        c
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +134,9 @@ mod tests {
             tag_thread_distinct: Some(false),
             peer_thread_distinct: Some(false),
             init_level: None,
+            monitored: None,
+            must_locks: Vec::new(),
+            multi_thread: instrument,
         }
     }
 

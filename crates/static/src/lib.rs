@@ -11,18 +11,30 @@
 //! 3. classify parallel regions as error-free (no MPI inside) or
 //!    potentially erroneous;
 //! 4. derive which monitored variables (`srctmp`, `tagtmp`, …) the dynamic
-//!    phase must set up, and annotate call sites whose tag/peer arguments
-//!    are provably thread-distinct (via a small abstract interpretation).
+//!    phase must set up — globally *and* per call site — and annotate call
+//!    sites whose tag/peer arguments are provably thread-distinct (via a
+//!    small abstract interpretation);
+//! 5. build the interprocedural layer: a call graph with per-edge context
+//!    ([`CallGraph`]), bottom-up function summaries ([`Summaries`]: locks
+//!    held, MPI calls reachable, thread-context sensitivity), and static
+//!    deadlock/violation candidates ([`StaticCandidate`]) that `home-core`
+//!    cross-checks against the dynamic findings.
 //!
 //! Entry point: [`analyze`], producing a [`StaticReport`] whose
 //! [`Checklist`] drives the interpreter's selective instrumentation.
 
 mod abstract_eval;
 mod analysis;
+mod callgraph;
 mod cfg;
 mod checklist;
+mod deadlock;
+mod summary;
 
 pub use abstract_eval::{AbsEnv, AbsVal};
-pub use analysis::{analyze, RegionClass, RegionInfo, StaticReport, StaticStats};
+pub use analysis::{analyze, RegionClass, RegionInfo, StaticNote, StaticReport, StaticStats};
+pub use callgraph::{CallEdge, CallGraph};
 pub use cfg::{Cfg, CfgNode, OmpRegionKind};
 pub use checklist::{Checklist, StaticCallSite, ALL_MONITORED};
+pub use deadlock::{CandidateKind, StaticCandidate};
+pub use summary::{FnSummary, Summaries};

@@ -173,6 +173,20 @@ pub fn field<T: Deserialize>(
     }
 }
 
+/// Like [`field`], but an absent key produces `T::default()` — the shim's
+/// implementation of `#[serde(default)]`.
+pub fn field_default<T: Deserialize + Default>(
+    object: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match object.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v)
+            .map_err(|e| Error::message(format!("in field `{context}.{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

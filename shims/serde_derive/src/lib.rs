@@ -3,18 +3,20 @@
 //! Works without `syn`/`quote` by walking the `proc_macro` token trees
 //! directly. Supports exactly what this workspace derives on: non-generic
 //! structs (unit / tuple / named) and enums (unit / tuple / struct
-//! variants) with no `#[serde(...)]` attributes. The representation matches
+//! variants), with `#[serde(default)]` on named struct fields as the only
+//! recognized serde attribute. The representation matches
 //! serde's defaults: named structs become objects, newtype structs unwrap
 //! to their inner value, unit enum variants become strings, and data
 //! variants become externally tagged single-key objects.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Field layout of a struct or enum variant.
+/// Field layout of a struct or enum variant. Named fields carry whether
+/// they are marked `#[serde(default)]`.
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<(String, bool)>),
 }
 
 /// Parsed derive input.
@@ -29,16 +31,43 @@ enum Shape {
     },
 }
 
-/// Skip one `#[...]` attribute if present; returns whether one was skipped.
-fn skip_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+/// Skip one `#[...]` attribute if present; returns its bracketed body.
+fn skip_attr(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Option<TokenStream> {
     if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         iter.next();
         match iter.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => true,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => Some(g.stream()),
             other => panic!("serde shim derive: malformed attribute near {other:?}"),
         }
     } else {
-        false
+        None
+    }
+}
+
+/// Is this attribute body `serde(...)`? Returns the inner arguments, and
+/// panics on any serde argument other than `default` — the shim must not
+/// silently ignore semantics it does not implement.
+fn serde_default_attr(body: TokenStream) -> bool {
+    let mut iter = body.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let args: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if args == ["default"] {
+                true
+            } else {
+                panic!(
+                    "serde shim derive: unsupported serde attribute `serde({})`",
+                    args.join("")
+                );
+            }
+        }
+        other => panic!("serde shim derive: malformed serde attribute near {other:?}"),
     }
 }
 
@@ -53,15 +82,18 @@ fn skip_visibility(iter: &mut std::iter::Peekable<proc_macro::token_stream::Into
     }
 }
 
-/// Parse the fields of a `{ ... }` body into named-field names.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parse the fields of a `{ ... }` body into `(name, has_serde_default)`.
+fn parse_named_fields(group: TokenStream) -> Vec<(String, bool)> {
     let mut names = Vec::new();
     let mut iter = group.into_iter().peekable();
     loop {
-        while skip_attr(&mut iter) {}
+        let mut default = false;
+        while let Some(body) = skip_attr(&mut iter) {
+            default |= serde_default_attr(body);
+        }
         skip_visibility(&mut iter);
         match iter.next() {
-            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            Some(TokenTree::Ident(name)) => names.push((name.to_string(), default)),
             None => break,
             other => panic!("serde shim derive: expected field name, found {other:?}"),
         }
@@ -95,7 +127,7 @@ fn count_tuple_fields(group: TokenStream) -> usize {
     let mut in_field = false;
     let mut iter = group.into_iter().peekable();
     loop {
-        while skip_attr(&mut iter) {}
+        while skip_attr(&mut iter).is_some() {}
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
             Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
@@ -117,7 +149,7 @@ fn parse_variants(group: TokenStream) -> Vec<(String, Fields)> {
     let mut variants = Vec::new();
     let mut iter = group.into_iter().peekable();
     loop {
-        while skip_attr(&mut iter) {}
+        while skip_attr(&mut iter).is_some() {}
         let name = match iter.next() {
             Some(TokenTree::Ident(name)) => name.to_string(),
             None => break,
@@ -149,7 +181,7 @@ fn parse_variants(group: TokenStream) -> Vec<(String, Fields)> {
 
 fn parse_shape(input: TokenStream) -> Shape {
     let mut iter = input.into_iter().peekable();
-    while skip_attr(&mut iter) {}
+    while skip_attr(&mut iter).is_some() {}
     skip_visibility(&mut iter);
     let keyword = match iter.next() {
         Some(TokenTree::Ident(kw)) => kw.to_string(),
@@ -199,7 +231,7 @@ fn serialize_fields_expr(owner: &str, fields: &Fields, access_prefix: &str) -> S
         Fields::Named(names) => {
             let items: Vec<String> = names
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "(String::from(\"{f}\"), ::serde::Serialize::serialize(&{access_prefix}{f}))"
                     )
@@ -212,7 +244,7 @@ fn serialize_fields_expr(owner: &str, fields: &Fields, access_prefix: &str) -> S
 }
 
 /// `#[derive(Serialize)]` for the serde shim.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let body = match parse_shape(input) {
         Shape::Struct { name, fields } => {
@@ -249,15 +281,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     Fields::Named(fnames) => {
                         let items: Vec<String> = fnames
                             .iter()
-                            .map(|f| {
+                            .map(|(f, _)| {
                                 format!(
                                     "(String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
                                 )
                             })
                             .collect();
+                        let binders: Vec<&str> = fnames.iter().map(|(f, _)| f.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vname}\"), ::serde::Value::Object(vec![{}]))]),\n",
-                            fnames.join(", "),
+                            binders.join(", "),
                             items.join(", ")
                         ));
                     }
@@ -276,10 +309,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde shim derive: generated invalid Rust")
 }
 
-fn deserialize_named_body(owner: &str, constructor: &str, names: &[String]) -> String {
+fn deserialize_named_body(owner: &str, constructor: &str, names: &[(String, bool)]) -> String {
     let fields: Vec<String> = names
         .iter()
-        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\", \"{owner}\")?"))
+        .map(|(f, default)| {
+            let lookup = if *default { "field_default" } else { "field" };
+            format!("{f}: ::serde::{lookup}(obj, \"{f}\", \"{owner}\")?")
+        })
         .collect();
     format!("Ok({constructor} {{ {} }})", fields.join(", "))
 }
@@ -306,7 +342,7 @@ fn deserialize_tuple_body(owner: &str, constructor: &str, n: usize, source: &str
 }
 
 /// `#[derive(Deserialize)]` for the serde shim.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let body = match parse_shape(input) {
         Shape::Struct { name, fields } => {

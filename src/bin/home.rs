@@ -8,7 +8,7 @@
 //!                          [--procs N] [--threads N] [--jobs N] [--seed S]
 //! home watch   <file.hmp> [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
 //!                          [--fail-seed a,b] [--flush every|seed|end]
-//! home static  <file.hmp>
+//! home static  <file.hmp> [--json]
 //! home run     <file.hmp> [--procs N] [--threads N] [--seed S] [--tool base|home|marmot|itc]
 //!                          [--trace-out trace.json]
 //! home record  <file.hmp> -o trace.hbt [--procs N] [--threads N] [--seeds a,b,c] [--faithful]
@@ -29,7 +29,9 @@
 //!   each violation is printed the moment its evidence is complete, while
 //!   the simulation is still running. Same verdicts and exit codes as
 //!   `check`.
-//! * `static`  — compile-time phase only: per-site instrumentation decisions.
+//! * `static`  — compile-time phase only: per-site instrumentation decisions,
+//!   per-site monitored-variable sets, and static deadlock/violation
+//!   candidates (`--json` dumps the full report; exit 1 on candidates).
 //! * `run`     — execute once on the simulators and report timing/events;
 //!   `--trace-out` dumps the recorded event trace as JSON.
 //! * `record`  — run the check seeds, streaming every event into a compact
@@ -116,7 +118,10 @@ fn print_help() {
     oprintln!("  watch   <file.hmp>   live mode: the same pipeline on the streaming engine,");
     oprintln!("                       printing each violation the moment its evidence is");
     oprintln!("                       complete, while the simulation runs; same exit codes");
-    oprintln!("  static  <file.hmp>   compile-time phase only: per-site instrumentation decisions");
+    oprintln!("  static  <file.hmp>   compile-time phase only: per-site instrumentation");
+    oprintln!("                       decisions, per-site monitored-variable sets, and static");
+    oprintln!("                       deadlock/violation candidates; --json dumps the full");
+    oprintln!("                       report; exit 1 when candidates are found");
     oprintln!("  run     <file.hmp>   one simulated execution; report timing and events");
     oprintln!("  record  <file.hmp>   run the check seeds and stream every event into a");
     oprintln!("                       compact binary HBT trace (-o trace.hbt)");
@@ -266,7 +271,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&program, &args),
         "explore" => cmd_explore(&program, file, &args),
         "watch" => cmd_watch(&program, &args),
-        "static" => cmd_static(&program),
+        "static" => cmd_static(&program, &args),
         "run" => cmd_run(&program, &args),
         "record" => cmd_record(&program, &args),
         "fmt" => {
@@ -745,8 +750,22 @@ fn cmd_watch(program: &Program, args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_static(program: &Program) -> ExitCode {
+fn cmd_static(program: &Program, args: &[String]) -> ExitCode {
     let report = analyze(program);
+    if args.iter().any(|a| a == "--json") {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => oprintln!("{json}"),
+            Err(e) => {
+                eprintln!("home: cannot encode static report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        return if report.candidates.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     oprintln!(
         "{} MPI call sites, {} instrumented, {} skipped, {} unreachable",
         report.stats.total_mpi_calls,
@@ -779,7 +798,26 @@ fn cmd_static(program: &Program) -> ExitCode {
             report.checklist.monitored_vars.join(", ")
         );
     }
-    ExitCode::SUCCESS
+    if let Some(note) = report.stats.note {
+        oprintln!("note: {note:?}");
+    }
+    if report.candidates.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        oprintln!("{} static candidate(s):", report.candidates.len());
+        for c in &report.candidates {
+            oprintln!(
+                "  line {:>3}  {}: {}",
+                c.line,
+                c.kind.label(),
+                c.description
+            );
+            if let Some(hint) = &c.violation_hint {
+                oprintln!("            would report {hint} if reproduced");
+            }
+        }
+        ExitCode::FAILURE
+    }
 }
 
 /// One line naming the input and, when the parser knows it, the byte offset

@@ -231,3 +231,78 @@ fn region_classification_sees_through_calls() {
         "only the compute-only region is error-free"
     );
 }
+
+#[test]
+fn two_deep_chain_with_outer_lock_yields_differing_per_site_checklists() {
+    // The bundled interproc2 program: the recv is reachable only via
+    // relay -> fetch with critical(net) held in the outermost frame, and
+    // a separate unprotected allreduce region runs on every rank.
+    let src = std::fs::read_to_string("programs/interproc2.hmp").unwrap();
+    let p = parse(&src).unwrap();
+    let sr = analyze(&p);
+
+    let site = |name: &str| {
+        sr.checklist
+            .sites
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no {name} site"))
+    };
+    let recv = site("mpi_recv");
+    assert!(recv.instrument, "context flows through two call levels");
+    assert_eq!(recv.must_locks, vec!["net".to_string()]);
+    assert!(recv.multi_thread);
+    let allreduce = site("mpi_allreduce");
+    assert!(allreduce.instrument);
+    assert!(allreduce.must_locks.is_empty());
+
+    // The two instrumented sites carry *different* per-site monitored
+    // sets: the lock-serialized recv emits nothing, the allreduce emits
+    // its collective marker.
+    assert_eq!(recv.monitored.as_deref(), Some(&[][..]));
+    assert_eq!(
+        allreduce.monitored.as_deref(),
+        Some(&["collectivetmp".to_string()][..])
+    );
+
+    // Static candidates: a potential deadlock on the locked blocking recv
+    // and an unprotected collective write.
+    use home::static_analysis::CandidateKind;
+    let kinds: Vec<CandidateKind> = sr.candidates.iter().map(|c| c.kind).collect();
+    assert!(
+        kinds.contains(&CandidateKind::PotentialDeadlock),
+        "{kinds:?}"
+    );
+    assert!(
+        kinds.contains(&CandidateKind::UnprotectedMonitoredWrite),
+        "{kinds:?}"
+    );
+
+    // End to end, the cross-check classifies them: the program completes
+    // under every bundled seed (deadlock not reproduced) while the
+    // collective violation is confirmed dynamically.
+    let report = check(&p, &CheckOptions::default());
+    assert!(report.deadlocks.is_empty(), "{}", report.render());
+    assert!(
+        report.has(ViolationKind::CollectiveCall),
+        "{}",
+        report.render()
+    );
+    use home::core::CandidateStatus;
+    let status_of = |kind: CandidateKind| {
+        report
+            .candidates
+            .iter()
+            .find(|c| c.candidate.kind == kind)
+            .unwrap_or_else(|| panic!("no {kind:?} outcome"))
+            .status
+    };
+    assert_eq!(
+        status_of(CandidateKind::PotentialDeadlock),
+        CandidateStatus::NotReproduced
+    );
+    assert_eq!(
+        status_of(CandidateKind::UnprotectedMonitoredWrite),
+        CandidateStatus::Confirmed
+    );
+}
